@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every figure bench regenerates its series and records them twice: printed to
+stdout (visible with ``pytest benchmarks/ --benchmark-only -s``) and written
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.  Scale comes from :mod:`repro.experiments.config`: the default
+smoke preset finishes in minutes; export ``REPRO_FULL=1`` for the full runs.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Writer: record_table(name, text) -> prints and persists a table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

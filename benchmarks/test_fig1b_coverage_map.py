@@ -1,0 +1,35 @@
+"""Fig. 1(b): the coverage map of one channel.
+
+The paper shows the Google-Earth coverage contour of channel KTBV-LD over
+Los Angeles; our stand-in is the synthetic coverage of one boundary channel
+over Area 3, rendered as ASCII ('#' = protected PU coverage, '.' = usable
+white space) together with its availability statistics.
+"""
+
+from repro.geo.datasets import make_coverage_map
+
+
+def _first_boundary_channel(coverage_map):
+    for cov in coverage_map.channels:
+        if 0.05 < cov.availability_fraction() < 0.95:
+            return cov.channel
+    return 0
+
+
+def test_fig1b_coverage_map(benchmark, record_table):
+    coverage_map = benchmark.pedantic(
+        lambda: make_coverage_map(3, n_channels=30), rounds=1, iterations=1
+    )
+    channel = _first_boundary_channel(coverage_map)
+    cov = coverage_map.channels[channel]
+    art = coverage_map.ascii_map(channel)
+    header = (
+        f"Fig 1(b) stand-in: Area 3, channel {channel} "
+        f"(availability {cov.availability_fraction():.2%}, "
+        f"threshold {cov.threshold_dbm} dBm)"
+    )
+    # Downsample 100x100 -> 50x50 for a readable text figure.
+    lines = art.split("\n")
+    small = "\n".join("".join(line[::2]) for line in lines[::2])
+    record_table("fig1b_coverage_map", f"{header}\n{small}")
+    assert 0.05 < cov.availability_fraction() < 0.95

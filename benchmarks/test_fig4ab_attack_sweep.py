@@ -1,0 +1,42 @@
+"""Fig. 4(a)(b): BCM/BPM effectiveness vs number of auctioned channels.
+
+Regenerates the Area-4 sweep: mean number of possible cells (panel a) and
+attack success rate (panel b) for the plain BCM attack and BPM at each
+configured keep-fraction, as the auction grows from a few channels to the
+full 129.
+
+Expected shape (paper): the BCM output falls from 10 000 cells to the low
+hundreds as channels increase; BPM shrinks it further at the cost of a
+rising error rate as its keep-fraction drops.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.fig4 import fig4ab_channel_sweep
+from repro.experiments.tables import format_table
+
+
+def test_fig4ab_channel_sweep(benchmark, record_table):
+    config = default_config()
+    rows = benchmark.pedantic(
+        lambda: fig4ab_channel_sweep(config, area=4), rounds=1, iterations=1
+    )
+    record_table(
+        "fig4ab_attack_sweep",
+        format_table(rows, title="Fig 4(a)(b): possible cells / success rate vs channels (Area 4)"),
+    )
+
+    bcm = {r["channels"]: r["cells"] for r in rows if r["attack"] == "BCM"}
+    ks = sorted(bcm)
+    # Panel (a) shape: more channels, fewer possible cells.
+    assert bcm[ks[-1]] < bcm[ks[0]]
+    # BCM always keeps the true cell (panel b: success ~ 1).
+    for row in rows:
+        if row["attack"] == "BCM":
+            assert row["success_rate"] == 1.0
+    # BPM refines BCM at every channel count.
+    for k in ks:
+        bpm_cells = [
+            r["cells"] for r in rows
+            if r["channels"] == k and r["attack"].startswith("BPM")
+        ]
+        assert min(bpm_cells) <= bcm[k]

@@ -1,0 +1,26 @@
+"""Fig. 4(c): BCM and BPM across the four areas at 129 channels.
+
+Expected shape (paper): attack effectiveness improves from the suburban
+basin (Area 2 — the paper plots it only partially because its BCM output is
+so large) through the urban core and mixed areas to the rural Area 4.
+"""
+
+from repro.experiments.config import default_config
+from repro.experiments.fig4 import fig4c_four_areas
+from repro.experiments.tables import format_table
+
+
+def test_fig4c_four_areas(benchmark, record_table):
+    config = default_config()
+    rows = benchmark.pedantic(
+        lambda: fig4c_four_areas(config), rounds=1, iterations=1
+    )
+    record_table(
+        "fig4c_four_areas",
+        format_table(rows, title="Fig 4(c): BCM/BPM across the four areas (129 channels)"),
+    )
+    cells = {row["area"]: row["bcm_cells"] for row in rows}
+    # Rural (4) beats mixed (3) beats the urban areas; Area 2 is the worst
+    # case for the attacker.
+    assert cells[4] < cells[3] < cells[2]
+    assert cells[1] < cells[2]

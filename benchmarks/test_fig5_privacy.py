@@ -1,0 +1,71 @@
+"""Fig. 5(a)-(d): privacy metrics under LPPA vs the zero-replace probability.
+
+One sweep (Area 3) feeds all four panels: uncertainty (a), incorrectness
+(b), number of possible cells (c) and failure rate (d), for the anti-LPPA
+attacker keeping 25/50/66/80 % of each channel's masked-bid ranking, plus
+the unprotected BCM/BPM references.
+
+Expected shapes (paper): under LPPA the failure rate is far above the
+references and varies non-monotonically in ``1 - p0`` for small fractions;
+the candidate count stays flat then bursts as forged availability floods
+the attacker; raising the attacker's fraction shrinks its output but pushes
+failure towards 1.
+"""
+
+import pytest
+
+from repro.experiments.config import default_config
+from repro.experiments.fig5 import fig5_privacy_sweep
+from repro.experiments.tables import format_table
+
+PANELS = {
+    "a_uncertainty": "uncertainty_bits",
+    "b_incorrectness": "incorrectness_cells",
+    "c_possible_cells": "cells",
+    "d_failure_rate": "failure_rate",
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return fig5_privacy_sweep(default_config())
+
+
+@pytest.mark.parametrize("panel,metric", sorted(PANELS.items()))
+def test_fig5_privacy_panel(panel, metric, sweep_rows, benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: [
+            {
+                "zero_replace": r["zero_replace"],
+                "attack": r["attack"],
+                metric: r[metric],
+            }
+            for r in sweep_rows
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        f"fig5{panel}",
+        format_table(rows, title=f"Fig 5({panel[0]}): {metric} vs zero-replace probability (Area 3)"),
+    )
+    assert rows
+
+
+def test_fig5_privacy_claims(sweep_rows):
+    """The qualitative claims the paper makes about panels (a)-(d)."""
+    reference = next(r for r in sweep_rows if r["attack"] == "BCM (no LPPA)")
+    lppa = [r for r in sweep_rows if r["zero_replace"] != "-"]
+    # (d): LPPA drives the failure rate far above the unprotected reference.
+    assert max(r["failure_rate"] for r in lppa) >= reference["failure_rate"] + 0.5
+    # (b): expected distance to the true cell grows under LPPA.
+    assert max(r["incorrectness_cells"] for r in lppa) > reference[
+        "incorrectness_cells"
+    ]
+    # Larger attacker fractions shrink the candidate set (a)/(c) trade-off.
+    by_fraction = {}
+    for r in lppa:
+        by_fraction.setdefault(r["attack"], []).append(r["cells"])
+    fractions = sorted(by_fraction)  # 'LPPA-BCM top 25%' < ... lexicographic
+    if len(fractions) >= 2:
+        assert min(by_fraction[fractions[-1]]) <= max(by_fraction[fractions[0]])

@@ -1,0 +1,132 @@
+"""Micro-benchmarks of the protocol hot paths.
+
+These are real pytest-benchmark measurements (many rounds), covering the
+operations whose costs the paper argues are small: HMAC masking, range
+covers, masked max-finding, private conflict-graph construction, and a full
+cryptographic auction round.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.backend import hmac_digest, use_backend
+from repro.crypto.keys import generate_keyring
+from repro.geo.grid import GridSpec
+from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+from repro.lppa.location import build_private_conflict_graph, submit_location
+from repro.lppa.session import run_lppa_auction
+from repro.prefix.membership import find_maxima, mask_range, mask_value
+
+GRID = GridSpec(rows=100, cols=100)
+
+
+def test_bench_hmac_stdlib(benchmark):
+    benchmark(hmac_digest, b"key-material-16b", b"prefix-payload")
+
+
+def test_bench_hmac_pure(benchmark):
+    with use_backend("pure"):
+        benchmark(hmac_digest, b"key-material-16b", b"prefix-payload")
+
+
+def test_bench_mask_value(benchmark):
+    benchmark(mask_value, b"key", 1234, 12)
+
+
+def test_bench_mask_range_padded(benchmark):
+    rng = random.Random(0)
+    benchmark(
+        lambda: mask_range(b"key", 1234, 4095, 12, pad_to=22, rng=rng)
+    )
+
+
+def test_bench_masked_max_finding(benchmark):
+    rng = random.Random(1)
+    bids = [rng.randrange(4096) for _ in range(50)]
+    families = [mask_value(b"key", b, 12) for b in bids]
+    tails = [mask_range(b"key", b, 4095, 12) for b in bids]
+    result = benchmark(find_maxima, families, tails)
+    assert result
+
+
+def test_bench_advanced_submission(benchmark):
+    keyring = generate_keyring(b"bench", 10, rd=4, cr=8)
+    scale = BidScale(bmax=127, rd=4, cr=8)
+    rng = random.Random(2)
+    bids = [rng.randrange(128) for _ in range(10)]
+    benchmark(lambda: submit_bids_advanced(0, bids, keyring, scale, rng))
+
+
+def test_bench_private_conflict_graph(benchmark):
+    rng = random.Random(3)
+    cells = GRID.random_cells(rng, 40)
+    submissions = [
+        submit_location(i, cell, b"g0", GRID, 6) for i, cell in enumerate(cells)
+    ]
+    graph = benchmark(build_private_conflict_graph, submissions)
+    assert graph.n_users == 40
+
+
+def test_bench_full_crypto_round(benchmark, small_db_for_bench):
+    database, users = small_db_for_bench
+    benchmark.pedantic(
+        lambda: run_lppa_auction(
+            users,
+            database.coverage.grid,
+            two_lambda=6,
+            bmax=127,
+            rng=random.Random(4),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_db_for_bench():
+    from repro.auction.bidders import generate_users
+    from repro.geo.datasets import make_database
+
+    database = make_database(3, n_channels=10)
+    users = generate_users(database, 25, random.Random(5))
+    return database, users
+
+
+def test_bench_paillier_encrypt(benchmark):
+    from repro.crypto.paillier import generate_paillier_keypair
+
+    key = generate_paillier_keypair(512, random.Random(7))
+    rng = random.Random(8)
+    benchmark(lambda: key.public.encrypt(1234, rng))
+
+
+def test_bench_paillier_decrypt(benchmark):
+    from repro.crypto.paillier import generate_paillier_keypair
+
+    key = generate_paillier_keypair(512, random.Random(7))
+    ciphertext = key.public.encrypt(1234, random.Random(8))
+    result = benchmark(key.decrypt, ciphertext)
+    assert result == 1234
+
+
+def test_bench_ope_setup_and_encrypt(benchmark):
+    from repro.crypto.ope import OrderPreservingEncoder
+
+    encoder = OrderPreservingEncoder(b"bench-key", 1056)
+    value = benchmark(encoder.encrypt, 1000)
+    assert value > 0
+
+
+def test_bench_codec_roundtrip(benchmark):
+    from repro.crypto.keys import generate_keyring
+    from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+    from repro.lppa.codec import decode_bids, encode_bids
+
+    keyring = generate_keyring(b"bench-codec", 10, rd=4, cr=8)
+    scale = BidScale(bmax=127, rd=4, cr=8)
+    sub, _ = submit_bids_advanced(
+        0, [rng_b % 128 for rng_b in range(10)], keyring, scale, random.Random(9)
+    )
+    result = benchmark(lambda: decode_bids(encode_bids(sub)))
+    assert result == sub

@@ -1,0 +1,24 @@
+"""Theorem 4: predicted vs measured communication cost of PPBS.
+
+Runs the genuine cryptographic submission path and compares byte-accurate
+wire sizes against ``h * k * N * (3w - 1) * (w + 1)``.  The prediction is
+exact for the advanced scheme (families of ``w + 1`` digests, tails padded
+to ``2w - 2``), so the error column must read 0.
+"""
+
+from repro.experiments.comm import theorem4_table
+from repro.experiments.config import default_config
+from repro.experiments.tables import format_table
+
+
+def test_theorem4_comm_cost(benchmark, record_table):
+    config = default_config()
+    rows = benchmark.pedantic(
+        lambda: theorem4_table(config), rounds=1, iterations=1
+    )
+    record_table(
+        "theorem4_comm_cost",
+        format_table(rows, title="Theorem 4: predicted vs measured bid-submission bits"),
+    )
+    for row in rows:
+        assert row["error"] == 0.0

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Choosing a defence: cloaking, OPE, Paillier, or LPPA?
+
+Puts the repository's baselines side by side for a channel-scarce world:
+the obvious location cloak (breaks interference guarantees, ignores the
+bid channel), the one-ciphertext OPE (tiny but leaky), the Paillier route
+of the paper's reference [7] (heavy and interactive), and LPPA.
+
+Run:  python examples/defence_comparison.py
+"""
+
+from repro.experiments import (
+    ablation_masking_backend,
+    baseline_comparison_table,
+    cloaking_comparison_table,
+    format_table,
+)
+
+
+def main() -> None:
+    print(format_table(
+        cloaking_comparison_table(),
+        title=(
+            "Defence outcomes (150 users, 20 channels, 2λ=10; "
+            "'violations' = real co-channel interference events)"
+        ),
+    ))
+    print("\nReading: the cloak rows look great on revenue precisely because"
+          "\ntheir broken conflict graphs allow illegal reuse — the violations"
+          "\ncolumn is the bill.  LPPA pays with revenue instead, never physics.")
+
+    print()
+    print(format_table(
+        baseline_comparison_table(),
+        title="Communication: LPPA vs the Paillier design of ref [7]",
+    ))
+
+    print()
+    print(format_table(
+        ablation_masking_backend(),
+        title="Per-entry masking trade-offs",
+    ))
+    print("\nThe prefix sets cost ~100x an OPE ciphertext; what they buy is"
+          "\nthe hidden-range query the location protocol cannot live without.")
+
+
+if __name__ == "__main__":
+    main()

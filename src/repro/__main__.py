@@ -1,0 +1,11 @@
+"""``python -m repro`` — see :mod:`repro.cli`."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Output piped into e.g. `head`; exit quietly like a well-behaved CLI.
+    sys.exit(0)

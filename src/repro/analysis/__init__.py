@@ -1,0 +1,45 @@
+"""Analytic results: Theorems 1-4, their Monte-Carlo validation, comm cost."""
+
+from repro.analysis.comm_cost import (
+    CommCostReport,
+    measure_bid_cost,
+    measure_location_cost,
+)
+from repro.analysis.security import (
+    cardinality_rank_correlation,
+    cross_channel_linkability,
+    frequency_zero_guess,
+    tail_cardinalities,
+)
+from repro.analysis.montecarlo import (
+    simulate_expected_plaintext_hits,
+    simulate_no_leakage,
+    simulate_zero_not_winning,
+)
+from repro.analysis.theorems import (
+    theorem1_exact,
+    theorem1_paper,
+    theorem2_exact,
+    theorem2_paper,
+    theorem3_paper,
+    theorem4_bits,
+)
+
+__all__ = [
+    "CommCostReport",
+    "cardinality_rank_correlation",
+    "cross_channel_linkability",
+    "frequency_zero_guess",
+    "tail_cardinalities",
+    "measure_bid_cost",
+    "measure_location_cost",
+    "simulate_expected_plaintext_hits",
+    "simulate_no_leakage",
+    "simulate_zero_not_winning",
+    "theorem1_exact",
+    "theorem1_paper",
+    "theorem2_exact",
+    "theorem2_paper",
+    "theorem3_paper",
+    "theorem4_bits",
+]

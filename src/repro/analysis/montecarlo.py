@@ -1,0 +1,126 @@
+"""Monte-Carlo validation of Theorems 1-3.
+
+Each simulator reproduces the exact experiment the theorem models — zeros
+independently disguised by the substitution law, the auctioneer picking the
+maximum / the ``t``-largest — and estimates the quantity of interest by
+sampling.  The test suite checks the closed forms against these estimates;
+the benchmark harness records both for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "simulate_zero_not_winning",
+    "simulate_no_leakage",
+    "simulate_expected_plaintext_hits",
+]
+
+
+def _draw_disguise(rng: random.Random, probs: Sequence[float]) -> int:
+    """One disguise value ``r`` with probability ``probs[r]``."""
+    target = rng.random()
+    acc = 0.0
+    for r, p in enumerate(probs):
+        acc += p
+        if target < acc:
+            return r
+    return len(probs) - 1
+
+
+def simulate_zero_not_winning(
+    b_n: int,
+    m: int,
+    probs: Sequence[float],
+    rng: random.Random,
+    *,
+    trials: int = 20000,
+) -> float:
+    """Estimate Theorem 1's ``p_f``: the channel maximum is a true bid.
+
+    The non-zero bids are summarised by their maximum ``b_n``; each of the
+    ``m`` zeros disguises independently; ties at the top break uniformly.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    hits = 0
+    for _ in range(trials):
+        disguises = [_draw_disguise(rng, probs) for _ in range(m)]
+        top_disguise = max(disguises) if disguises else -1
+        if top_disguise < b_n:
+            hits += 1
+        elif top_disguise == b_n:
+            # Tie between the true b_n and every disguise at b_n.
+            n_tied_zeros = sum(1 for d in disguises if d == b_n)
+            if rng.randrange(n_tied_zeros + 1) == 0:
+                hits += 1
+    return hits / trials
+
+
+def simulate_no_leakage(
+    b_n: int,
+    m: int,
+    t: int,
+    probs: Sequence[float],
+    rng: random.Random,
+    *,
+    trials: int = 20000,
+) -> float:
+    """Estimate Theorem 2's ``p_f``: the ``t`` kept bids are all zeros.
+
+    As in the theorem, non-zero bids are summarised by their maximum
+    ``b_n``; the auctioneer keeps exactly ``t`` bids, descending by value,
+    filling a tie at the cut-off uniformly at random.
+    """
+    if not 0 < t <= m:
+        raise ValueError("need 0 < t <= m")
+    hits = 0
+    for _ in range(trials):
+        disguises = [_draw_disguise(rng, probs) for _ in range(m)]
+        above = sum(1 for d in disguises if d > b_n)
+        if above >= t:
+            hits += 1
+            continue
+        tied_zeros = sum(1 for d in disguises if d == b_n)
+        need = t - above
+        if tied_zeros < need:
+            continue  # the true b_n is necessarily selected
+        # Choose `need` from the tie class of (tied_zeros + 1) items;
+        # no leak iff the true b_n is not among them.
+        pool = [True] * tied_zeros + [False]  # True = zero
+        chosen = rng.sample(pool, need)
+        if all(chosen):
+            hits += 1
+    return hits / trials
+
+
+def simulate_expected_plaintext_hits(
+    bids_sorted: Sequence[int],
+    m: int,
+    t: int,
+    bmax: int,
+    rng: random.Random,
+    *,
+    trials: int = 20000,
+) -> float:
+    """Estimate Theorem 3's ``E[mu]`` under the uniform disguise law.
+
+    The auctioneer keeps *all users bidding the t largest values* (the
+    theorem's convention); ``mu`` counts true (plaintext) bids among them.
+    """
+    if any(b <= 0 for b in bids_sorted):
+        raise ValueError("bids_sorted must be positive")
+    if t < 1:
+        raise ValueError("t must be positive")
+    total = 0
+    for _ in range(trials):
+        disguises = [rng.randint(0, bmax) for _ in range(m)]
+        values: List[tuple] = [(b, True) for b in bids_sorted] + [
+            (d, False) for d in disguises
+        ]
+        distinct = sorted({v for v, _ in values}, reverse=True)
+        kept_values = set(distinct[:t])
+        total += sum(1 for v, is_true in values if v in kept_values and is_true)
+    return total / trials

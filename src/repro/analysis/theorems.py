@@ -1,0 +1,231 @@
+"""Closed-form results of section IV.C.3 / IV.C.4 (Theorems 1-4).
+
+Each theorem is implemented twice where that is meaningful:
+
+* ``theoremN_paper`` — a verbatim transcription of the printed formula;
+* ``theoremN_exact`` — our own derivation from first principles (direct
+  probability sums), used to cross-check the printed combinatorics.
+
+Theorem 1's printed formula is exactly right (it is the closed form of the
+binomial sum).  Theorem 2's second term prints a tie-breaking factor
+``(j-1)/j`` where first-principles counting gives ``1 - (t-k)/(j+1)``; the
+two coincide only for ``t - k = 1`` with the class size off by one.  Both
+are provided and the Monte-Carlo validator in
+:mod:`repro.analysis.montecarlo` arbitrates (see EXPERIMENTS.md).
+
+Notation (shared by all): one channel receives bids ``b_1 <= ... <= b_N``
+(``b_N`` the largest), plus ``m`` zero bids, each independently disguised as
+value ``r`` with probability ``p_r`` (``r = 0..bmax``); ``p_0`` keeps the
+zero.  The auctioneer picks either the single maximum (Thm 1) or the
+``t``-largest (Thm 2/3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "theorem1_paper",
+    "theorem1_exact",
+    "theorem2_paper",
+    "theorem2_exact",
+    "theorem3_paper",
+    "theorem4_bits",
+]
+
+
+def _check_probs(probs: Sequence[float]) -> None:
+    if not probs:
+        raise ValueError("need at least p_0")
+    if any(p < 0 for p in probs):
+        raise ValueError("probabilities must be non-negative")
+    if abs(sum(probs) - 1.0) > 1e-9:
+        raise ValueError("zero-replacement probabilities must sum to 1")
+
+
+def _comb(n: int, k: int) -> int:
+    """Binomial coefficient that is 0 outside the Pascal triangle."""
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def theorem1_paper(b_n: int, m: int, probs: Sequence[float]) -> float:
+    """Theorem 1: probability that no zero bid wins the channel.
+
+    ``b_n`` is the largest true bid, ``m`` the number of zero bids, and
+    ``probs[r] = p_r`` the substitution law (index 0..bmax).  Ties at
+    ``b_n`` are broken uniformly among the tied bids.
+    """
+    _check_probs(probs)
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if not 0 <= b_n < len(probs):
+        raise ValueError("b_n must index into probs")
+    if m == 0:
+        return 1.0
+    s_above = sum(probs[b_n + 1:])
+    q = probs[b_n]
+    a = 1.0 - s_above - q  # P(one disguise < b_n)
+    if q == 0.0:
+        return a**m
+    return ((1.0 - s_above) ** (m + 1) - a ** (m + 1)) / ((m + 1) * q)
+
+
+def theorem1_exact(b_n: int, m: int, probs: Sequence[float]) -> float:
+    """Direct binomial sum the paper's closed form collapses.
+
+    P(no zero wins) = Σ_k C(m, k) q^k a^(m-k) / (k + 1): exactly ``k``
+    disguises tie at ``b_n`` (none above), and the true ``b_n`` survives the
+    uniform (k+1)-way tie-break.
+    """
+    _check_probs(probs)
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if not 0 <= b_n < len(probs):
+        raise ValueError("b_n must index into probs")
+    s_above = sum(probs[b_n + 1:])
+    q = probs[b_n]
+    a = 1.0 - s_above - q
+    return sum(
+        _comb(m, k) * q**k * a ** (m - k) / (k + 1) for k in range(m + 1)
+    )
+
+
+def theorem2_paper(
+    b_n: int, m: int, t: int, probs: Sequence[float]
+) -> float:
+    """Theorem 2 as printed: P(the t-largest prices are all zeros).
+
+    The auctioneer keeps ``t`` bids and infers channel availability for
+    those bidders; "no leakage" means every kept bid was a disguised zero.
+    Requires ``m > t`` as the paper assumes.
+    """
+    _check_probs(probs)
+    if not 0 < t <= m:
+        raise ValueError("need 0 < t <= m")
+    if not 0 <= b_n < len(probs):
+        raise ValueError("b_n must index into probs")
+    s_above = sum(probs[b_n + 1:])
+    s_at_or_below = sum(probs[: b_n + 1])
+    s_below = sum(probs[:b_n])
+    q = probs[b_n]
+
+    first = sum(
+        _comb(m, k) * s_above**k * s_at_or_below ** (m - k)
+        for k in range(t, m + 1)
+    )
+    second = 0.0
+    for k in range(0, t):
+        inner = 0.0
+        for j in range(t - k, m - k + 1):
+            if j == 0:
+                continue
+            inner += (
+                (j - 1) / j
+                * _comb(m - k, j)
+                * s_below ** (m - k - j)
+                * q**j
+            )
+        second += _comb(m, k) * s_above**k * inner
+    return first + second
+
+
+def theorem2_exact(
+    b_n: int, m: int, t: int, probs: Sequence[float]
+) -> float:
+    """First-principles version of Theorem 2.
+
+    Split on ``k`` = #disguises strictly above ``b_n`` and ``j`` = #ties at
+    ``b_n``.  For ``k < t`` the auctioneer fills the remaining ``t - k``
+    slots uniformly from the tie class of ``j`` zeros plus the one true
+    ``b_n``; all-zero selections have probability ``1 - (t-k)/(j+1)``.
+    """
+    _check_probs(probs)
+    if not 0 < t <= m:
+        raise ValueError("need 0 < t <= m")
+    if not 0 <= b_n < len(probs):
+        raise ValueError("b_n must index into probs")
+    s_above = sum(probs[b_n + 1:])
+    s_below = sum(probs[:b_n])
+    q = probs[b_n]
+
+    total = sum(
+        _comb(m, k) * s_above**k * (1.0 - s_above) ** (m - k)
+        for k in range(t, m + 1)
+    )
+    for k in range(0, t):
+        for j in range(t - k, m - k + 1):
+            p_config = (
+                _comb(m, k)
+                * s_above**k
+                * _comb(m - k, j)
+                * q**j
+                * s_below ** (m - k - j)
+            )
+            total += p_config * (1.0 - (t - k) / (j + 1))
+    return total
+
+
+def theorem3_paper(
+    bids_sorted: Sequence[int], m: int, t: int, bmax: int
+) -> float:
+    """Theorem 3 as printed: E[#true bids kept] under uniform disguise.
+
+    ``bids_sorted`` are the non-zero bids in ascending order (so
+    ``bids_sorted[-mu]`` is the paper's ``b_{N-mu}`` ... the mu-th largest);
+    every zero is disguised uniformly: ``p_r = 1/(1+bmax)`` for all r.
+
+    The printed expression involves several implicit conventions; it is
+    transcribed verbatim (with out-of-range binomials set to zero) and
+    compared against the Monte-Carlo ground truth rather than trusted.
+    """
+    if not bids_sorted:
+        raise ValueError("need at least one non-zero bid")
+    if any(b <= 0 for b in bids_sorted):
+        raise ValueError("bids_sorted must contain positive bids only")
+    if list(bids_sorted) != sorted(bids_sorted):
+        raise ValueError("bids_sorted must be ascending")
+    if not 0 < t:
+        raise ValueError("t must be positive")
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if bmax < max(bids_sorted):
+        raise ValueError("bmax must bound the bids")
+
+    p = 1.0 / (1.0 + bmax)
+    expectation = 0.0
+    for mu in range(1, min(t, len(bids_sorted)) + 1):
+        b_n_mu = bids_sorted[-mu]  # the paper's b_{N-mu}
+        outer = _comb(bmax - b_n_mu - mu, t - mu)
+        if outer == 0:
+            continue
+        inner = 0.0
+        for j in range(t - mu, m + 1):
+            core = 0
+            for i in range(0, j - t + mu + 1):
+                core += (
+                    _comb(j, i)
+                    * _comb(i + mu - 1, mu - 1)
+                    * _comb(j - i - 1, t - mu - 1)
+                )
+            inner += _comb(m, j) * core * (1 + b_n_mu) ** (m - j)
+        expectation += mu * (p**m) * outer * inner
+    return expectation
+
+
+def theorem4_bits(n_users: int, n_channels: int, width: int, h: float) -> float:
+    """Theorem 4: advanced bid submission cost, ``h * k * N * (3w-1) * (w+1)``.
+
+    ``width`` is the bit length ``w`` of the (expanded) bid domain and ``h``
+    the ratio of HMAC-output length to prefix length: with digests truncated
+    to ``d`` bytes, ``h = 8d / (w + 1)``.
+    """
+    if n_users < 1 or n_channels < 1:
+        raise ValueError("need at least one user and one channel")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if h <= 0:
+        raise ValueError("h must be positive")
+    return h * n_channels * n_users * (3 * width - 1) * (width + 1)

@@ -1,0 +1,97 @@
+"""The attacker facing LPPA (section VI.C's adversary model).
+
+Under the advanced scheme the auctioneer no longer sees bid values or
+availability bits — but it *can* still order the masked bids within each
+channel (per-channel keys only kill cross-channel comparison).  The paper
+therefore evaluates LPPA against an adversary that:
+
+1. takes each channel's masked-bid ranking,
+2. keeps the top ``t`` bidders (a percentage — 25/50/66/80 % — of the
+   column), betting that high masked bids mean the channel is genuinely
+   available to those users,
+3. feeds each user's inferred channel set to BCM (Algorithm 1).
+
+BPM is impossible here: the attacker has orders, not values.  The zero
+disguises poison step 2 — a forged high bid pulls in a channel whose
+coverage complement the user may not occupy at all, which can empty the BCM
+intersection entirely (an attack failure).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.attacks.bcm import bcm_attack_channels
+from repro.geo.database import GeoLocationDatabase
+
+__all__ = ["top_fraction_bidders", "infer_available_sets", "lppa_bcm_attack"]
+
+Ranking = List[List[int]]  # equivalence classes, best first
+
+
+def top_fraction_bidders(ranking: Ranking, fraction: float) -> Set[int]:
+    """The top ``ceil(fraction * N)`` bidders of one channel's ranking.
+
+    Equivalence classes are consumed whole while they fit; a class
+    straddling the cut-off is truncated deterministically (ties carry no
+    order information, so which members are kept is arbitrary anyway).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    n_users = sum(len(cls) for cls in ranking)
+    t = math.ceil(fraction * n_users)
+    chosen: Set[int] = set()
+    for tie_class in ranking:
+        if len(chosen) >= t:
+            break
+        room = t - len(chosen)
+        chosen.update(tie_class[:room])
+    return chosen
+
+
+def infer_available_sets(
+    rankings: Sequence[Ranking], n_users: int, fraction: float
+) -> Dict[int, Set[int]]:
+    """Per-user inferred channel sets from all channels' top fractions."""
+    inferred: Dict[int, Set[int]] = {user: set() for user in range(n_users)}
+    for channel, ranking in enumerate(rankings):
+        for user in top_fraction_bidders(ranking, fraction):
+            if not 0 <= user < n_users:
+                raise ValueError(f"ranking references unknown user {user}")
+            inferred[user].add(channel)
+    return inferred
+
+
+def lppa_bcm_attack(
+    database: GeoLocationDatabase,
+    rankings: Sequence[Ranking],
+    n_users: int,
+    fraction: float,
+    *,
+    robust: bool = True,
+) -> List[np.ndarray]:
+    """Run the full pipeline and return one BCM candidate mask per user.
+
+    A user absent from every channel's top fraction yields the whole area
+    (the attacker learned nothing about it).
+
+    ``robust`` selects the skip-emptying intersection (the practical
+    attacker): the forged availability planted by the zero disguises makes
+    the plain Algorithm-1 intersection collapse to the empty set for almost
+    every user, so a real adversary discards constraints that would zero
+    out its candidate region.  ``robust=False`` gives the verbatim
+    Algorithm 1, whose near-total failure against LPPA is itself one of the
+    paper's claims (the 99.5 % failure quoted for the 100 % selection).
+    """
+    if len(rankings) != database.n_channels:
+        raise ValueError("one ranking per database channel required")
+    inferred = infer_available_sets(rankings, n_users, fraction)
+    return [
+        bcm_attack_channels(
+            database, sorted(inferred[user]), skip_emptying=robust
+        )
+        for user in range(n_users)
+    ]

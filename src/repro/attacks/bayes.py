@@ -1,0 +1,100 @@
+"""Soft (Bayesian) variant of the BPM attack.
+
+Algorithm 2 thresholds: it keeps the lowest-dq cells and treats them as a
+uniform candidate set.  The Shokri framework the paper's metrics come from
+actually scores *posterior distributions*, and the dq field supports a
+natural one: modelling the per-channel quality mismatch as Gaussian noise
+with scale ``sigma`` gives
+
+    Pr(cell) ∝ exp(-dq(cell) / (2 * sigma^2))   over the BCM candidate set.
+
+This module computes that posterior and scores it with the same four
+metrics generalised to non-uniform weights.  The hard Algorithm 2 is the
+``sigma -> 0`` limit (all mass on the arg-min cell); very large ``sigma``
+recovers plain BCM (uniform over the candidate set) — both limits are
+pinned by tests, making the soft attack a strict generalisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.attacks.bpm import bpm_distance_field
+from repro.attacks.metrics import AttackScore
+from repro.geo.database import GeoLocationDatabase
+from repro.geo.grid import Cell, GridSpec
+
+__all__ = ["bpm_posterior", "score_posterior"]
+
+
+def bpm_posterior(
+    database: GeoLocationDatabase,
+    user_bids: Tuple[int, ...],
+    possible: np.ndarray,
+    *,
+    sigma: float = 0.2,
+) -> np.ndarray:
+    """Posterior probability grid over the BCM candidate set.
+
+    ``sigma`` is the assumed noise scale of the normalised quality
+    mismatch; the paper's ``|eta| <= 20%`` bid noise corresponds to
+    sigma ~ 0.1-0.3 on the dq scale.  Returns an all-zero grid when the
+    candidate set is empty.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    grid = database.coverage.grid
+    if possible.shape != (grid.rows, grid.cols):
+        raise ValueError("possible-mask shape does not match the grid")
+    if not possible.any():
+        return np.zeros((grid.rows, grid.cols))
+
+    dq = bpm_distance_field(database, user_bids, possible)
+    finite = np.isfinite(dq)
+    if not finite.any():
+        return np.zeros((grid.rows, grid.cols))
+    log_weights = np.where(finite, -dq / (2.0 * sigma * sigma), -np.inf)
+    log_weights -= log_weights[finite].max()  # stabilise the exponentials
+    weights = np.where(finite, np.exp(log_weights), 0.0)
+    return weights / weights.sum()
+
+
+def score_posterior(
+    posterior: np.ndarray, true_cell: Cell, grid: GridSpec
+) -> AttackScore:
+    """The paper's four metrics over a (possibly non-uniform) posterior.
+
+    * uncertainty  = -sum p log2 p (Shannon entropy);
+    * incorrectness = sum p * distance(cell, true);
+    * n_cells       = support size;
+    * failed        = true cell outside the support.
+    """
+    if posterior.shape != (grid.rows, grid.cols):
+        raise ValueError("posterior shape does not match the grid")
+    grid.require(true_cell)
+    total = float(posterior.sum())
+    if total == 0.0:
+        return AttackScore(
+            n_cells=0,
+            uncertainty_bits=0.0,
+            incorrectness_cells=float("nan"),
+            failed=True,
+        )
+    if not math.isclose(total, 1.0, rel_tol=1e-6):
+        raise ValueError("posterior must sum to 1 (or be all-zero)")
+
+    support = posterior > 0.0
+    probs = posterior[support]
+    entropy = float(-(probs * np.log2(probs)).sum())
+    rows, cols = np.nonzero(support)
+    distances = np.hypot(rows - true_cell[0], cols - true_cell[1])
+    incorrectness = float((posterior[support] * distances).sum())
+    return AttackScore(
+        n_cells=int(support.sum()),
+        uncertainty_bits=entropy,
+        incorrectness_cells=incorrectness,
+        failed=not bool(support[true_cell]),
+    )

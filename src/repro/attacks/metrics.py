@@ -1,0 +1,109 @@
+"""Location-privacy metrics (section VI.A, after Shokri et al. [13]).
+
+The attacker's output is a set ``P`` of candidate cells with a posterior
+``Pr_x`` (uniform over ``P`` for BCM/BPM — neither attack produces a
+non-uniform posterior).  The paper scores an attack with four quantities:
+
+* **uncertainty** ``-Σ Pr_x log2 Pr_x`` — entropy of the posterior;
+* **incorrectness** ``Σ Pr_x ||l_x - l_0||`` — expected distance from the
+  candidate cells to the true location;
+* **failure rate** — the true cell is not in ``P`` at all;
+* **number of possible cells** ``|P|``.
+
+Larger values of all four mean *better privacy* for the user.  Distances are
+measured in cell units (multiply by ``grid.cell_km`` for kilometres).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.grid import Cell, GridSpec
+
+__all__ = ["AttackScore", "score_attack", "aggregate_scores", "AggregateScore"]
+
+
+@dataclass(frozen=True)
+class AttackScore:
+    """Privacy metrics of one attack run against one user."""
+
+    n_cells: int
+    uncertainty_bits: float
+    incorrectness_cells: float
+    failed: bool
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 0:
+            raise ValueError("n_cells must be non-negative")
+
+
+def score_attack(
+    possible: np.ndarray, true_cell: Cell, grid: GridSpec
+) -> AttackScore:
+    """Score a boolean candidate mask against the user's true cell.
+
+    An empty mask is a total failure: zero cells, zero uncertainty, and
+    incorrectness reported as NaN (no posterior to take an expectation over).
+    """
+    if possible.shape != (grid.rows, grid.cols):
+        raise ValueError("possible-mask shape does not match the grid")
+    grid.require(true_cell)
+    count = int(possible.sum())
+    if count == 0:
+        return AttackScore(
+            n_cells=0,
+            uncertainty_bits=0.0,
+            incorrectness_cells=float("nan"),
+            failed=True,
+        )
+    rows, cols = np.nonzero(possible)
+    distances = np.hypot(rows - true_cell[0], cols - true_cell[1])
+    return AttackScore(
+        n_cells=count,
+        uncertainty_bits=math.log2(count),
+        incorrectness_cells=float(distances.mean()),
+        failed=not bool(possible[true_cell]),
+    )
+
+
+@dataclass(frozen=True)
+class AggregateScore:
+    """Averages over a population of attacked users."""
+
+    n_users: int
+    mean_cells: float
+    mean_uncertainty_bits: float
+    mean_incorrectness_cells: float
+    failure_rate: float
+
+    def as_row(self) -> dict:
+        """Flat dict for table/CSV emission by the benchmark harness."""
+        return {
+            "users": self.n_users,
+            "cells": round(self.mean_cells, 2),
+            "uncertainty_bits": round(self.mean_uncertainty_bits, 3),
+            "incorrectness_cells": round(self.mean_incorrectness_cells, 2),
+            "failure_rate": round(self.failure_rate, 4),
+        }
+
+
+def aggregate_scores(scores: Sequence[AttackScore]) -> AggregateScore:
+    """Population averages; incorrectness averages over defined values only."""
+    if not scores:
+        raise ValueError("cannot aggregate zero scores")
+    incorrect = [
+        s.incorrectness_cells for s in scores if not math.isnan(s.incorrectness_cells)
+    ]
+    return AggregateScore(
+        n_users=len(scores),
+        mean_cells=sum(s.n_cells for s in scores) / len(scores),
+        mean_uncertainty_bits=sum(s.uncertainty_bits for s in scores) / len(scores),
+        mean_incorrectness_cells=(
+            sum(incorrect) / len(incorrect) if incorrect else float("nan")
+        ),
+        failure_rate=sum(1 for s in scores if s.failed) / len(scores),
+    )

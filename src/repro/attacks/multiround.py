@@ -1,0 +1,65 @@
+"""Multi-round linkage attack and the ID-mixing countermeasure (§V.C.3).
+
+"If a user participates the auction several times without ID changed, the
+auctioneer could collect much information about this SU even with our
+protocol."  This module implements exactly that adversary: it links a
+bidder's submissions across rounds (possible when wire identities are
+stable), infers a channel set from each round's masked-bid rankings, and
+intersects the resulting BCM candidate regions — every round adds
+constraints, so the candidate set can only shrink.
+
+The countermeasure is :class:`repro.lppa.idpool.IdPool`: with a fresh
+pseudonym pool per round, the adversary cannot link submissions and is
+reduced to its single-round knowledge.  The ablation benchmark
+``benchmarks/test_ablation_id_mixing.py`` quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.attacks.against_lppa import Ranking, infer_available_sets
+from repro.attacks.bcm import bcm_attack_channels
+from repro.geo.database import GeoLocationDatabase
+
+__all__ = ["multiround_linkage_attack"]
+
+
+def multiround_linkage_attack(
+    database: GeoLocationDatabase,
+    rounds_rankings: Sequence[Sequence[Ranking]],
+    n_users: int,
+    fraction: float,
+    *,
+    robust: bool = True,
+) -> List[np.ndarray]:
+    """Candidate masks after linking a user's submissions over all rounds.
+
+    ``rounds_rankings[r]`` is round ``r``'s per-channel ranking list (the
+    same attacker view a single-round attack consumes).  For each user the
+    per-round inferred channel sets are unioned — a channel the user ranked
+    highly in *any* round is treated as available — before one (robust)
+    BCM intersection.  The union is the right combinator because a genuine
+    availability inference from any round remains true in every round
+    (users do not move within a leasing campaign).
+    """
+    if not rounds_rankings:
+        raise ValueError("need at least one round")
+    for rankings in rounds_rankings:
+        if len(rankings) != database.n_channels:
+            raise ValueError("every round needs one ranking per channel")
+
+    accumulated = {user: set() for user in range(n_users)}
+    for rankings in rounds_rankings:
+        inferred = infer_available_sets(rankings, n_users, fraction)
+        for user, channels in inferred.items():
+            accumulated[user] |= channels
+
+    return [
+        bcm_attack_channels(
+            database, sorted(accumulated[user]), skip_emptying=robust
+        )
+        for user in range(n_users)
+    ]

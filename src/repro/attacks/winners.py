@@ -1,0 +1,64 @@
+"""The winner-list attack (second threat of §V.C.3).
+
+Auction outcomes are public — winners must learn (and use!) their channels,
+and the paper's charging phase explicitly *publishes* the charges.  A
+winner's channel is one the winner genuinely values, so every observed win
+is a high-confidence availability bit: "what's worse, if one user wins the
+auction a few times, the attacker may utilize the winning spectrum to
+launch the BCM attack with a high accuracy".
+
+Unlike the masked-ranking inference, wins are (almost) never forged for a
+*valid* winner — the TTP filtered the disguised zeros — so the intersection
+stays truthful no matter the disguise policy; only pseudonym mixing
+defends, by preventing the attacker from accumulating wins across rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.attacks.bcm import bcm_attack_channels
+from repro.auction.outcome import AuctionOutcome
+from repro.geo.database import GeoLocationDatabase
+
+__all__ = ["winner_channel_sets", "winner_list_attack"]
+
+
+def winner_channel_sets(
+    outcomes: Sequence[AuctionOutcome], n_users: int
+) -> Dict[int, Set[int]]:
+    """Per-user channels observed won (valid wins only) across rounds.
+
+    Invalid wins are excluded: the attacker sees the TTP's public
+    invalid-winner notifications (or simply that no charge was published),
+    and an invalid win carries no availability information anyway.
+    """
+    won: Dict[int, Set[int]] = {user: set() for user in range(n_users)}
+    for outcome in outcomes:
+        for win in outcome.valid_wins:
+            if not 0 <= win.bidder < n_users:
+                raise ValueError(f"outcome references unknown bidder {win.bidder}")
+            won[win.bidder].add(win.channel)
+    return won
+
+
+def winner_list_attack(
+    database: GeoLocationDatabase,
+    outcomes: Sequence[AuctionOutcome],
+    n_users: int,
+) -> List[np.ndarray]:
+    """BCM from observed wins: one candidate mask per user.
+
+    A user never observed winning yields the whole area.  No skip-emptying
+    robustness is needed — valid wins are genuine availability, so the
+    user's true cell always survives the intersection.
+    """
+    if not outcomes:
+        raise ValueError("need at least one observed outcome")
+    won = winner_channel_sets(outcomes, n_users)
+    return [
+        bcm_attack_channels(database, sorted(won[user]))
+        for user in range(n_users)
+    ]

@@ -1,0 +1,68 @@
+"""Dynamic spectrum auction substrate: bidders, conflicts, greedy allocation.
+
+Implements the paper's baseline auction (section II.A) and the pieces LPPA
+reuses: truthful bid generation, the 2λ interference conflict graph, the
+greedy Algorithm 3 allocator (generic over plaintext / masked bid tables),
+first-price charging, and outcome metrics.
+"""
+
+from repro.auction.analysis import (
+    ConflictStats,
+    conflict_stats,
+    greedy_coloring,
+    is_independent_set,
+    to_networkx,
+)
+from repro.auction.allocation import (
+    Assignment,
+    greedy_allocate,
+    greedy_allocate_validated,
+)
+from repro.auction.bidders import (
+    BID_NOISE_FRACTION,
+    DEFAULT_BETA_RANGE,
+    SecondaryUser,
+    generate_users,
+    generate_users_from_sensing,
+    rebid_users,
+)
+from repro.auction.conflict import ConflictGraph, build_conflict_graph, cells_conflict
+from repro.auction.interference import InterferenceReport, count_violations
+from repro.auction.outcome import AuctionOutcome, WinRecord
+from repro.auction.pricing import (
+    PricedAssignment,
+    greedy_allocate_priced,
+    second_price_charge,
+)
+from repro.auction.plain_auction import run_plain_auction
+from repro.auction.table import BidTable, PlainBidTable
+
+__all__ = [
+    "ConflictStats",
+    "conflict_stats",
+    "greedy_coloring",
+    "is_independent_set",
+    "to_networkx",
+    "Assignment",
+    "greedy_allocate",
+    "greedy_allocate_validated",
+    "BID_NOISE_FRACTION",
+    "DEFAULT_BETA_RANGE",
+    "SecondaryUser",
+    "generate_users",
+    "generate_users_from_sensing",
+    "rebid_users",
+    "ConflictGraph",
+    "build_conflict_graph",
+    "cells_conflict",
+    "InterferenceReport",
+    "count_violations",
+    "AuctionOutcome",
+    "WinRecord",
+    "PricedAssignment",
+    "greedy_allocate_priced",
+    "second_price_charge",
+    "run_plain_auction",
+    "BidTable",
+    "PlainBidTable",
+]

@@ -1,0 +1,108 @@
+"""Greedy spectrum allocation — Algorithm 3 of the paper.
+
+The auctioneer repeatedly: picks a channel uniformly at random from a pool
+``R`` (refilled once exhausted, so channels are revisited — this is what
+implements *spectrum reuse*: a channel won in one round is re-auctioned to
+the winner's non-conflicting peers in later rounds), finds the maximum
+remaining bid in that column, declares the bidder a winner, deletes the
+winner's whole row (one channel per buyer) and the conflicting neighbours'
+entries in that column.
+
+The algorithm is written against :class:`~repro.auction.table.BidTable`, so
+it is *identical* for the plaintext baseline and for LPPA's masked table —
+faithfully reflecting the paper's claim that PSD lets the auctioneer run the
+auction "transparently".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.auction.conflict import ConflictGraph
+from repro.auction.table import BidTable
+
+__all__ = ["Assignment", "greedy_allocate", "greedy_allocate_validated"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One winner: bidder ``bx`` gets ``channel`` r (the ``[bx, r]`` of W)."""
+
+    bidder: int
+    channel: int
+
+
+def greedy_allocate(
+    table: BidTable,
+    conflict: ConflictGraph,
+    rng: random.Random,
+) -> List[Assignment]:
+    """Run Algorithm 3 to completion and return the winner list ``W``.
+
+    ``table`` is consumed (entries are deleted as the algorithm runs).
+    Termination: every visit to a non-empty column deletes at least the
+    winner's row, and the channel pool guarantees each channel is visited
+    once per refill cycle, so the table strictly shrinks.
+    """
+    adjacency = conflict.adjacency()
+    winners: List[Assignment] = []
+    pool: List[int] = []
+    while table.has_entries():
+        if not pool:
+            pool = list(range(table.n_channels))
+        channel = pool.pop(rng.randrange(len(pool)))
+        if not table.channel_bidders(channel):
+            continue
+        candidates = table.max_bidders(channel)
+        winner = candidates[rng.randrange(len(candidates))]
+        winners.append(Assignment(bidder=winner, channel=channel))
+        for neighbor in adjacency.get(winner, ()):  # delete T[o, r], o in N(bx)
+            table.remove_entry(neighbor, channel)
+        table.remove_row(winner)
+    return winners
+
+
+def greedy_allocate_validated(
+    table: BidTable,
+    conflict: ConflictGraph,
+    rng: random.Random,
+    is_valid: Callable[[int, int], bool],
+) -> Tuple[List[Assignment], int]:
+    """Algorithm 3 with the TTP's invalid-winner notification in the loop.
+
+    Section V.B: when the TTP reports a winning price as invalid (a
+    disguised or spread zero), the auctioneer learns the win is worthless.
+    This extension feeds that notification back *during* allocation: an
+    invalid winner's entry is deleted (not its row — the bidder may still
+    hold genuine bids elsewhere) and the channel's max search re-runs,
+    until a valid winner emerges or the column drains.  It trades extra
+    TTP round-trips — the second return value counts the rejected
+    queries — for recovering the revenue a wasted channel would lose.
+
+    ``is_valid(bidder, channel)`` is the TTP oracle; in the real protocol
+    it decrypts the ``gc`` ciphertext (see
+    :meth:`repro.lppa.ttp.TrustedThirdParty.process_charge`).
+    """
+    adjacency = conflict.adjacency()
+    winners: List[Assignment] = []
+    rejected = 0
+    pool: List[int] = []
+    while table.has_entries():
+        if not pool:
+            pool = list(range(table.n_channels))
+        channel = pool.pop(rng.randrange(len(pool)))
+        while table.channel_bidders(channel):
+            candidates = table.max_bidders(channel)
+            winner = candidates[rng.randrange(len(candidates))]
+            if not is_valid(winner, channel):
+                rejected += 1
+                table.remove_entry(winner, channel)
+                continue
+            winners.append(Assignment(bidder=winner, channel=channel))
+            for neighbor in adjacency.get(winner, ()):
+                table.remove_entry(neighbor, channel)
+            table.remove_row(winner)
+            break
+    return winners, rejected

@@ -1,0 +1,87 @@
+"""The non-private baseline auction.
+
+This is the auction the paper assumes as its starting point (section II.A):
+SUs submit ID, plaintext location and plaintext bid vector; the auctioneer
+builds the conflict graph directly from the locations, runs the greedy
+allocation on the plaintext table, and charges first price.  It serves two
+roles in the reproduction:
+
+1. the attack surface for BCM/BPM (the attacker sees everything it sees),
+2. the performance yardstick for Fig. 5(e)(f) — LPPA's revenue and
+   satisfaction are reported relative to this baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.auction.allocation import greedy_allocate
+from repro.auction.bidders import SecondaryUser
+from repro.auction.pricing import greedy_allocate_priced, second_price_charge
+from repro.auction.conflict import ConflictGraph, build_conflict_graph
+from repro.auction.outcome import AuctionOutcome, WinRecord
+from repro.auction.table import PlainBidTable
+
+__all__ = ["run_plain_auction"]
+
+
+def run_plain_auction(
+    users: Sequence[SecondaryUser],
+    rng: random.Random,
+    *,
+    two_lambda: int,
+    conflict: ConflictGraph = None,
+    pricing: str = "first",
+) -> AuctionOutcome:
+    """One complete plaintext auction round.
+
+    Parameters
+    ----------
+    users:
+        The bidders (locations and true bids are visible to the auctioneer).
+    rng:
+        Randomness for channel selection and tie-breaking in Algorithm 3.
+    two_lambda:
+        Interference-square side length in cell units.
+    conflict:
+        Pre-built conflict graph (else built from the users' plaintext cells).
+    pricing:
+        ``"first"`` (the paper's rule: winners pay their bid) or
+        ``"second"`` (winners pay the best losing bid at the moment of
+        sale — the truthfulness extension).
+    """
+    if not users:
+        raise ValueError("need at least one user")
+    if pricing not in ("first", "second"):
+        raise ValueError('pricing must be "first" or "second"')
+    if conflict is None:
+        conflict = build_conflict_graph([u.cell for u in users], two_lambda)
+    table = PlainBidTable([u.bids for u in users])
+
+    def true_bid(bidder: int, channel: int) -> int:
+        return users[bidder].bids[channel]
+
+    if pricing == "second":
+        sales = greedy_allocate_priced(table, conflict, rng)
+        wins = tuple(
+            WinRecord(
+                bidder=sale.bidder,
+                channel=sale.channel,
+                charge=second_price_charge(sale, true_bid),
+                valid=True,
+            )
+            for sale in sales
+        )
+    else:
+        assignments = greedy_allocate(table, conflict, rng)
+        wins = tuple(
+            WinRecord(
+                bidder=a.bidder,
+                channel=a.channel,
+                charge=true_bid(a.bidder, a.channel),
+                valid=True,  # a plaintext table never contains zero bids
+            )
+            for a in assignments
+        )
+    return AuctionOutcome(n_users=len(users), wins=wins)

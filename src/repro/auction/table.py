@@ -1,0 +1,140 @@
+"""Bid tables: the auctioneer's working state during allocation.
+
+Algorithm 3 operates on a table ``T`` whose rows are bidders and whose
+columns are channels, repeatedly finding column maxima and deleting entries.
+The greedy allocator is written against the small :class:`BidTable`
+interface below so the *same* algorithm runs on
+
+* :class:`PlainBidTable` — plaintext bids (the non-private baseline), and
+* the masked table of :mod:`repro.lppa.psd`, where "find the maximum" is the
+  prefix-membership search over HMAC-masked sets.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Set
+
+__all__ = ["BidTable", "PlainBidTable"]
+
+
+class BidTable(abc.ABC):
+    """What Algorithm 3 needs from a bid table."""
+
+    @property
+    @abc.abstractmethod
+    def n_channels(self) -> int:
+        """Number of columns ``k``."""
+
+    @abc.abstractmethod
+    def has_entries(self) -> bool:
+        """True while any (bidder, channel) entry remains."""
+
+    @abc.abstractmethod
+    def channel_bidders(self, channel: int) -> Set[int]:
+        """Bidders with a remaining entry in this column."""
+
+    @abc.abstractmethod
+    def max_bidders(self, channel: int) -> List[int]:
+        """All bidders holding a maximal remaining bid in this column.
+
+        More than one element means a genuine tie; the allocator breaks it
+        uniformly at random.  Must only be called on non-empty columns.
+        """
+
+    @abc.abstractmethod
+    def remove_row(self, bidder: int) -> None:
+        """Delete every remaining entry of this bidder (a winner's row)."""
+
+    @abc.abstractmethod
+    def remove_entry(self, bidder: int, channel: int) -> None:
+        """Delete one entry if present (a conflicting neighbour's bid)."""
+
+
+class PlainBidTable(BidTable):
+    """Plaintext table; zero bids are not entries.
+
+    A plaintext auctioneer can see that a zero bid is worthless (and that
+    the channel is unavailable to the bidder), so zeros never enter the
+    table — this is the baseline behaviour LPPA is compared against.
+    """
+
+    def __init__(self, bid_rows: Sequence[Sequence[int]]) -> None:
+        if not bid_rows:
+            raise ValueError("bid table needs at least one row")
+        widths = {len(row) for row in bid_rows}
+        if len(widths) != 1:
+            raise ValueError("all bid rows must have the same channel count")
+        self._n_channels = widths.pop()
+        if self._n_channels < 1:
+            raise ValueError("bid table needs at least one channel")
+        self._entries: Dict[int, Dict[int, int]] = {}
+        for bidder, row in enumerate(bid_rows):
+            live = {ch: int(b) for ch, b in enumerate(row) if b > 0}
+            if live:
+                self._entries[bidder] = live
+
+    @property
+    def n_channels(self) -> int:
+        return self._n_channels
+
+    def has_entries(self) -> bool:
+        return bool(self._entries)
+
+    def channel_bidders(self, channel: int) -> Set[int]:
+        self._check_channel(channel)
+        return {b for b, row in self._entries.items() if channel in row}
+
+    def max_bidders(self, channel: int) -> List[int]:
+        self._check_channel(channel)
+        best: List[int] = []
+        best_bid = -1
+        for bidder in sorted(self._entries):
+            bid = self._entries[bidder].get(channel)
+            if bid is None:
+                continue
+            if bid > best_bid:
+                best, best_bid = [bidder], bid
+            elif bid == best_bid:
+                best.append(bidder)
+        if not best:
+            raise ValueError(f"channel {channel} has no remaining bids")
+        return best
+
+    def ranking(self, channel: int) -> List[List[int]]:
+        """Equivalence-class ranking of the *live* column, best first.
+
+        Mirrors the masked tables' ranking interface so pricing rules that
+        need the runner-up order work over either representation.
+        """
+        self._check_channel(channel)
+        by_value: Dict[int, List[int]] = {}
+        for bidder in sorted(self._entries):
+            bid = self._entries[bidder].get(channel)
+            if bid is not None:
+                by_value.setdefault(bid, []).append(bidder)
+        return [by_value[v] for v in sorted(by_value, reverse=True)]
+
+    def bid_of(self, bidder: int, channel: int) -> int:
+        """The remaining bid value (plaintext tables only)."""
+        self._check_channel(channel)
+        try:
+            return self._entries[bidder][channel]
+        except KeyError:
+            raise KeyError(f"no live entry for bidder {bidder}, channel {channel}")
+
+    def remove_row(self, bidder: int) -> None:
+        self._entries.pop(bidder, None)
+
+    def remove_entry(self, bidder: int, channel: int) -> None:
+        self._check_channel(channel)
+        row = self._entries.get(bidder)
+        if row is None:
+            return
+        row.pop(channel, None)
+        if not row:
+            del self._entries[bidder]
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self._n_channels:
+            raise IndexError(f"channel {channel} outside 0..{self._n_channels - 1}")

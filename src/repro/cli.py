@@ -1,0 +1,232 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Gives the whole reproduction a zero-code driving surface:
+
+* ``figures``   — regenerate every paper figure's series (smoke scale by
+  default; ``--full`` for the EXPERIMENTS.md scale);
+* ``theorems``  — the Theorem 1-3 validation tables and Theorem 4 cost;
+* ``ablations`` — the design-choice ablations;
+* ``coverage``  — print one area/channel's coverage map as ASCII;
+* ``baselines`` — LPPA vs cloaking / Paillier / OPE comparisons;
+* ``report``    — every experiment, one markdown file;
+* ``demo``      — one quick private auction round with a result summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LPPA (ICDCS 2013) reproduction driver",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "--full", action="store_true", help="EXPERIMENTS.md scale (slow)"
+    )
+    figures.add_argument(
+        "--only",
+        choices=("fig4", "fig5"),
+        default=None,
+        help="restrict to one figure family",
+    )
+
+    sub.add_parser("theorems", help="validate Theorems 1-4")
+    sub.add_parser("ablations", help="run the design-choice ablations")
+
+    coverage = sub.add_parser("coverage", help="print a coverage map")
+    coverage.add_argument("--area", type=int, default=3, choices=(1, 2, 3, 4))
+    coverage.add_argument("--channel", type=int, default=0)
+    coverage.add_argument("--channels", type=int, default=30,
+                          help="how many channels to build")
+    coverage.add_argument("--step", type=int, default=2,
+                          help="downsampling factor for the ASCII render")
+
+    sub.add_parser("baselines", help="compare LPPA against cloaking / Paillier")
+
+    report = sub.add_parser("report", help="write the full markdown report")
+    report.add_argument("--out", default="lppa_report.md")
+    report.add_argument("--full", action="store_true")
+    report.add_argument("--no-extensions", action="store_true")
+
+    demo = sub.add_parser("demo", help="run one private auction round")
+    demo.add_argument("--users", type=int, default=40)
+    demo.add_argument("--channels", type=int, default=20)
+    demo.add_argument("--replace", type=float, default=0.3,
+                      help="zero-replace probability 1-p0")
+    demo.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import (
+        FULL,
+        SMOKE,
+        fig4ab_channel_sweep,
+        fig4c_four_areas,
+        fig5_performance_sweep,
+        fig5_privacy_sweep,
+        format_table,
+    )
+
+    config = FULL if args.full else SMOKE
+    if args.only in (None, "fig4"):
+        print(format_table(fig4ab_channel_sweep(config),
+                           title="Fig 4(a)(b): cells / success vs channels (Area 4)"))
+        print()
+        print(format_table(fig4c_four_areas(config),
+                           title="Fig 4(c): the four areas"))
+        print()
+    if args.only in (None, "fig5"):
+        print(format_table(fig5_privacy_sweep(config),
+                           title="Fig 5(a)-(d): privacy under LPPA (Area 3)"))
+        print()
+        print(format_table(fig5_performance_sweep(config),
+                           title="Fig 5(e)(f): performance under LPPA (Area 3)"))
+    return 0
+
+
+def _cmd_theorems(args) -> int:
+    from repro.experiments import (
+        format_table,
+        theorem1_table,
+        theorem2_table,
+        theorem3_table,
+        theorem4_table,
+    )
+
+    print(format_table(theorem1_table(), title="Theorem 1"))
+    print()
+    print(format_table(theorem2_table(), title="Theorem 2 (see EXPERIMENTS.md erratum)"))
+    print()
+    print(format_table(theorem3_table(), title="Theorem 3 (printed formula approximate)"))
+    print()
+    print(format_table(theorem4_table(), title="Theorem 4: communication cost"))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments import (
+        ablation_cr_expansion,
+        ablation_disguise_policy,
+        ablation_id_mixing,
+        ablation_revalidation,
+        format_table,
+    )
+
+    print(format_table(ablation_id_mixing(), title="ID mixing (§V.C.3)"))
+    print()
+    print(format_table(ablation_revalidation(), title="TTP charging mode (§V.B)"))
+    print()
+    print(format_table(ablation_cr_expansion(), title="cr expansion (§V.B)"))
+    print()
+    print(format_table(ablation_disguise_policy(), title="Disguise law (§IV.C.3)"))
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from repro.geo import make_coverage_map
+    from repro.viz import render_coverage
+
+    if args.channel < 0 or args.channel >= args.channels:
+        print("channel index outside the built range", file=sys.stderr)
+        return 2
+    coverage_map = make_coverage_map(args.area, n_channels=args.channels)
+    cov = coverage_map.channels[args.channel]
+    print(f"Area {args.area}, channel {args.channel}: "
+          f"{cov.availability_fraction():.1%} of cells usable "
+          f"('#' = protected PU coverage)")
+    print(render_coverage(coverage_map, args.channel, step=args.step))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.auction import generate_users, run_plain_auction
+    from repro.geo import make_database
+    from repro.lppa import UniformReplacePolicy, run_lppa_auction
+
+    database = make_database(3, n_channels=args.channels)
+    users = generate_users(database, args.users, random.Random(args.seed))
+    result = run_lppa_auction(
+        users,
+        database.coverage.grid,
+        two_lambda=6,
+        bmax=127,
+        policy=UniformReplacePolicy(args.replace),
+        rng=random.Random(args.seed),
+    )
+    plain = run_plain_auction(users, random.Random(args.seed), two_lambda=6)
+    outcome = result.outcome
+    print(f"users {args.users}, channels {args.channels}, 1-p0 {args.replace}")
+    print(f"revenue        {outcome.sum_of_winning_bids()} "
+          f"(plain {plain.sum_of_winning_bids()})")
+    print(f"satisfaction   {outcome.user_satisfaction():.1%}")
+    print(f"wire volume    {result.total_bytes / 1024:.1f} KiB")
+    print(f"conflict edges {result.conflict_graph.n_edges}")
+    return 0
+
+
+def _cmd_baselines(args) -> int:
+    from repro.experiments import (
+        ablation_masking_backend,
+        baseline_comparison_table,
+        cloaking_comparison_table,
+        format_table,
+    )
+
+    print(format_table(cloaking_comparison_table(),
+                       title="Location cloaking vs LPPA (dense world)"))
+    print()
+    print(format_table(baseline_comparison_table(),
+                       title="Paillier secure auction (ref [7]) vs LPPA, communication"))
+    print()
+    print(format_table(ablation_masking_backend(),
+                       title="Masking backends: per-entry trade-offs"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import FULL, SMOKE
+    from repro.experiments.report import write_report
+
+    path = write_report(
+        args.out,
+        FULL if args.full else SMOKE,
+        include_extensions=not args.no_extensions,
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "report": _cmd_report,
+    "baselines": _cmd_baselines,
+    "theorems": _cmd_theorems,
+    "ablations": _cmd_ablations,
+    "coverage": _cmd_coverage,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

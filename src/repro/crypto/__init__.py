@@ -1,0 +1,41 @@
+"""Cryptographic substrate built from scratch: SHA-256, HMAC, Speck64/128-CTR.
+
+The paper's PPBS protocol only needs two primitives — a keyed hash whose
+outputs the auctioneer can compare for equality but not invert (HMAC), and a
+symmetric cipher for the TTP charging channel (key ``gc``).  Both are
+implemented here without external dependencies.
+"""
+
+from repro.crypto.backend import get_backend, hmac_digest, set_backend, use_backend
+from repro.crypto.hmac_impl import HMAC, hmac_sha256
+from repro.crypto.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.keys import KeyRing, derive_key, generate_keyring
+from repro.crypto.sha256 import SHA256, sha256
+from repro.crypto.speck import Speck64128, ctr_decrypt, ctr_encrypt
+
+__all__ = [
+    "get_backend",
+    "hmac_digest",
+    "set_backend",
+    "use_backend",
+    "HMAC",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "generate_paillier_keypair",
+    "generate_prime",
+    "is_probable_prime",
+    "hmac_sha256",
+    "KeyRing",
+    "derive_key",
+    "generate_keyring",
+    "SHA256",
+    "sha256",
+    "Speck64128",
+    "ctr_decrypt",
+    "ctr_encrypt",
+]

@@ -1,0 +1,61 @@
+"""Pluggable HMAC backend: from-scratch reference vs stdlib-accelerated.
+
+The repository ships its own SHA-256/HMAC (:mod:`repro.crypto.sha256`,
+:mod:`repro.crypto.hmac_impl`) so the masking layer is auditable end to end.
+Pure-Python compression is ~300x slower than CPython's built-in OpenSSL
+binding, however, and a 129-channel, 200-bidder auction performs millions of
+HMAC invocations.  The protocol layer therefore calls
+:func:`hmac_digest`, which dispatches to either implementation:
+
+* ``"stdlib"`` (default) — ``hmac``/``hashlib`` from the standard library;
+* ``"pure"`` — the in-repo implementation.
+
+The two are bit-identical; the test suite asserts it over random inputs and
+runs the protocol under both backends.  Use :func:`use_backend` to switch
+temporarily.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import hmac as _stdlib_hmac
+from typing import Iterator
+
+from repro.crypto.hmac_impl import hmac_sha256 as _pure_hmac
+
+__all__ = ["hmac_digest", "get_backend", "set_backend", "use_backend"]
+
+_VALID = ("stdlib", "pure")
+_backend = "stdlib"
+
+
+def get_backend() -> str:
+    """Name of the active HMAC backend."""
+    return _backend
+
+
+def set_backend(name: str) -> None:
+    """Select the HMAC backend globally (``"stdlib"`` or ``"pure"``)."""
+    global _backend
+    if name not in _VALID:
+        raise ValueError(f"backend must be one of {_VALID}, got {name!r}")
+    _backend = name
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the HMAC backend."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def hmac_digest(key: bytes, msg: bytes) -> bytes:
+    """HMAC-SHA256 digest through the active backend."""
+    if _backend == "stdlib":
+        return _stdlib_hmac.new(key, msg, hashlib.sha256).digest()
+    return _pure_hmac(key, msg)

@@ -1,0 +1,60 @@
+"""Pure-Python HMAC (RFC 2104 / FIPS 198-1) over the from-scratch SHA-256.
+
+PPBS masks every numericalized location and bid prefix with
+``HMAC_g(O(prefix))`` where ``g`` is a key the TTP distributes to the
+secondary users but withholds from the auctioneer.  Equality of HMAC outputs
+is the only operation the auctioneer ever performs on masked prefixes, so the
+construction here is the trust boundary of the whole scheme.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import SHA256
+
+__all__ = ["HMAC", "hmac_sha256"]
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+class HMAC:
+    """HMAC-SHA256 with an incremental ``update``/``digest`` API."""
+
+    digest_size = 32
+    block_size = 64
+
+    def __init__(self, key: bytes, msg: bytes = b"") -> None:
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            raise TypeError("HMAC key must be bytes-like")
+        key = bytes(key)
+        if len(key) > self.block_size:
+            key = SHA256(key).digest()
+        key = key.ljust(self.block_size, b"\x00")
+        self._outer_key = bytes(b ^ _OPAD for b in key)
+        self._inner = SHA256(bytes(b ^ _IPAD for b in key))
+        if msg:
+            self._inner.update(msg)
+
+    def update(self, msg: bytes) -> None:
+        """Absorb more message bytes."""
+        self._inner.update(msg)
+
+    def digest(self) -> bytes:
+        """The 32-byte MAC of everything absorbed so far (state preserved)."""
+        return SHA256(self._outer_key + self._inner.digest()).digest()
+
+    def hexdigest(self) -> str:
+        """Hexadecimal form of :meth:`digest`."""
+        return self.digest().hex()
+
+    def copy(self) -> "HMAC":
+        """An independent clone sharing the absorbed state so far."""
+        clone = HMAC.__new__(HMAC)
+        clone._outer_key = self._outer_key
+        clone._inner = self._inner.copy()
+        return clone
+
+
+def hmac_sha256(key: bytes, msg: bytes) -> bytes:
+    """One-shot HMAC-SHA256 digest of ``msg`` under ``key``."""
+    return HMAC(key, msg).digest()

@@ -1,0 +1,113 @@
+"""The Paillier cryptosystem, from scratch — the comparator's substrate.
+
+The paper's related work (Pan et al., IEEE JSAC 2011 — its reference [7])
+protects bid privacy with Paillier encryption and secret-shared decryption
+among several auctioneers, which the paper dismisses for its communication
+cost.  To make that comparison quantitative rather than rhetorical,
+``repro`` implements the cryptosystem itself and prices a [7]-style bid
+submission against LPPA's masked sets
+(:mod:`repro.experiments.paillier_baseline`).
+
+Standard textbook Paillier (n = p*q, g = n + 1):
+
+* ``Enc(m; r) = (1 + n)^m * r^n  mod n^2`` — additively homomorphic;
+* ``Dec(c) = L(c^lambda mod n^2) * mu  mod n`` with ``L(x) = (x-1)/n``.
+
+Key sizes are a parameter; experiments use small keys (testing the maths,
+not the hardness) and the cost model scales sizes analytically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime
+
+__all__ = ["PaillierPublicKey", "PaillierPrivateKey", "generate_paillier_keypair"]
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Encryption key: the modulus ``n`` (with ``g = n + 1`` fixed)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 6:
+            raise ValueError("modulus too small")
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialized ciphertext size: one element of Z_{n^2}."""
+        return (self.n_squared.bit_length() + 7) // 8
+
+    def encrypt(self, message: int, rng: random.Random) -> int:
+        """``Enc(m; r)`` with a fresh unit ``r``."""
+        if not 0 <= message < self.n:
+            raise ValueError(f"message {message} outside [0, n)")
+        while True:
+            r = rng.randrange(1, self.n)
+            if math.gcd(r, self.n) == 1:
+                break
+        n2 = self.n_squared
+        # (1 + n)^m = 1 + m*n  (mod n^2) — the classic shortcut.
+        gm = (1 + message * self.n) % n2
+        return (gm * pow(r, self.n, n2)) % n2
+
+    def add(self, c1: int, c2: int) -> int:
+        """Homomorphic addition: Dec(add(E(a), E(b))) = a + b mod n."""
+        return (c1 * c2) % self.n_squared
+
+    def add_constant(self, c: int, k: int) -> int:
+        """Dec(add_constant(E(a), k)) = a + k mod n."""
+        return (c * (1 + (k % self.n) * self.n)) % self.n_squared
+
+    def multiply_constant(self, c: int, k: int) -> int:
+        """Dec(multiply_constant(E(a), k)) = a * k mod n."""
+        return pow(c, k % self.n, self.n_squared)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Decryption key: ``lambda = lcm(p-1, q-1)`` and ``mu``."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Recover the plaintext of a Paillier ciphertext."""
+        n = self.public.n
+        n2 = self.public.n_squared
+        if not 0 <= ciphertext < n2:
+            raise ValueError("ciphertext outside Z_{n^2}")
+        x = pow(ciphertext, self.lam, n2)
+        l_value = (x - 1) // n
+        return (l_value * self.mu) % n
+
+
+def generate_paillier_keypair(
+    bits: int, rng: random.Random
+) -> PaillierPrivateKey:
+    """A keypair with a ~``bits``-bit modulus (p, q of bits/2 each)."""
+    if bits < 16:
+        raise ValueError("modulus must be at least 16 bits")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p != q:
+            break
+    n = p * q
+    lam = (p - 1) * (q - 1) // math.gcd(p - 1, q - 1)
+    public = PaillierPublicKey(n=n)
+    # mu = L(g^lambda mod n^2)^-1 mod n; with g = n + 1, g^lam = 1 + lam*n.
+    l_value = ((1 + lam * n) % (n * n) - 1) // n
+    mu = pow(l_value, -1, n)
+    return PaillierPrivateKey(public=public, lam=lam, mu=mu)

@@ -1,0 +1,56 @@
+"""Deterministic prime generation (Miller-Rabin) for the Paillier baseline.
+
+Primes are drawn from a caller-supplied RNG so key generation is
+reproducible in experiments; Miller-Rabin with 40 rounds gives an error
+probability below 2^-80, ample for a benchmark comparator.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["is_probable_prime", "generate_prime"]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(n: int, rng: random.Random, *, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with random bases."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^s with d odd.
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """A random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("need at least 8-bit primes")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate

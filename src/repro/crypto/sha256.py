@@ -1,0 +1,140 @@
+"""Pure-Python SHA-256 (FIPS 180-4).
+
+LPPA masks every numericalized prefix with a keyed hash (HMAC).  The paper
+treats HMAC as a black-box PRF; we implement the full construction from
+scratch so that the repository has no cryptographic dependencies and the
+masking layer can be audited end to end.
+
+The implementation is a direct transcription of FIPS 180-4: message padding,
+message-schedule expansion, and the 64-round compression function.  It is
+intentionally straightforward rather than micro-optimised; the protocol-level
+benchmarks use :class:`SHA256` through :mod:`repro.crypto.hmac`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA256", "sha256"]
+
+_MASK32 = 0xFFFFFFFF
+
+# First 32 bits of the fractional parts of the cube roots of the first 64
+# primes (FIPS 180-4 section 4.2.2).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+# Initial hash value: first 32 bits of the fractional parts of the square
+# roots of the first 8 primes (FIPS 180-4 section 5.3.3).
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+
+def _rotr(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & _MASK32
+
+
+class SHA256:
+    """Incremental SHA-256 with the familiar ``update``/``digest`` API."""
+
+    digest_size = 32
+    block_size = 64
+    name = "sha256"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._h = list(_H0)
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb ``data`` into the hash state."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("SHA256.update() expects bytes-like input")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        # Compress all complete 64-byte blocks, keep the tail buffered.
+        n_blocks = len(self._buffer) // 64
+        for i in range(n_blocks):
+            self._compress(self._buffer[i * 64:(i + 1) * 64])
+        self._buffer = self._buffer[n_blocks * 64:]
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for t in range(16, 64):
+            s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+            s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+
+        a, b, c, d, e, f, g, h = self._h
+        for t in range(64):
+            big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+            ch = (e & f) ^ (~e & g)
+            t1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK32
+            big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            t2 = (big_s0 + maj) & _MASK32
+            h = g
+            g = f
+            f = e
+            e = (d + t1) & _MASK32
+            d = c
+            c = b
+            b = a
+            a = (t1 + t2) & _MASK32
+
+        self._h = [
+            (x + y) & _MASK32
+            for x, y in zip(self._h, (a, b, c, d, e, f, g, h))
+        ]
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest of everything absorbed so far.
+
+        The internal state is not consumed: further ``update`` calls continue
+        from the pre-padding state, matching :mod:`hashlib` semantics.
+        """
+        clone = self.copy()
+        bit_length = clone._length * 8
+        # Padding: 0x80, then zeros to 56 mod 64, then 8-byte big-endian length.
+        pad_len = (55 - clone._length) % 64
+        clone.update(b"\x80" + b"\x00" * pad_len + struct.pack(">Q", bit_length))
+        assert not clone._buffer
+        return struct.pack(">8I", *clone._h)
+
+    def hexdigest(self) -> str:
+        """Hexadecimal form of :meth:`digest`."""
+        return self.digest().hex()
+
+    def copy(self) -> "SHA256":
+        """An independent clone sharing the absorbed state so far."""
+        clone = SHA256.__new__(SHA256)
+        clone._h = list(self._h)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha256(data: bytes = b"") -> SHA256:
+    """Convenience constructor mirroring ``hashlib.sha256``."""
+    return SHA256(data)

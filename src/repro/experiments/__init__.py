@@ -1,0 +1,67 @@
+"""Experiment harnesses regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.ablations import (
+    ablation_colocation,
+    ablation_cr_expansion,
+    ablation_crowd_mixing,
+    ablation_disguise_policy,
+    ablation_id_mixing,
+    ablation_masking_backend,
+    ablation_revalidation,
+    ablation_winner_lists,
+)
+from repro.experiments.cloaking_baseline import cloaking_comparison_table
+from repro.experiments.comm import theorem4_table
+from repro.experiments.config import FULL, SMOKE, ExperimentConfig, default_config
+from repro.experiments.fig4 import (
+    attack_population,
+    fig4ab_channel_sweep,
+    fig4c_four_areas,
+)
+from repro.experiments.fig5 import fig5_performance_sweep, fig5_privacy_sweep
+from repro.experiments.paillier_baseline import (
+    baseline_comparison_table,
+    paillier_comparison_bytes,
+    paillier_submission_bytes,
+)
+from repro.experiments.report import write_report
+from repro.experiments.tables import format_table
+from repro.experiments.truthfulness import shading_experiment
+from repro.experiments.theorem_tables import (
+    DEFAULT_PROBS,
+    theorem1_table,
+    theorem2_table,
+    theorem3_table,
+)
+
+__all__ = [
+    "ablation_colocation",
+    "ablation_cr_expansion",
+    "ablation_crowd_mixing",
+    "ablation_disguise_policy",
+    "ablation_id_mixing",
+    "ablation_masking_backend",
+    "ablation_revalidation",
+    "ablation_winner_lists",
+    "cloaking_comparison_table",
+    "theorem4_table",
+    "FULL",
+    "SMOKE",
+    "ExperimentConfig",
+    "default_config",
+    "attack_population",
+    "fig4ab_channel_sweep",
+    "fig4c_four_areas",
+    "fig5_performance_sweep",
+    "fig5_privacy_sweep",
+    "format_table",
+    "write_report",
+    "baseline_comparison_table",
+    "paillier_comparison_bytes",
+    "paillier_submission_bytes",
+    "shading_experiment",
+    "DEFAULT_PROBS",
+    "theorem1_table",
+    "theorem2_table",
+    "theorem3_table",
+]

@@ -1,0 +1,75 @@
+"""Experiment presets.
+
+Every figure-regeneration function takes an :class:`ExperimentConfig`;
+:func:`default_config` returns the *smoke* preset (minutes on a laptop,
+same qualitative shapes) unless the environment variable ``REPRO_FULL=1``
+selects the full-scale runs used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["ExperimentConfig", "default_config", "SMOKE", "FULL"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the Fig. 4 / Fig. 5 harnesses."""
+
+    n_users: int
+    n_channels: int
+    channel_sweep: Tuple[int, ...]
+    bpm_fractions: Tuple[float, ...]
+    attack_fractions: Tuple[float, ...]
+    zero_replace_probs: Tuple[float, ...]
+    n_users_sweep: Tuple[int, ...]
+    n_rounds: int
+    bpm_max_cells: int
+    two_lambda: int
+    bmax: int
+    seed: str
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.n_channels < 1:
+            raise ValueError("population and channel count must be positive")
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be positive")
+
+
+SMOKE = ExperimentConfig(
+    n_users=60,
+    n_channels=129,
+    channel_sweep=(20, 60, 129),
+    bpm_fractions=(0.5, 0.25),
+    attack_fractions=(0.25, 0.5, 0.8),
+    zero_replace_probs=(0.1, 0.5, 1.0),
+    n_users_sweep=(60, 120),
+    n_rounds=2,
+    bpm_max_cells=250,
+    two_lambda=6,
+    bmax=127,
+    seed="lppa-repro",
+)
+
+FULL = ExperimentConfig(
+    n_users=200,
+    n_channels=129,
+    channel_sweep=(20, 40, 60, 80, 100, 129),
+    bpm_fractions=(0.5, 0.33, 0.25, 0.2),
+    attack_fractions=(0.25, 0.5, 0.66, 0.8),
+    zero_replace_probs=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    n_users_sweep=(100, 200, 300),
+    n_rounds=5,
+    bpm_max_cells=250,
+    two_lambda=6,
+    bmax=127,
+    seed="lppa-repro",
+)
+
+
+def default_config() -> ExperimentConfig:
+    """``FULL`` when ``REPRO_FULL=1`` is exported, else ``SMOKE``."""
+    return FULL if os.environ.get("REPRO_FULL") == "1" else SMOKE

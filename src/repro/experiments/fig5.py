@@ -1,0 +1,182 @@
+"""Fig. 5 — LPPA's privacy gain (a-d) and performance cost (e-f).
+
+Privacy sweep (panels a-d), Area 3: for each zero-replace probability
+``1 - p0`` the bidders run the advanced scheme; the attacker keeps the top
+25/50/66/80 % of each channel's masked-bid ranking, infers availability and
+runs BCM.  Reference rows give BCM and BPM against the *unprotected*
+auction.  Reported per point: uncertainty, incorrectness, number of
+possible cells, failure rate.
+
+Performance sweep (panels e-f): sum of winning bids and user satisfaction
+of the LPPA auction relative to the plaintext baseline, versus ``1 - p0``,
+for several population sizes (the paper's scalability claim: N matters
+little; the cost tops out near 30 %).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.attacks.against_lppa import lppa_bcm_attack
+from repro.attacks.bcm import bcm_attack
+from repro.attacks.bpm import bpm_attack
+from repro.attacks.metrics import aggregate_scores, score_attack
+from repro.auction.bidders import generate_users
+from repro.auction.plain_auction import run_plain_auction
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.geo.datasets import make_database
+from repro.lppa.fastsim import run_fast_lppa
+from repro.lppa.policies import UniformReplacePolicy
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import bootstrap_ci
+
+__all__ = ["fig5_privacy_sweep", "fig5_performance_sweep"]
+
+
+def fig5_privacy_sweep(
+    config: Optional[ExperimentConfig] = None, *, area: int = 3
+) -> List[Dict[str, object]]:
+    """Panels (a)-(d): privacy metrics vs ``1 - p0`` and attacker fraction.
+
+    Rows tagged ``attack = "BCM (no LPPA)"`` / ``"BPM (no LPPA)"`` are the
+    unprotected references; the remaining rows are the anti-LPPA attacker at
+    each configured fraction.
+    """
+    if config is None:
+        config = default_config()
+    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
+    grid = database.coverage.grid
+    users = generate_users(
+        database, config.n_users, spawn_rng(config.seed, "fig5", "users")
+    )
+
+    rows: List[Dict[str, object]] = []
+
+    # --- References: attacks on the unprotected auction -------------------------
+    bcm_scores, bpm_scores = [], []
+    for user in users:
+        possible = bcm_attack(database, user)
+        bcm_scores.append(score_attack(possible, user.cell, grid))
+        if user.available_set():
+            refined = bpm_attack(
+                database,
+                user,
+                possible,
+                keep_fraction=config.bpm_fractions[0],
+                max_cells=config.bpm_max_cells,
+            )
+            bpm_scores.append(score_attack(refined, user.cell, grid))
+    for name, scores in (("BCM (no LPPA)", bcm_scores), ("BPM (no LPPA)", bpm_scores)):
+        if not scores:
+            continue
+        agg = aggregate_scores(scores)
+        rows.append(
+            {
+                "zero_replace": "-",
+                "attack": name,
+                "cells": round(agg.mean_cells, 1),
+                "uncertainty_bits": round(agg.mean_uncertainty_bits, 3),
+                "incorrectness_cells": round(agg.mean_incorrectness_cells, 2),
+                "failure_rate": round(agg.failure_rate, 4),
+            }
+        )
+
+    # --- LPPA sweep ----------------------------------------------------------------
+    for replace_prob in config.zero_replace_probs:
+        result = run_fast_lppa(
+            users,
+            two_lambda=config.two_lambda,
+            bmax=config.bmax,
+            policy=UniformReplacePolicy(replace_prob),
+            rng=random.Random(
+                spawn_rng(config.seed, "fig5", f"round-{replace_prob}").random()
+            ),
+        )
+        for fraction in config.attack_fractions:
+            masks = lppa_bcm_attack(
+                database, result.rankings, len(users), fraction
+            )
+            scores = [
+                score_attack(mask, user.cell, grid)
+                for mask, user in zip(masks, users)
+            ]
+            agg = aggregate_scores(scores)
+            rows.append(
+                {
+                    "zero_replace": round(replace_prob, 2),
+                    "attack": f"LPPA-BCM top {int(fraction * 100)}%",
+                    "cells": round(agg.mean_cells, 1),
+                    "uncertainty_bits": round(agg.mean_uncertainty_bits, 3),
+                    "incorrectness_cells": round(agg.mean_incorrectness_cells, 2),
+                    "failure_rate": round(agg.failure_rate, 4),
+                }
+            )
+    return rows
+
+
+def fig5_performance_sweep(
+    config: Optional[ExperimentConfig] = None, *, area: int = 3
+) -> List[Dict[str, object]]:
+    """Panels (e)-(f): revenue and satisfaction ratios vs ``1 - p0`` and N.
+
+    Ratios are LPPA / plaintext baseline, averaged over ``n_rounds``
+    independent rounds (fresh allocation randomness each round, same
+    population per N so the comparison is paired).
+    """
+    if config is None:
+        config = default_config()
+    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
+
+    rows: List[Dict[str, object]] = []
+    for n_users in config.n_users_sweep:
+        users = generate_users(
+            database, n_users, spawn_rng(config.seed, "fig5ef", f"users-{n_users}")
+        )
+        for replace_prob in config.zero_replace_probs:
+            revenue_ratios, satisfaction_ratios = [], []
+            for round_idx in range(config.n_rounds):
+                seed_val = spawn_rng(
+                    config.seed, "fig5ef", f"{n_users}-{replace_prob}-{round_idx}"
+                ).random()
+                plain = run_plain_auction(
+                    users, random.Random(seed_val), two_lambda=config.two_lambda
+                )
+                private = run_fast_lppa(
+                    users,
+                    two_lambda=config.two_lambda,
+                    bmax=config.bmax,
+                    policy=UniformReplacePolicy(replace_prob),
+                    rng=random.Random(seed_val),
+                )
+                plain_revenue = plain.sum_of_winning_bids()
+                plain_satisfaction = plain.user_satisfaction()
+                if plain_revenue > 0:
+                    revenue_ratios.append(
+                        private.outcome.sum_of_winning_bids() / plain_revenue
+                    )
+                if plain_satisfaction > 0:
+                    satisfaction_ratios.append(
+                        private.outcome.user_satisfaction() / plain_satisfaction
+                    )
+            row = {
+                "n_users": n_users,
+                "zero_replace": round(replace_prob, 2),
+                "revenue_ratio": round(
+                    sum(revenue_ratios) / len(revenue_ratios), 4
+                ),
+                "satisfaction_ratio": round(
+                    sum(satisfaction_ratios) / len(satisfaction_ratios), 4
+                ),
+            }
+            if config.n_rounds >= 3:
+                # Enough rounds for a meaningful bootstrap error bar.
+                ci_rng = random.Random(
+                    spawn_rng(
+                        config.seed, "fig5ef-ci", f"{n_users}-{replace_prob}"
+                    ).random()
+                )
+                low, high = bootstrap_ci(revenue_ratios, ci_rng, resamples=500)
+                row["revenue_ci95"] = f"[{low:.3f}, {high:.3f}]"
+            rows.append(row)
+    return rows

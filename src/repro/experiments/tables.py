@@ -1,0 +1,40 @@
+"""Plain-text table formatting for experiment output.
+
+Every experiment function returns a list of flat dicts (one per row);
+:func:`format_table` renders them with aligned columns so the benchmark
+harness can print the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], *, title: str = "") -> str:
+    """Render rows as an aligned monospace table.
+
+    Column order follows the first row's key order; missing cells render
+    empty.  Floats are shown as given (callers round for presentation).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Geo-location spectrum database.
+
+The paper's SUs learn channel availability and quality "through spectrum
+sensing or database query", and its *attacker* is assumed to hold "all the
+real quality statistics of each channel in each cell (it could obtain this
+information from a geo-location database)".  This module is that database:
+a thin query layer over a :class:`~repro.geo.coverage.CoverageMap` serving
+both honest SUs (what can I use here, and how good is it?) and the adversary
+(the full ``C_r`` / ``q*`` tensors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.geo.coverage import CoverageMap
+from repro.geo.grid import Cell
+
+__all__ = ["GeoLocationDatabase"]
+
+
+@dataclass(frozen=True)
+class GeoLocationDatabase:
+    """Availability / quality oracle over one study area."""
+
+    coverage: CoverageMap
+
+    @property
+    def n_channels(self) -> int:
+        return self.coverage.n_channels
+
+    def available_channels(self, cell: Cell) -> Set[int]:
+        """Channels usable at ``cell`` (the SU-facing query)."""
+        return self.coverage.available_set(cell)
+
+    def channel_quality(self, cell: Cell, channel: int) -> float:
+        """Quality of one channel at one cell; 0 when unavailable."""
+        if not 0 <= channel < self.n_channels:
+            raise IndexError(f"channel {channel} outside 0..{self.n_channels - 1}")
+        return self.coverage.channels[channel].quality_at(cell)
+
+    def query(self, cell: Cell) -> Dict[int, float]:
+        """The full SU query result: {channel: quality} for available channels."""
+        qualities = self.coverage.quality_vector(cell)
+        return {
+            ch: float(qualities[ch])
+            for ch in sorted(self.available_channels(cell))
+        }
+
+    # Attacker-facing bulk views ------------------------------------------------
+
+    def availability_tensor(self) -> np.ndarray:
+        """(k x rows x cols) boolean ``C_r`` masks."""
+        return self.coverage.availability_stack()
+
+    def quality_tensor(self) -> np.ndarray:
+        """(k x rows x cols) ``q*_r(m, n)`` statistics."""
+        return self.coverage.quality_stack()
+
+    def cells_matching_availability(self, channels: List[int]) -> np.ndarray:
+        """Boolean mask of cells where *all* listed channels are available.
+
+        This is exactly the BCM intersection ``P = A ∩ C_r1 ∩ C_r2 ∩ ...``.
+        """
+        mask = np.ones((self.coverage.grid.rows, self.coverage.grid.cols), bool)
+        tensor = self.availability_tensor()
+        for ch in channels:
+            if not 0 <= ch < self.n_channels:
+                raise IndexError(f"channel {ch} outside 0..{self.n_channels - 1}")
+            mask &= tensor[ch]
+        return mask

@@ -1,0 +1,276 @@
+"""The four evaluation areas (synthetic stand-ins for the paper's LA maps).
+
+The paper extracts spectrum availability for four 75 km x 75 km Los Angeles
+areas (129 TV channels, TVFool/FCC data) and observes that its attacks work
+better in rural districts than urban ones "due to the influence of terrain
+factor".  The discriminative power of the BCM attack is carried entirely by
+*boundary channels* — channels whose protected-coverage contour crosses the
+study area.  A channel that blankets the whole area cannot be bid at all; a
+channel clear over the whole area is bid from everywhere; neither shrinks
+the intersection.  Within a 75 km box most real TV channels are one of
+those two, with a minority of contours actually crossing.
+
+Each channel therefore draws one of three modes:
+
+* **covered** — a high-power tower inside the area; protected everywhere;
+* **clear**   — the tower sits far enough away that the whole area lies in
+  the coverage complement ``C_r`` (up to shadowing patches);
+* **boundary** — tower distance and power chosen so the contour crosses the
+  area: this is where the attacker's information lives.
+
+The four areas differ in their mode mix and terrain roughness:
+
+=======  ===========  =========================  =============================
+Area     Character    Boundary-channel fraction  Effect on the attacks
+=======  ===========  =========================  =============================
+1        urban core   low + rough terrain        weak BCM (large outputs)
+2        suburban     lowest                     weakest (paper plots it only
+         basin                                   partially for this reason)
+3        mixed        medium                     the LPPA evaluation area
+4        rural        highest + smooth terrain   strongest BCM/BPM (Fig. 4)
+=======  ===========  =========================  =============================
+
+All maps are deterministic functions of (area number, master seed).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.geo.coverage import CoverageMap, build_channel_coverage
+from repro.geo.database import GeoLocationDatabase
+from repro.geo.grid import GridSpec
+from repro.geo.propagation import PRACTICAL_THRESHOLD_DBM, PropagationModel
+from repro.geo.transmitters import Transmitter
+from repro.utils.rng import numpy_rng, spawn_rng
+
+__all__ = [
+    "AreaConfig",
+    "clear_coverage_cache",
+    "AREA_CONFIGS",
+    "N_LA_CHANNELS",
+    "make_coverage_map",
+    "make_database",
+]
+
+#: Number of TV channels in the paper's LA dataset.
+N_LA_CHANNELS = 129
+
+
+@dataclass(frozen=True)
+class AreaConfig:
+    """Everything that distinguishes one study area's radio environment.
+
+    ``mode_probs`` is (p_covered, p_clear, p_boundary) and must sum to 1.
+    ``boundary_radius_km`` bounds the protected-contour radius of boundary
+    channels; ``clear_distance_factor`` places clear channels' towers at
+    that multiple of their own radius away from the area centre.
+    """
+
+    name: str
+    mode_probs: Tuple[float, float, float]
+    boundary_radius_km: Tuple[float, float]
+    clear_distance_factor: Tuple[float, float]
+    sigma_db: float
+    correlation_km: float
+    path_loss_exponent: float
+    threshold_dbm: float = PRACTICAL_THRESHOLD_DBM
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.mode_probs) - 1.0) > 1e-9:
+            raise ValueError("mode probabilities must sum to 1")
+        if any(p < 0 for p in self.mode_probs):
+            raise ValueError("mode probabilities must be non-negative")
+
+    def model(self) -> PropagationModel:
+        """The area's propagation model."""
+        return PropagationModel(path_loss_exponent=self.path_loss_exponent)
+
+
+AREA_CONFIGS: Dict[int, AreaConfig] = {
+    1: AreaConfig(
+        name="urban-core",
+        mode_probs=(0.04, 0.92, 0.04),
+        boundary_radius_km=(35.0, 80.0),
+        clear_distance_factor=(1.8, 3.0),
+        sigma_db=8.0,
+        correlation_km=4.0,
+        path_loss_exponent=3.8,
+    ),
+    2: AreaConfig(
+        name="suburban-basin",
+        mode_probs=(0.03, 0.94, 0.03),
+        boundary_radius_km=(40.0, 80.0),
+        clear_distance_factor=(2.2, 3.5),
+        sigma_db=6.0,
+        correlation_km=8.0,
+        path_loss_exponent=3.5,
+    ),
+    3: AreaConfig(
+        name="mixed",
+        mode_probs=(0.03, 0.79, 0.18),
+        boundary_radius_km=(35.0, 85.0),
+        clear_distance_factor=(2.0, 3.2),
+        sigma_db=6.0,
+        correlation_km=8.0,
+        path_loss_exponent=3.5,
+    ),
+    4: AreaConfig(
+        name="rural",
+        mode_probs=(0.02, 0.63, 0.35),
+        boundary_radius_km=(30.0, 85.0),
+        clear_distance_factor=(2.2, 4.0),
+        sigma_db=4.0,
+        correlation_km=12.0,
+        path_loss_exponent=3.5,
+    ),
+}
+
+
+def _power_for_radius(model: PropagationModel, radius_km: float,
+                      threshold_dbm: float) -> float:
+    """ERP such that the median contour at ``threshold_dbm`` has this radius."""
+    if radius_km < model.reference_km:
+        raise ValueError("radius below the model's reference distance")
+    return (
+        threshold_dbm
+        + model.reference_loss_db
+        + 10.0 * model.path_loss_exponent * math.log10(radius_km / model.reference_km)
+    )
+
+
+def _place_channel(
+    grid: GridSpec,
+    config: AreaConfig,
+    model: PropagationModel,
+    channel: int,
+    rng: random.Random,
+) -> List[Transmitter]:
+    """Draw a mode for one channel and place its tower(s) accordingly."""
+    height_km, width_km = grid.extent_km
+    cy, cx = height_km / 2.0, width_km / 2.0
+    diag_km = math.hypot(height_km, width_km)
+    p_covered, p_clear, _ = config.mode_probs
+    draw = rng.random()
+
+    if draw < p_covered:
+        # Tower inside the area, radius comfortably past the far corner.
+        radius = diag_km * rng.uniform(1.3, 2.0)
+        return [
+            Transmitter(
+                y_km=rng.uniform(0.15 * height_km, 0.85 * height_km),
+                x_km=rng.uniform(0.15 * width_km, 0.85 * width_km),
+                power_dbm=_power_for_radius(model, radius, config.threshold_dbm),
+                channel=channel,
+            )
+        ]
+
+    if draw < p_covered + p_clear:
+        # Tower far enough away that the whole area sits outside the contour.
+        radius = rng.uniform(*config.boundary_radius_km)
+        distance = radius * rng.uniform(*config.clear_distance_factor) + diag_km / 2.0
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        return [
+            Transmitter(
+                y_km=cy + distance * math.sin(angle),
+                x_km=cx + distance * math.cos(angle),
+                power_dbm=_power_for_radius(model, radius, config.threshold_dbm),
+                channel=channel,
+            )
+        ]
+
+    # Boundary: the contour crosses the area.
+    radius = rng.uniform(*config.boundary_radius_km)
+    distance = radius * rng.uniform(0.35, 1.15)
+    angle = rng.uniform(0.0, 2.0 * math.pi)
+    return [
+        Transmitter(
+            y_km=cy + distance * math.sin(angle),
+            x_km=cx + distance * math.cos(angle),
+            power_dbm=_power_for_radius(model, radius, config.threshold_dbm),
+            channel=channel,
+        )
+    ]
+
+
+#: Memo of built coverage maps.  Maps are immutable and deterministic in
+#: (area, n_channels, grid, seed), and the experiment harnesses rebuild the
+#: same areas many times, so caching is safe and saves minutes per run.
+_MAP_CACHE: Dict[tuple, CoverageMap] = {}
+
+
+def clear_coverage_cache() -> None:
+    """Drop all memoised coverage maps (mainly for memory-sensitive tests)."""
+    _MAP_CACHE.clear()
+
+
+def make_coverage_map(
+    area: int,
+    *,
+    n_channels: int = N_LA_CHANNELS,
+    grid: GridSpec = GridSpec(),
+    seed: str = "lppa-repro",
+) -> CoverageMap:
+    """Build (or fetch the memoised) coverage map for one of the four areas."""
+    key = (area, n_channels, grid, seed)
+    cached = _MAP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    # A larger channel count subsumes smaller ones (channel i's map does not
+    # depend on how many channels are built), so slice when possible.
+    for (c_area, c_channels, c_grid, c_seed), cmap in _MAP_CACHE.items():
+        if (c_area, c_grid, c_seed) == (area, grid, seed) and c_channels >= n_channels:
+            subset = cmap.subset(n_channels)
+            _MAP_CACHE[key] = subset
+            return subset
+    built = _build_coverage_map(area, n_channels=n_channels, grid=grid, seed=seed)
+    _MAP_CACHE[key] = built
+    return built
+
+
+def _build_coverage_map(
+    area: int,
+    *,
+    n_channels: int,
+    grid: GridSpec,
+    seed: str,
+) -> CoverageMap:
+    if area not in AREA_CONFIGS:
+        raise ValueError(f"area must be one of {sorted(AREA_CONFIGS)}, got {area}")
+    if n_channels < 1:
+        raise ValueError("n_channels must be >= 1")
+    config = AREA_CONFIGS[area]
+    model = config.model()
+    channels = []
+    for ch in range(n_channels):
+        place_rng = spawn_rng(seed, f"area{area}", f"channel{ch}", "towers")
+        towers = _place_channel(grid, config, model, ch, place_rng)
+        shadow_rng = numpy_rng(seed, f"area{area}", f"channel{ch}", "shadow")
+        channels.append(
+            build_channel_coverage(
+                grid,
+                towers,
+                model,
+                shadow_rng=shadow_rng,
+                sigma_db=config.sigma_db,
+                correlation_km=config.correlation_km,
+                threshold_dbm=config.threshold_dbm,
+            )
+        )
+    return CoverageMap(grid=grid, channels=channels)
+
+
+def make_database(
+    area: int,
+    *,
+    n_channels: int = N_LA_CHANNELS,
+    grid: GridSpec = GridSpec(),
+    seed: str = "lppa-repro",
+) -> GeoLocationDatabase:
+    """Coverage map wrapped in the query layer both SUs and attacker use."""
+    return GeoLocationDatabase(
+        make_coverage_map(area, n_channels=n_channels, grid=grid, seed=seed)
+    )

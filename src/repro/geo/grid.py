@@ -1,0 +1,116 @@
+"""Grid geometry: the 75 km x 75 km region divided into 100 x 100 cells.
+
+The paper selects four 75 km x 75 km Los Angeles areas, divides each into a
+100 x 100 cell lattice, and identifies a cell by its (row, column) pair
+``(m, n)``.  Everything downstream — coverage maps, quality statistics,
+attacker posteriors — is indexed by these cells, so this module is the one
+place that owns the cell <-> kilometre conversions.
+
+Cells double as the integer location coordinates of the private location
+submission protocol: an SU at cell ``(m, n)`` submits the non-negative
+integers ``m`` and ``n`` (prefix-masked) as its coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["Cell", "GridSpec"]
+
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A rectangular cell lattice over a square region.
+
+    Attributes
+    ----------
+    rows, cols:
+        Lattice dimensions (the paper uses 100 x 100).
+    cell_km:
+        Side length of one cell in kilometres (75 km / 100 = 0.75 km).
+    """
+
+    rows: int = 100
+    cols: int = 100
+    cell_km: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must have at least one row and column")
+        if self.cell_km <= 0:
+            raise ValueError("cell_km must be positive")
+
+    @property
+    def n_cells(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def extent_km(self) -> Tuple[float, float]:
+        """(height, width) of the region in kilometres."""
+        return (self.rows * self.cell_km, self.cols * self.cell_km)
+
+    def contains(self, cell: Cell) -> bool:
+        """True when ``cell`` lies inside the lattice."""
+        m, n = cell
+        return 0 <= m < self.rows and 0 <= n < self.cols
+
+    def require(self, cell: Cell) -> None:
+        """Raise ``ValueError`` for cells outside the lattice."""
+        if not self.contains(cell):
+            raise ValueError(f"cell {cell} outside {self.rows}x{self.cols} grid")
+
+    def cells(self) -> Iterator[Cell]:
+        """All cells in row-major order."""
+        for m in range(self.rows):
+            for n in range(self.cols):
+                yield (m, n)
+
+    def cell_index(self, cell: Cell) -> int:
+        """Row-major flat index of a cell."""
+        self.require(cell)
+        return cell[0] * self.cols + cell[1]
+
+    def cell_from_index(self, index: int) -> Cell:
+        """Inverse of :meth:`cell_index`."""
+        if not 0 <= index < self.n_cells:
+            raise ValueError(f"index {index} outside grid")
+        return divmod(index, self.cols)
+
+    def center_km(self, cell: Cell) -> Tuple[float, float]:
+        """Kilometre coordinates of the cell centre, (y, x) = (row, col) axes."""
+        self.require(cell)
+        m, n = cell
+        return ((m + 0.5) * self.cell_km, (n + 0.5) * self.cell_km)
+
+    def centers_km(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Meshgrids (rows x cols) of cell-centre y- and x-km coordinates."""
+        ys = (np.arange(self.rows) + 0.5) * self.cell_km
+        xs = (np.arange(self.cols) + 0.5) * self.cell_km
+        yy, xx = np.meshgrid(ys, xs, indexing="ij")
+        return yy, xx
+
+    def distance_km(self, a: Cell, b: Cell) -> float:
+        """Euclidean centre-to-centre distance between two cells."""
+        ay, ax = self.center_km(a)
+        by, bx = self.center_km(b)
+        return float(np.hypot(ay - by, ax - bx))
+
+    def distance_cells(self, a: Cell, b: Cell) -> float:
+        """Euclidean distance in cell units (used by the incorrectness metric)."""
+        self.require(a)
+        self.require(b)
+        return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+    def random_cells(self, rng, count: int) -> List[Cell]:
+        """``count`` cells drawn uniformly at random (with replacement)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [
+            (rng.randrange(self.rows), rng.randrange(self.cols))
+            for _ in range(count)
+        ]

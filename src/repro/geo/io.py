@@ -1,0 +1,60 @@
+"""Persisting coverage maps: build once, reuse across processes.
+
+The 129-channel, 100x100 maps take a couple of seconds each to synthesise;
+saving them as compressed ``.npz`` bundles lets separate benchmark /
+notebook processes share one build.  The format stores the RSS tensor, the
+per-channel thresholds and the grid geometry — everything a
+:class:`~repro.geo.coverage.CoverageMap` derives from.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.geo.coverage import ChannelCoverage, CoverageMap
+from repro.geo.grid import GridSpec
+
+__all__ = ["save_coverage_map", "load_coverage_map"]
+
+_FORMAT_VERSION = 1
+
+
+def save_coverage_map(
+    coverage_map: CoverageMap, path: Union[str, Path]
+) -> Path:
+    """Write a coverage map as a compressed ``.npz`` bundle."""
+    path = Path(path)
+    grid = coverage_map.grid
+    np.savez_compressed(
+        path,
+        version=np.array([_FORMAT_VERSION]),
+        rss=np.stack([c.rss_dbm for c in coverage_map.channels]),
+        thresholds=np.array([c.threshold_dbm for c in coverage_map.channels]),
+        grid=np.array([grid.rows, grid.cols, grid.cell_km]),
+    )
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_coverage_map(path: Union[str, Path]) -> CoverageMap:
+    """Read a bundle written by :func:`save_coverage_map`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported coverage bundle version {version}")
+        rss = data["rss"]
+        thresholds = data["thresholds"]
+        rows, cols, cell_km = data["grid"]
+    if rss.ndim != 3 or len(thresholds) != rss.shape[0]:
+        raise ValueError("malformed coverage bundle")
+    grid = GridSpec(rows=int(rows), cols=int(cols), cell_km=float(cell_km))
+    channels = [
+        ChannelCoverage(
+            channel=idx, rss_dbm=rss[idx], threshold_dbm=float(thresholds[idx])
+        )
+        for idx in range(rss.shape[0])
+    ]
+    return CoverageMap(grid=grid, channels=channels)

@@ -1,0 +1,81 @@
+"""Radio propagation: log-distance path loss with shadowing.
+
+The availability threshold and the per-cell quality statistic both derive
+from the received primary-user signal strength (RSS) on each cell, so this
+module is the physical layer of the whole reproduction.  We use the standard
+log-distance model
+
+    RSS(d) = P_tx - [L0 + 10 * n * log10(max(d, d0) / d0)] + X_shadow
+
+with reference loss ``L0`` at ``d0 = 1 km``, path-loss exponent ``n``
+(2 = free space, 3.5-4 = cluttered terrain) and a spatially-correlated
+shadowing term from :mod:`repro.geo.terrain`.  Parameters are calibrated so
+that a 55-75 dBm ERP transmitter covers a 10-50 km radius at the paper's
+-81 dBm practical threshold — the scale of real LA TV stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PropagationModel", "FCC_THRESHOLD_DBM", "PRACTICAL_THRESHOLD_DBM"]
+
+#: FCC unoccupied-channel criterion quoted by the paper.
+FCC_THRESHOLD_DBM = -114.0
+#: The practical threshold the paper actually uses (after Murty et al. [16]).
+PRACTICAL_THRESHOLD_DBM = -81.0
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """Log-distance path loss at a fixed carrier.
+
+    Attributes
+    ----------
+    reference_loss_db:
+        Path loss ``L0`` at the reference distance, in dB.
+    path_loss_exponent:
+        The exponent ``n``.
+    reference_km:
+        Reference distance ``d0`` (distances below it are clamped so the
+        model never produces +inf gain at a transmitter's own cell).
+    """
+
+    reference_loss_db: float = 100.0
+    path_loss_exponent: float = 3.5
+    reference_km: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reference_km <= 0:
+            raise ValueError("reference_km must be positive")
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+
+    def path_loss_db(self, distance_km: np.ndarray) -> np.ndarray:
+        """Deterministic path loss in dB at the given distances (km)."""
+        d = np.maximum(np.asarray(distance_km, dtype=float), self.reference_km)
+        return self.reference_loss_db + 10.0 * self.path_loss_exponent * np.log10(
+            d / self.reference_km
+        )
+
+    def received_dbm(
+        self,
+        tx_power_dbm: float,
+        distance_km: np.ndarray,
+        shadowing_db: np.ndarray = 0.0,
+    ) -> np.ndarray:
+        """Received signal strength in dBm (vectorised over distances)."""
+        return tx_power_dbm - self.path_loss_db(distance_km) + shadowing_db
+
+    def coverage_radius_km(
+        self, tx_power_dbm: float, threshold_dbm: float
+    ) -> float:
+        """Distance at which the median (no-shadowing) RSS crosses threshold."""
+        margin_db = tx_power_dbm - self.reference_loss_db - threshold_dbm
+        if margin_db <= 0:
+            return 0.0
+        return float(
+            self.reference_km * 10.0 ** (margin_db / (10.0 * self.path_loss_exponent))
+        )

@@ -1,0 +1,123 @@
+"""The (curious-but-honest) auctioneer endpoint.
+
+Everything this class touches is masked: location submissions become a
+conflict graph through pairwise membership tests, bid submissions become a
+:class:`~repro.lppa.psd.MaskedBidTable`, Algorithm 3 allocates channels, and
+winners' ciphertexts go to the TTP for charging.  The class never imports
+:class:`~repro.crypto.keys.KeyRing` — it simply has no key material.
+
+The honest-but-curious part: :meth:`channel_rankings` exposes the bid order
+the auctioneer can always reconstruct from the masked sets.  That view is
+what :mod:`repro.attacks.against_lppa` consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.auction.allocation import Assignment, greedy_allocate
+from repro.auction.conflict import ConflictGraph
+from repro.auction.outcome import AuctionOutcome, WinRecord
+from repro.lppa.location import build_private_conflict_graph
+from repro.lppa.messages import BidSubmission, LocationSubmission, MaskedBid
+from repro.lppa.psd import MaskedBidTable
+from repro.lppa.ttp import ChargeStatus, TrustedThirdParty
+
+__all__ = ["Auctioneer"]
+
+
+class Auctioneer:
+    """Runs one LPPA auction round over masked submissions."""
+
+    def __init__(self, n_channels: int) -> None:
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        self._n_channels = n_channels
+        self._conflict: Optional[ConflictGraph] = None
+        self._table: Optional[MaskedBidTable] = None
+        self._assignments: Optional[List[Assignment]] = None
+        self._charge_material: List[Tuple[int, MaskedBid]] = []
+
+    @property
+    def n_channels(self) -> int:
+        return self._n_channels
+
+    @property
+    def conflict_graph(self) -> ConflictGraph:
+        if self._conflict is None:
+            raise RuntimeError("location submissions not received yet")
+        return self._conflict
+
+    @property
+    def assignments(self) -> List[Assignment]:
+        if self._assignments is None:
+            raise RuntimeError("allocation has not been run yet")
+        return list(self._assignments)
+
+    def receive_locations(
+        self, submissions: Sequence[LocationSubmission]
+    ) -> ConflictGraph:
+        """PPBS location phase: masked membership tests -> conflict graph."""
+        self._conflict = build_private_conflict_graph(submissions)
+        return self._conflict
+
+    def receive_bids(self, submissions: Sequence[BidSubmission]) -> None:
+        """PPBS bid phase: stash the masked table."""
+        for sub in submissions:
+            if sub.n_channels != self._n_channels:
+                raise ValueError(
+                    f"submission covers {sub.n_channels} channels, expected "
+                    f"{self._n_channels}"
+                )
+        self._table = MaskedBidTable(submissions)
+
+    def channel_rankings(self) -> List[List[List[int]]]:
+        """The curious view: per-channel bid order (equivalence classes)."""
+        if self._table is None:
+            raise RuntimeError("bid submissions not received yet")
+        return self._table.rankings()
+
+    def run_allocation(self, rng: random.Random) -> List[Assignment]:
+        """PSD allocation: Algorithm 3 over the masked table."""
+        if self._table is None:
+            raise RuntimeError("bid submissions not received yet")
+        if self._conflict is None:
+            raise RuntimeError("location submissions not received yet")
+        # Keep the charge material before the allocator consumes the table.
+        assignments = greedy_allocate(self._table, self._conflict, rng)
+        self._assignments = assignments
+        self._charge_material = [
+            (a.channel, self._table.masked_bid(a.bidder, a.channel))
+            for a in assignments
+        ]
+        return list(assignments)
+
+    def charge_winners(self, ttp: TrustedThirdParty, n_users: int) -> AuctionOutcome:
+        """PSD charging: one batched TTP round, then assemble the outcome.
+
+        Invalid winners (disguised zeros) keep their allocation slot — their
+        neighbours were already blocked during allocation — but pay nothing
+        and do not count as satisfied, matching the paper's performance
+        accounting.  A CHEATING verdict raises: the honest-bidder assumption
+        of the model was violated.
+        """
+        if self._assignments is None:
+            raise RuntimeError("allocation has not been run yet")
+        decisions = ttp.process_batch(self._charge_material)
+        wins = []
+        for assignment, decision in zip(self._assignments, decisions):
+            if decision.status is ChargeStatus.CHEATING:
+                raise RuntimeError(
+                    f"TTP flagged bidder {assignment.bidder} on channel "
+                    f"{assignment.channel} as cheating"
+                )
+            wins.append(
+                WinRecord(
+                    bidder=assignment.bidder,
+                    channel=assignment.channel,
+                    charge=decision.charge,
+                    valid=decision.status is ChargeStatus.VALID,
+                )
+            )
+        return AuctionOutcome(n_users=n_users, wins=tuple(wins))

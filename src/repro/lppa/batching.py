@@ -1,0 +1,162 @@
+"""TTP batch scheduling (section V.C.2, "Reducing the Online Time of TTP").
+
+The TTP is only *periodically* available; the paper proposes queueing the
+results of several auctions and processing them in one online window, sized
+by "the real-time requirement of the system and the longest online time of
+TTP".  This module makes that trade concrete:
+
+* :class:`TtpSchedule` — the TTP's availability pattern: it comes online
+  every ``period`` time units and can process ``capacity`` charge requests
+  per window;
+* :class:`ChargeQueue` — the auctioneer-side queue; auctions deposit their
+  winner batches with a timestamp, windows drain them FIFO;
+* :func:`simulate_charging` — replays a sequence of auction rounds against
+  a schedule and reports per-request charging latency plus the TTP's duty
+  cycle (fraction of windows actually used) — the two quantities the
+  paper's sizing discussion balances.
+
+Time is unitless (think "minutes"); only ratios matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence, Tuple
+import collections
+
+__all__ = ["TtpSchedule", "ChargeQueue", "ChargingReport", "simulate_charging"]
+
+
+@dataclass(frozen=True)
+class TtpSchedule:
+    """When the TTP is online and how much one window can process."""
+
+    period: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    def windows_until(self, horizon: float):
+        """Window times 0, period, 2*period, ... up to and including horizon."""
+        t = 0.0
+        while t <= horizon:
+            yield t
+            t += self.period
+
+
+@dataclass
+class ChargeQueue:
+    """FIFO of (deposit time, request id) charge requests."""
+
+    _queue: Deque[Tuple[float, int]] = field(default_factory=collections.deque)
+    _next_id: int = 0
+
+    def deposit(self, time: float, count: int) -> List[int]:
+        """Enqueue ``count`` requests arriving at ``time``; returns their ids."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self._queue and time < self._queue[-1][0]:
+            raise ValueError("deposits must be time-ordered")
+        ids = []
+        for _ in range(count):
+            self._queue.append((time, self._next_id))
+            ids.append(self._next_id)
+            self._next_id += 1
+        return ids
+
+    def drain(self, time: float, capacity: int) -> List[Tuple[float, int]]:
+        """One TTP window: pop up to ``capacity`` requests deposited <= time."""
+        served = []
+        while self._queue and len(served) < capacity and self._queue[0][0] <= time:
+            served.append(self._queue.popleft())
+        return served
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass(frozen=True)
+class ChargingReport:
+    """What a charging campaign cost in latency and TTP effort."""
+
+    n_requests: int
+    served: int
+    mean_latency: float
+    max_latency: float
+    windows_used: int
+    windows_total: int
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of scheduled windows that actually processed work."""
+        return self.windows_used / self.windows_total if self.windows_total else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table emission."""
+        return {
+            "requests": self.n_requests,
+            "served": self.served,
+            "mean_latency": round(self.mean_latency, 2),
+            "max_latency": round(self.max_latency, 2),
+            "duty_cycle": round(self.duty_cycle, 3),
+        }
+
+
+def simulate_charging(
+    schedule: TtpSchedule,
+    round_times: Sequence[float],
+    winners_per_round: Sequence[int],
+    *,
+    horizon: float = None,
+) -> ChargingReport:
+    """Replay auction rounds against a TTP schedule.
+
+    ``round_times[i]`` is when round ``i``'s winner batch is deposited;
+    ``winners_per_round[i]`` its size.  The horizon defaults to the last
+    deposit plus enough windows to drain everything.
+    """
+    if len(round_times) != len(winners_per_round):
+        raise ValueError("round_times and winners_per_round must align")
+    if sorted(round_times) != list(round_times):
+        raise ValueError("round_times must be non-decreasing")
+
+    total = sum(winners_per_round)
+    if horizon is None:
+        # Enough windows to drain the backlog even in the worst packing.
+        last = round_times[-1] if round_times else 0.0
+        need = (total // schedule.capacity + 2) * schedule.period
+        horizon = last + need
+
+    queue = ChargeQueue()
+    deposits = list(zip(round_times, winners_per_round))
+    deposit_idx = 0
+    latencies: List[float] = []
+    windows_used = 0
+    windows_total = 0
+    for window_time in schedule.windows_until(horizon):
+        while deposit_idx < len(deposits) and deposits[deposit_idx][0] <= window_time:
+            time, count = deposits[deposit_idx]
+            queue.deposit(time, count)
+            deposit_idx += 1
+        served = queue.drain(window_time, schedule.capacity)
+        windows_total += 1
+        if served:
+            windows_used += 1
+            latencies.extend(window_time - deposited for deposited, _ in served)
+    # Deposits after the final window never get served within the horizon.
+    while deposit_idx < len(deposits):
+        queue.deposit(*deposits[deposit_idx])
+        deposit_idx += 1
+
+    return ChargingReport(
+        n_requests=total,
+        served=len(latencies),
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        max_latency=max(latencies) if latencies else 0.0,
+        windows_used=windows_used,
+        windows_total=windows_total,
+    )

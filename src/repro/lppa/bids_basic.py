@@ -1,0 +1,76 @@
+"""Basic Private Bid Submission protocol (section IV.B).
+
+The first, deliberately imperfect scheme: one shared HMAC key ``gb`` masks
+every bid's prefix family ``G(b)`` and tail cover ``Q([b, bmax])``.  The
+auctioneer finds the maximum bid of a channel by checking equation (3):
+``b_mx`` is maximal iff its family intersects every submitted tail range.
+
+Section IV.C.1 then demonstrates three leaks — cross-channel comparability,
+the frequency signature of zero bids, and range-prefix cardinality — that
+motivate the advanced scheme in :mod:`repro.lppa.bids_advanced`.  The basic
+scheme is kept as a runnable protocol both for the paper's Fig. 3 worked
+example and so the leak analyses can be demonstrated in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.crypto.keys import KeyRing
+from repro.crypto.speck import Speck64128, ctr_encrypt
+from repro.lppa.messages import BidSubmission, MaskedBid
+from repro.prefix.membership import mask_range, mask_value
+from repro.prefix.prefixes import bit_width_for
+
+__all__ = ["submit_bids_basic", "encrypt_bid_value", "decrypt_bid_value"]
+
+_BID_DOMAIN = b"lppa/bid"
+_PLAINTEXT_BYTES = 4
+
+
+def encrypt_bid_value(gc: bytes, value: int, rng: random.Random) -> bytes:
+    """(nonce || CTR ciphertext) of a bid value under the TTP key ``gc``."""
+    if value < 0 or value >= 1 << (8 * _PLAINTEXT_BYTES):
+        raise ValueError(f"bid value {value} outside the 32-bit wire format")
+    nonce = rng.getrandbits(32).to_bytes(4, "big")
+    cipher = Speck64128(gc)
+    return nonce + ctr_encrypt(cipher, nonce, value.to_bytes(_PLAINTEXT_BYTES, "big"))
+
+
+def decrypt_bid_value(gc: bytes, blob: bytes) -> int:
+    """Inverse of :func:`encrypt_bid_value` (TTP side)."""
+    if len(blob) != 4 + _PLAINTEXT_BYTES:
+        raise ValueError("malformed bid ciphertext")
+    nonce, ct = blob[:4], blob[4:]
+    cipher = Speck64128(gc)
+    return int.from_bytes(ctr_encrypt(cipher, nonce, ct), "big")
+
+
+def submit_bids_basic(
+    user_id: int,
+    bids: Sequence[int],
+    keyring: KeyRing,
+    bmax: int,
+    rng: random.Random,
+) -> BidSubmission:
+    """Bidder side of the basic scheme: mask each bid under the shared ``gb``.
+
+    No zero disguise, no offset, no expansion, no padding — the masked set
+    cardinalities and frequencies leak exactly as section IV.C.1 describes.
+    """
+    if bmax < 1:
+        raise ValueError("bmax must be >= 1")
+    width = bit_width_for(bmax)
+    channel_bids = []
+    for bid in bids:
+        if not 0 <= bid <= bmax:
+            raise ValueError(f"bid {bid} outside [0, {bmax}]")
+        channel_bids.append(
+            MaskedBid(
+                family=mask_value(keyring.gb, bid, width, domain=_BID_DOMAIN),
+                tail=mask_range(keyring.gb, bid, bmax, width, domain=_BID_DOMAIN),
+                ciphertext=encrypt_bid_value(keyring.gc, bid, rng),
+            )
+        )
+    return BidSubmission(user_id=user_id, channel_bids=tuple(channel_bids))

@@ -1,0 +1,166 @@
+"""Byte-level wire codec for the protocol messages.
+
+:mod:`repro.lppa.messages` carries masked sets as Python objects and knows
+their payload sizes; this module provides the actual serialization a
+deployment would put on the socket, so the communication-cost numbers rest
+on a format that demonstrably round-trips.
+
+Format (all integers big-endian):
+
+* masked set:  ``digest_bytes: u8 | count: u16 | count * digest_bytes``
+  (digests in lexicographic order — sets have no order, a canonical one
+  makes encoding deterministic);
+* location submission:  ``'L' | user_id: u32 | x_family | x_range |
+  y_family | y_range``;
+* bid submission:  ``'B' | user_id: u32 | n_channels: u16`` then per
+  channel ``family | tail | ct_len: u16 | ciphertext``.
+
+Framing overhead (tags, counts, lengths) is deliberately *excluded* from
+``wire_bytes()``/Theorem-4 accounting, which model payload only; use
+:func:`framing_overhead` when sizing real sockets.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.lppa.messages import BidSubmission, LocationSubmission, MaskedBid
+from repro.prefix.membership import MaskedSet
+
+__all__ = [
+    "encode_masked_set",
+    "decode_masked_set",
+    "encode_location",
+    "decode_location",
+    "encode_bids",
+    "decode_bids",
+    "framing_overhead",
+]
+
+_LOCATION_TAG = b"L"
+_BID_TAG = b"B"
+
+
+class CodecError(ValueError):
+    """Malformed wire data."""
+
+
+def encode_masked_set(masked: MaskedSet) -> bytes:
+    """Serialize one masked set (canonical digest order)."""
+    if len(masked) > 0xFFFF:
+        raise CodecError("masked set too large for the u16 count field")
+    parts = [struct.pack(">BH", masked.digest_bytes, len(masked))]
+    parts.extend(sorted(masked.digests))
+    return b"".join(parts)
+
+
+def decode_masked_set(data: bytes, offset: int = 0) -> Tuple[MaskedSet, int]:
+    """Decode one masked set; returns (set, next offset)."""
+    if len(data) < offset + 3:
+        raise CodecError("truncated masked-set header")
+    digest_bytes, count = struct.unpack_from(">BH", data, offset)
+    offset += 3
+    end = offset + digest_bytes * count
+    if len(data) < end:
+        raise CodecError("truncated masked-set body")
+    digests = frozenset(
+        data[offset + i * digest_bytes : offset + (i + 1) * digest_bytes]
+        for i in range(count)
+    )
+    if len(digests) != count:
+        raise CodecError("duplicate digests on the wire")
+    return MaskedSet(digests, digest_bytes=digest_bytes), end
+
+
+def encode_location(submission: LocationSubmission) -> bytes:
+    """Serialize a location submission."""
+    return b"".join(
+        [
+            _LOCATION_TAG,
+            struct.pack(">I", submission.user_id),
+            encode_masked_set(submission.x_family),
+            encode_masked_set(submission.x_range),
+            encode_masked_set(submission.y_family),
+            encode_masked_set(submission.y_range),
+        ]
+    )
+
+
+def decode_location(data: bytes) -> LocationSubmission:
+    """Parse a location submission; raises :class:`CodecError` on malformed bytes."""
+    if not data.startswith(_LOCATION_TAG):
+        raise CodecError("not a location submission")
+    if len(data) < 5:
+        raise CodecError("truncated location header")
+    (user_id,) = struct.unpack_from(">I", data, 1)
+    offset = 5
+    sets = []
+    for _ in range(4):
+        masked, offset = decode_masked_set(data, offset)
+        sets.append(masked)
+    if offset != len(data):
+        raise CodecError("trailing bytes after location submission")
+    return LocationSubmission(
+        user_id=user_id,
+        x_family=sets[0],
+        x_range=sets[1],
+        y_family=sets[2],
+        y_range=sets[3],
+    )
+
+
+def encode_bids(submission: BidSubmission) -> bytes:
+    """Serialize a bid submission."""
+    if submission.n_channels > 0xFFFF:
+        raise CodecError("too many channels for the u16 count field")
+    parts = [
+        _BID_TAG,
+        struct.pack(">IH", submission.user_id, submission.n_channels),
+    ]
+    for masked_bid in submission.channel_bids:
+        if len(masked_bid.ciphertext) > 0xFFFF:
+            raise CodecError("ciphertext too large for the u16 length field")
+        parts.append(encode_masked_set(masked_bid.family))
+        parts.append(encode_masked_set(masked_bid.tail))
+        parts.append(struct.pack(">H", len(masked_bid.ciphertext)))
+        parts.append(masked_bid.ciphertext)
+    return b"".join(parts)
+
+
+def decode_bids(data: bytes) -> BidSubmission:
+    """Parse a bid submission; raises :class:`CodecError` on malformed bytes."""
+    if not data.startswith(_BID_TAG):
+        raise CodecError("not a bid submission")
+    if len(data) < 7:
+        raise CodecError("truncated bid header")
+    user_id, n_channels = struct.unpack_from(">IH", data, 1)
+    offset = 7
+    channel_bids = []
+    for _ in range(n_channels):
+        family, offset = decode_masked_set(data, offset)
+        tail, offset = decode_masked_set(data, offset)
+        if len(data) < offset + 2:
+            raise CodecError("truncated ciphertext length")
+        (ct_len,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        if len(data) < offset + ct_len:
+            raise CodecError("truncated ciphertext")
+        ciphertext = data[offset : offset + ct_len]
+        offset += ct_len
+        channel_bids.append(
+            MaskedBid(family=family, tail=tail, ciphertext=ciphertext)
+        )
+    if offset != len(data):
+        raise CodecError("trailing bytes after bid submission")
+    return BidSubmission(user_id=user_id, channel_bids=tuple(channel_bids))
+
+
+def framing_overhead(message) -> int:
+    """Bytes the codec adds on top of ``wire_bytes()`` payload accounting."""
+    if isinstance(message, LocationSubmission):
+        return 1 + 4 * 3  # tag + four set headers (user id counted in payload)
+    if isinstance(message, BidSubmission):
+        # tag + channel count + per channel: two set headers + ct length.
+        return 1 + 2 + message.n_channels * (2 * 3 + 2)
+    raise TypeError(f"unsupported message type {type(message)!r}")

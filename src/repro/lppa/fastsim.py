@@ -1,0 +1,237 @@
+"""Fast numeric simulation of an LPPA round (for the large experiment sweeps).
+
+The HMAC masking is *order-preserving by design*: every decision the
+auctioneer makes — conflict edges, per-channel bid order, column maxima —
+equals what it would compute from the underlying integers.  The test suite
+proves this equivalence on the real crypto path (identical conflict graphs,
+identical rankings, identical allocations for a fixed RNG).  The evaluation
+sweeps of Figs. 4-5 need thousands of auction rounds, so they run this
+simulator, which executes *exactly the same value pipeline*
+(:func:`repro.lppa.bids_advanced.disguise_and_expand`) and the same
+Algorithm 3, skipping only the HMAC/encryption plumbing whose outputs are
+functionally determined by those values.
+
+Anything that measures the cryptography itself (communication cost,
+protocol latency, TTP verification) uses the full path in
+:mod:`repro.lppa.session` instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.auction.allocation import greedy_allocate, greedy_allocate_validated
+from repro.auction.pricing import greedy_allocate_priced, second_price_charge
+from repro.auction.bidders import SecondaryUser
+from repro.auction.conflict import ConflictGraph, build_conflict_graph
+from repro.auction.outcome import AuctionOutcome, WinRecord
+from repro.auction.table import BidTable
+from repro.lppa.bids_advanced import (
+    BidScale,
+    ChannelDisclosure,
+    SubmissionDisclosure,
+    disguise_and_expand,
+)
+from repro.lppa.policies import ZeroDisguisePolicy
+
+__all__ = ["IntegerMaskedTable", "FastLppaResult", "run_fast_lppa"]
+
+
+class IntegerMaskedTable(BidTable):
+    """What the masked table *is*, numerically: every cell holds a value.
+
+    Unlike :class:`~repro.auction.table.PlainBidTable`, zeros (spread or
+    disguised) are genuine entries — the auctioneer cannot tell them apart,
+    which is the entire point of the advanced scheme.
+    """
+
+    def __init__(self, values: Sequence[Sequence[int]]) -> None:
+        if not values:
+            raise ValueError("bid table needs at least one row")
+        widths = {len(row) for row in values}
+        if len(widths) != 1:
+            raise ValueError("all rows must cover the same channels")
+        self._n_channels = widths.pop()
+        if self._n_channels < 1:
+            raise ValueError("bid table needs at least one channel")
+        self._values = [list(map(int, row)) for row in values]
+        self._n_users = len(values)
+        self._live: List[Set[int]] = [
+            set(range(self._n_users)) for _ in range(self._n_channels)
+        ]
+
+    @property
+    def n_channels(self) -> int:
+        return self._n_channels
+
+    def has_entries(self) -> bool:
+        return any(self._live)
+
+    def channel_bidders(self, channel: int) -> Set[int]:
+        self._check_channel(channel)
+        return set(self._live[channel])
+
+    def max_bidders(self, channel: int) -> List[int]:
+        self._check_channel(channel)
+        live = self._live[channel]
+        if not live:
+            raise ValueError(f"channel {channel} has no remaining bids")
+        best = max(self._values[b][channel] for b in live)
+        return sorted(b for b in live if self._values[b][channel] == best)
+
+    def remove_row(self, bidder: int) -> None:
+        for live in self._live:
+            live.discard(bidder)
+
+    def remove_entry(self, bidder: int, channel: int) -> None:
+        self._check_channel(channel)
+        self._live[channel].discard(bidder)
+
+    def ranking(self, channel: int) -> List[List[int]]:
+        """Equivalence-class ranking, identical in shape to the masked table's."""
+        self._check_channel(channel)
+        by_value: Dict[int, List[int]] = {}
+        for bidder in range(self._n_users):
+            by_value.setdefault(self._values[bidder][channel], []).append(bidder)
+        return [by_value[v] for v in sorted(by_value, reverse=True)]
+
+    def rankings(self) -> List[List[List[int]]]:
+        """All channels' rankings (the attacker's full view)."""
+        return [self.ranking(ch) for ch in range(self._n_channels)]
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self._n_channels:
+            raise IndexError(f"channel {channel} outside 0..{self._n_channels - 1}")
+
+
+@dataclass(frozen=True)
+class FastLppaResult:
+    """Same shape as :class:`~repro.lppa.session.LppaResult`, minus wire sizes.
+
+    ``ttp_rejections`` counts invalid-winner notifications consumed during
+    allocation; it is zero unless the round ran with ``revalidate=True``.
+    """
+
+    outcome: AuctionOutcome
+    conflict_graph: ConflictGraph
+    rankings: List[List[List[int]]]
+    disclosures: Tuple[SubmissionDisclosure, ...]
+    ttp_rejections: int = 0
+
+
+def run_fast_lppa(
+    users: Sequence[SecondaryUser],
+    *,
+    two_lambda: int,
+    bmax: int,
+    rd: int = 4,
+    cr: int = 8,
+    policy: Union[ZeroDisguisePolicy, Sequence[ZeroDisguisePolicy], None] = None,
+    rng: Optional[random.Random] = None,
+    conflict: Optional[ConflictGraph] = None,
+    revalidate: bool = False,
+    pricing: str = "first",
+) -> FastLppaResult:
+    """One LPPA round at integer level: disguise/expand, allocate, charge.
+
+    The conflict graph is the plaintext one — provably equal to the private
+    protocol's output.  Charging follows the TTP's rules: a winner whose
+    *true* offset value lies in the zero band ``[0, rd]`` is invalid.
+
+    ``revalidate`` enables the section-V.B extension: the TTP's
+    invalid-winner notifications feed back into the allocation loop, which
+    retries the channel instead of wasting it (at the cost of
+    ``ttp_rejections`` extra TTP queries and the per-query information
+    leak the paper's batch mode avoids).
+
+    ``pricing`` selects the charging rule: ``"first"`` (the paper) or
+    ``"second"`` (the truthfulness extension of
+    :mod:`repro.auction.pricing`, incompatible with ``revalidate``).
+    """
+    if pricing not in ("first", "second"):
+        raise ValueError('pricing must be "first" or "second"')
+    if pricing == "second" and revalidate:
+        raise ValueError("second pricing and revalidation cannot be combined")
+    if not users:
+        raise ValueError("need at least one user")
+    n_channels = users[0].n_channels
+    if any(u.n_channels != n_channels for u in users):
+        raise ValueError("all users must bid over the same channel set")
+    if rng is None:
+        rng = random.Random()
+    scale = BidScale(bmax=bmax, rd=rd, cr=cr)
+
+    # §IV.C.3: "the zero-replace probabilities are selected independently
+    # by each user" — accept one shared policy or one per user.
+    if policy is None or isinstance(policy, ZeroDisguisePolicy):
+        per_user = [policy] * len(users)
+    else:
+        per_user = list(policy)
+        if len(per_user) != len(users):
+            raise ValueError("need exactly one policy per user")
+
+    disclosures = tuple(
+        SubmissionDisclosure(
+            user_id=idx,
+            channels=tuple(
+                disguise_and_expand(user.bids, scale, rng, policy=per_user[idx])
+            ),
+        )
+        for idx, user in enumerate(users)
+    )
+
+    if conflict is None:
+        conflict = build_conflict_graph([u.cell for u in users], two_lambda)
+
+    table = IntegerMaskedTable(
+        [[c.masked_expanded for c in d.channels] for d in disclosures]
+    )
+    rankings = table.rankings()
+    rejections = 0
+
+    def true_bid(bidder: int, channel: int) -> int:
+        return disclosures[bidder].channels[channel].true_bid
+
+    wins = []
+    if pricing == "second":
+        sales = greedy_allocate_priced(table, conflict, rng)
+        for sale in sales:
+            valid = true_bid(sale.bidder, sale.channel) > 0
+            charge = second_price_charge(sale, true_bid) if valid else 0
+            wins.append(
+                WinRecord(
+                    bidder=sale.bidder,
+                    channel=sale.channel,
+                    charge=charge,
+                    valid=valid,
+                )
+            )
+    else:
+        if revalidate:
+            assignments, rejections = greedy_allocate_validated(
+                table,
+                conflict,
+                rng,
+                lambda bidder, channel: true_bid(bidder, channel) > 0,
+            )
+        else:
+            assignments = greedy_allocate(table, conflict, rng)
+        for a in assignments:
+            valid = true_bid(a.bidder, a.channel) > 0
+            wins.append(
+                WinRecord(
+                    bidder=a.bidder,
+                    channel=a.channel,
+                    charge=true_bid(a.bidder, a.channel) if valid else 0,
+                    valid=valid,
+                )
+            )
+    return FastLppaResult(
+        outcome=AuctionOutcome(n_users=len(users), wins=tuple(wins)),
+        conflict_graph=conflict,
+        rankings=rankings,
+        disclosures=disclosures,
+        ttp_rejections=rejections,
+    )

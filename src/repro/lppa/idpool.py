@@ -1,0 +1,50 @@
+"""Per-round pseudonym mixing (section V.C.3).
+
+A user participating in several auctions under one identity lets the
+auctioneer accumulate constraints across rounds (and winning repeatedly
+hands the attacker high-confidence BCM input).  The paper's remedy is to
+"mix the buyers' IDs once the auction finished or use different ID pools in
+each auction".  :class:`IdPool` implements exactly that: a fresh random
+bijection between true user indices and wire pseudonyms per round, known to
+the users (each knows its own pseudonym) but opaque to the auctioneer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["IdPool"]
+
+
+@dataclass(frozen=True)
+class IdPool:
+    """One round's pseudonym assignment."""
+
+    pseudonyms: Tuple[int, ...]  # pseudonyms[user] -> wire id
+
+    def __post_init__(self) -> None:
+        if len(set(self.pseudonyms)) != len(self.pseudonyms):
+            raise ValueError("pseudonyms must be unique")
+
+    @classmethod
+    def fresh(cls, n_users: int, rng: random.Random, *, id_space: int = 1 << 20) -> "IdPool":
+        """Draw ``n_users`` distinct pseudonyms from ``[0, id_space)``."""
+        if n_users < 1:
+            raise ValueError("need at least one user")
+        if id_space < n_users:
+            raise ValueError("id space smaller than the user population")
+        return cls(pseudonyms=tuple(rng.sample(range(id_space), n_users)))
+
+    @property
+    def n_users(self) -> int:
+        return len(self.pseudonyms)
+
+    def wire_id(self, user: int) -> int:
+        """The pseudonym user ``user`` submits under this round."""
+        return self.pseudonyms[user]
+
+    def reverse_map(self) -> Dict[int, int]:
+        """wire id -> true user index (held by users/TTP, not the auctioneer)."""
+        return {wire: user for user, wire in enumerate(self.pseudonyms)}

@@ -1,0 +1,94 @@
+"""Private Location Submission protocol (section IV.A).
+
+Each SU masks its coordinates and interference ranges; the auctioneer tests,
+for every pair (i, j),
+
+    H_g0(G(loc_x^i)) ∩ H_g0(Q([loc_x^j - d, loc_x^j + d])) != ∅
+    H_g0(G(loc_y^i)) ∩ H_g0(Q([loc_y^j - d, loc_y^j + d])) != ∅
+
+and declares a conflict when both hold.  Since ``x_i ∈ [x_j - d, x_j + d]``
+iff ``|x_i - x_j| <= d``, one direction of the test suffices and the result
+is exactly the plaintext conflict graph — which the tests assert.
+
+The paper's conflict predicate is the *strict* ``|Δ| < 2λ`` on integer
+coordinates, so the submitted range uses half-width ``d = 2λ - 1``.
+Coordinates are cell indices (non-negative integers, as the paper assumes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.auction.conflict import ConflictGraph
+from repro.geo.grid import Cell, GridSpec
+from repro.lppa.messages import LocationSubmission
+from repro.prefix.membership import MaskedSet, is_member, mask_range, mask_value
+from repro.prefix.prefixes import bit_width_for
+
+__all__ = [
+    "coordinate_width",
+    "submit_location",
+    "build_private_conflict_graph",
+]
+
+_X_DOMAIN = b"lppa/loc/x"
+_Y_DOMAIN = b"lppa/loc/y"
+
+
+def coordinate_width(grid: GridSpec, two_lambda: int) -> int:
+    """Bit width covering every coordinate plus the range overhang.
+
+    Ranges extend up to ``2λ - 1`` beyond the largest coordinate; using a
+    width that accommodates the overhang lets us skip clamping on the high
+    side (clamping is still applied at 0 on the low side).
+    """
+    if two_lambda < 1:
+        raise ValueError("two_lambda must be >= 1")
+    return bit_width_for(max(grid.rows, grid.cols) - 1 + (two_lambda - 1))
+
+
+def submit_location(
+    user_id: int,
+    cell: Cell,
+    g0: bytes,
+    grid: GridSpec,
+    two_lambda: int,
+) -> LocationSubmission:
+    """Bidder side: mask own coordinates and interference ranges."""
+    grid.require(cell)
+    width = coordinate_width(grid, two_lambda)
+    d = two_lambda - 1
+    m, n = cell
+    return LocationSubmission(
+        user_id=user_id,
+        x_family=mask_value(g0, m, width, domain=_X_DOMAIN),
+        x_range=mask_range(g0, max(0, m - d), m + d, width, domain=_X_DOMAIN),
+        y_family=mask_value(g0, n, width, domain=_Y_DOMAIN),
+        y_range=mask_range(g0, max(0, n - d), n + d, width, domain=_Y_DOMAIN),
+    )
+
+
+def build_private_conflict_graph(
+    submissions: Sequence[LocationSubmission],
+) -> ConflictGraph:
+    """Auctioneer side: pairwise masked membership tests -> conflict graph.
+
+    ``submissions[i].user_id`` must equal ``i`` (the session layer enforces
+    the dense numbering; pseudonymised ids are mapped before this point).
+    """
+    for idx, sub in enumerate(submissions):
+        if sub.user_id != idx:
+            raise ValueError(
+                f"submissions must be dense: slot {idx} holds user {sub.user_id}"
+            )
+    edges = set()
+    n = len(submissions)
+    for i in range(n):
+        si = submissions[i]
+        for j in range(i + 1, n):
+            sj = submissions[j]
+            if is_member(si.x_family, sj.x_range) and is_member(
+                si.y_family, sj.y_range
+            ):
+                edges.add((i, j))
+    return ConflictGraph(n_users=n, edges=frozenset(edges))

@@ -1,0 +1,125 @@
+"""Zero-disguise policies (section IV.C.2-3).
+
+When a bid is zero the advanced scheme may *pretend* it is some positive
+number ``t``: the masked prefix sets are computed for ``t`` while the TTP
+ciphertext keeps the truth.  Each user selects the substitution law
+independently, trading privacy (more disguises, more forged availability
+confusing BCM) against auction performance (a disguised zero can win and
+waste a channel).  The paper requires ``p_1 >= p_2 >= ... >= p_b(max)`` —
+larger pretend-values must be rarer.
+
+Policies are expressed over the user's own bid scale ``b(max)`` (the user's
+maximum bid), as in the paper's step (i).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List
+
+__all__ = [
+    "ZeroDisguisePolicy",
+    "KeepZeroPolicy",
+    "LinearDecreasingPolicy",
+    "UniformReplacePolicy",
+    "UniformDisguisePolicy",
+]
+
+
+class ZeroDisguisePolicy(abc.ABC):
+    """Chooses what a zero bid pretends to be."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, user_bmax: int) -> int:
+        """Return the pretend value ``t``.
+
+        ``0`` means "stay zero" (the value is then spread over ``[0, rd]``
+        by the submission layer); ``t >= 1`` means "pretend the bid is t".
+        ``user_bmax`` is the user's largest true bid ``b(max)``; when it is
+        zero there is nothing plausible to pretend and the policy must
+        return 0.
+        """
+
+    @abc.abstractmethod
+    def replace_probability(self, user_bmax: int) -> float:
+        """``1 - p_0``: probability that a zero is disguised at all."""
+
+
+class KeepZeroPolicy(ZeroDisguisePolicy):
+    """Never disguise (``p_0 = 1``); zeros are only spread over [0, rd]."""
+
+    def sample(self, rng: random.Random, user_bmax: int) -> int:
+        return 0
+
+    def replace_probability(self, user_bmax: int) -> float:
+        return 0.0
+
+
+class LinearDecreasingPolicy(ZeroDisguisePolicy):
+    """Disguise with probability ``1 - p0``; pretend values weighted linearly.
+
+    Conditional on disguising, ``t`` is drawn from ``1..b(max)`` with weight
+    proportional to ``b(max) - t + 1`` — the paper's monotone requirement
+    ``p_1 >= ... >= p_b(max)`` with a simple concrete law.
+    """
+
+    def __init__(self, replace_probability: float) -> None:
+        if not 0.0 <= replace_probability <= 1.0:
+            raise ValueError("replace_probability must lie in [0, 1]")
+        self._p_replace = replace_probability
+
+    def sample(self, rng: random.Random, user_bmax: int) -> int:
+        if user_bmax < 1 or rng.random() >= self._p_replace:
+            return 0
+        # Inverse-CDF draw over weights b(max), b(max)-1, ..., 1 for t=1..b(max).
+        total = user_bmax * (user_bmax + 1) // 2
+        target = rng.random() * total
+        acc = 0.0
+        for t in range(1, user_bmax + 1):
+            acc += user_bmax - t + 1
+            if target < acc:
+                return t
+        return user_bmax
+
+    def replace_probability(self, user_bmax: int) -> float:
+        return self._p_replace if user_bmax >= 1 else 0.0
+
+
+class UniformReplacePolicy(ZeroDisguisePolicy):
+    """Disguise with probability ``1 - p0``; pretend value uniform on 1..b(max).
+
+    The boundary case of the paper's monotonicity requirement
+    (``p_1 = ... = p_b(max)``): conditional on disguising at all, every
+    positive pretend value is equally likely.  This is the policy used by
+    the Fig. 5 sweeps — the flat conditional law gives the forged bids
+    enough mass at high values to actually win channels, which is what
+    produces the paper's performance-degradation curve.
+    """
+
+    def __init__(self, replace_probability: float) -> None:
+        if not 0.0 <= replace_probability <= 1.0:
+            raise ValueError("replace_probability must lie in [0, 1]")
+        self._p_replace = replace_probability
+
+    def sample(self, rng: random.Random, user_bmax: int) -> int:
+        if user_bmax < 1 or rng.random() >= self._p_replace:
+            return 0
+        return rng.randint(1, user_bmax)
+
+    def replace_probability(self, user_bmax: int) -> float:
+        return self._p_replace if user_bmax >= 1 else 0.0
+
+
+class UniformDisguisePolicy(ZeroDisguisePolicy):
+    """Theorem 3's best-privacy case: ``p_0 = ... = p_b(max) = 1/(1+b(max))``."""
+
+    def sample(self, rng: random.Random, user_bmax: int) -> int:
+        if user_bmax < 1:
+            return 0
+        return rng.randint(0, user_bmax)
+
+    def replace_probability(self, user_bmax: int) -> float:
+        if user_bmax < 1:
+            return 0.0
+        return user_bmax / (user_bmax + 1)

@@ -1,0 +1,118 @@
+"""The Trusted Third Party (sections IV, V.B, V.C.2).
+
+The TTP's three jobs:
+
+1. **Key distribution** — generate ``g0``, ``gb_1..gb_k``, ``gc``, ``rd``
+   and ``cr`` and share them with the bidders (:meth:`TrustedThirdParty.setup`).
+2. **Winner charging** — decrypt a winning bid's ``gc`` ciphertext, undo the
+   ``cr`` expansion, and either return the charge or report an *invalid
+   winner* when the plaintext lands in the zero band ``[0, rd]`` (a
+   disguised or genuine zero won the channel).
+3. **Cheating detection** — for valid winners, recompute the masked prefix
+   family from the decrypted value and compare with what the bidder
+   submitted; a mismatch means the bidder sealed one price to the
+   auctioneer and another to the TTP.
+
+Charging is *batched* (section V.C.2): the auctioneer queues the whole
+winner list (possibly from several auctions) and the periodically-online
+TTP processes it in one go.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.keys import KeyRing, generate_keyring
+from repro.lppa.bids_advanced import BidScale
+from repro.lppa.bids_basic import decrypt_bid_value
+from repro.lppa.messages import MaskedBid
+from repro.prefix.membership import mask_value
+
+__all__ = ["ChargeStatus", "ChargeDecision", "TrustedThirdParty"]
+
+_BID_DOMAIN = b"lppa/bid/adv"
+
+
+class ChargeStatus(enum.Enum):
+    """Outcome of one charge verification."""
+
+    VALID = "valid"
+    INVALID_ZERO = "invalid-zero"
+    CHEATING = "cheating"
+
+
+@dataclass(frozen=True)
+class ChargeDecision:
+    """The TTP's verdict for one winning bid."""
+
+    status: ChargeStatus
+    charge: int  # original bid price; 0 unless VALID
+
+    def __post_init__(self) -> None:
+        if self.status is ChargeStatus.VALID and self.charge <= 0:
+            raise ValueError("a VALID decision must carry a positive charge")
+        if self.status is not ChargeStatus.VALID and self.charge != 0:
+            raise ValueError("non-VALID decisions carry no charge")
+
+
+class TrustedThirdParty:
+    """Holds the key ring; performs charging and verification."""
+
+    def __init__(self, keyring: KeyRing, scale: BidScale) -> None:
+        if keyring.rd != scale.rd or keyring.cr != scale.cr:
+            raise ValueError("key ring and bid scale disagree on rd/cr")
+        self._keyring = keyring
+        self._scale = scale
+
+    @classmethod
+    def setup(
+        cls,
+        seed: bytes,
+        n_channels: int,
+        *,
+        bmax: int,
+        rd: int = 4,
+        cr: int = 8,
+    ) -> Tuple["TrustedThirdParty", KeyRing, BidScale]:
+        """Generate keys and protocol parameters for one auction system.
+
+        Returns (ttp, keyring, scale); the key ring goes to the bidders,
+        the scale is public, the TTP keeps both.
+        """
+        keyring = generate_keyring(seed, n_channels, rd=rd, cr=cr)
+        scale = BidScale(bmax=bmax, rd=rd, cr=cr)
+        return cls(keyring, scale), keyring, scale
+
+    @property
+    def scale(self) -> BidScale:
+        return self._scale
+
+    def process_charge(self, channel: int, masked_bid: MaskedBid) -> ChargeDecision:
+        """Decrypt, de-expand, classify and (for valid bids) verify one winner."""
+        expanded = decrypt_bid_value(self._keyring.gc, masked_bid.ciphertext)
+        if expanded > self._scale.emax:
+            return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)
+        offset_value = self._scale.contract(expanded)
+        if self._scale.is_zero_marker(offset_value):
+            return ChargeDecision(status=ChargeStatus.INVALID_ZERO, charge=0)
+
+        # Verify the bidder masked the same value it sealed for us.
+        expected_family = mask_value(
+            self._keyring.channel_key(channel),
+            expanded,
+            self._scale.width,
+            domain=_BID_DOMAIN,
+        )
+        if expected_family.digests != masked_bid.family.digests:
+            return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)
+        return ChargeDecision(
+            status=ChargeStatus.VALID, charge=offset_value - self._scale.rd
+        )
+
+    def process_batch(
+        self, requests: Sequence[Tuple[int, MaskedBid]]
+    ) -> List[ChargeDecision]:
+        """Batched charging: one TTP online period serves many winners."""
+        return [self.process_charge(ch, mb) for ch, mb in requests]

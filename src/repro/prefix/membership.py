@@ -1,0 +1,176 @@
+"""HMAC-masked prefix sets and membership verification (sections II.B, IV).
+
+The protocol's only on-the-wire objects are *masked sets*: the HMAC digests
+of numericalized prefixes.  Whoever holds two masked sets can test whether
+they share an element — and therefore whether a hidden value lies in a hidden
+range — but learns nothing else about either.
+
+This module provides:
+
+* :class:`MaskedSet` — an immutable set of digests with intersection tests;
+* :func:`mask_value` — mask the prefix family ``G(x)`` of a value;
+* :func:`mask_range` — mask the cover ``Q([a, b])`` of a range, optionally
+  padded with random filler digests to a fixed cardinality (the advanced
+  scheme pads to ``2w - 2`` so set sizes stop leaking range widths);
+* :func:`is_member` — the core check ``H(G(x)) ∩ H(Q([a,b])) ≠ ∅``;
+* :func:`find_maxima` — the auctioneer's masked max-bid search.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.crypto.backend import hmac_digest
+from repro.prefix.numericalize import numericalize, numericalized_to_bytes
+from repro.prefix.prefixes import Prefix, prefix_family
+from repro.prefix.ranges import max_cover_size, range_cover
+
+__all__ = [
+    "DEFAULT_DIGEST_BYTES",
+    "MaskedSet",
+    "mask_prefixes",
+    "mask_value",
+    "mask_range",
+    "is_member",
+    "find_maxima",
+]
+
+DEFAULT_DIGEST_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MaskedSet:
+    """An unordered set of equal-length HMAC digests.
+
+    ``digests`` is a frozenset so equality/intersection semantics are the
+    set-theoretic ones the protocol needs; ``digest_bytes`` is carried along
+    purely for wire-size accounting (Theorem 4).
+    """
+
+    digests: FrozenSet[bytes]
+    digest_bytes: int = DEFAULT_DIGEST_BYTES
+
+    def __post_init__(self) -> None:
+        if self.digest_bytes < 4:
+            raise ValueError("digest truncation below 4 bytes is unsafe")
+        for d in self.digests:
+            if len(d) != self.digest_bytes:
+                raise ValueError(
+                    "all digests in a MaskedSet must have digest_bytes length"
+                )
+
+    def __len__(self) -> int:
+        return len(self.digests)
+
+    def intersects(self, other: "MaskedSet") -> bool:
+        """True when the two masked sets share at least one digest."""
+        small, large = sorted((self.digests, other.digests), key=len)
+        return any(d in large for d in small)
+
+    def wire_bytes(self) -> int:
+        """Serialized size in bytes (cardinality x digest length)."""
+        return len(self.digests) * self.digest_bytes
+
+
+def _mask_one(
+    key: bytes, prefix: Prefix, domain: bytes, digest_bytes: int
+) -> bytes:
+    message = domain + numericalized_to_bytes(numericalize(prefix), prefix.width)
+    return hmac_digest(key, message)[:digest_bytes]
+
+
+def mask_prefixes(
+    key: bytes,
+    prefixes: Sequence[Prefix],
+    *,
+    domain: bytes = b"",
+    digest_bytes: int = DEFAULT_DIGEST_BYTES,
+) -> MaskedSet:
+    """HMAC-mask an explicit prefix collection.
+
+    ``domain`` is a context label prepended to every HMAC input.  The paper
+    keys x- and y-coordinates identically; we add domain separation as a
+    conservative hardening — it never changes protocol results because a
+    family and the ranges it is tested against always share a domain.
+    """
+    return MaskedSet(
+        frozenset(_mask_one(key, p, domain, digest_bytes) for p in prefixes),
+        digest_bytes=digest_bytes,
+    )
+
+
+def mask_value(
+    key: bytes,
+    x: int,
+    width: int,
+    *,
+    domain: bytes = b"",
+    digest_bytes: int = DEFAULT_DIGEST_BYTES,
+) -> MaskedSet:
+    """Mask the prefix family ``G(x)`` — always ``width + 1`` digests."""
+    return mask_prefixes(
+        key, prefix_family(x, width), domain=domain, digest_bytes=digest_bytes
+    )
+
+
+def mask_range(
+    key: bytes,
+    low: int,
+    high: int,
+    width: int,
+    *,
+    domain: bytes = b"",
+    digest_bytes: int = DEFAULT_DIGEST_BYTES,
+    pad_to: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> MaskedSet:
+    """Mask the range cover ``Q([low, high])``.
+
+    With ``pad_to`` set (the advanced scheme uses ``2w - 2``), random filler
+    digests are appended so the set's cardinality stops revealing how wide
+    the range is.  Fillers are drawn from the full digest space, so the
+    probability that one collides with a genuine masked prefix — which would
+    flip a membership test — is about ``2**-(8*digest_bytes - 6)`` per set
+    and is ignored, exactly as the paper does.
+    """
+    cover = range_cover(low, high, width)
+    digests = {_mask_one(key, p, domain, digest_bytes) for p in cover}
+    if pad_to is not None:
+        ceiling = max(pad_to, max_cover_size(width))
+        if rng is None:
+            rng = random.Random()
+        while len(digests) < ceiling:
+            digests.add(rng.getrandbits(8 * digest_bytes).to_bytes(digest_bytes, "big"))
+    return MaskedSet(frozenset(digests), digest_bytes=digest_bytes)
+
+
+def is_member(masked_family: MaskedSet, masked_range: MaskedSet) -> bool:
+    """The prefix membership check: ``x in [a, b]`` on masked data.
+
+    Correct whenever both sets were produced under the same key and domain:
+    ``H(G(x))`` intersects ``H(Q([a, b]))`` iff ``x`` lies in ``[a, b]``
+    (up to the negligible filler-collision probability noted above).
+    """
+    return masked_family.intersects(masked_range)
+
+
+def find_maxima(
+    families: Sequence[MaskedSet], tail_ranges: Sequence[MaskedSet]
+) -> List[int]:
+    """Indices of maximal bids, given masked families and ``[b_a, bmax]`` covers.
+
+    Bid ``i`` is maximal iff its family intersects *every* submitted tail
+    range (equation (3) of the paper): ``G(b_i) ∩ Q([b_a, bmax]) ≠ ∅`` means
+    ``b_i >= b_a``.  Ties are genuine — equal bids are indistinguishable
+    under the masking — so all maximal indices are returned and the caller
+    breaks ties (the allocation algorithm picks uniformly at random).
+    """
+    if len(families) != len(tail_ranges):
+        raise ValueError("families and tail_ranges must align")
+    return [
+        i
+        for i, family in enumerate(families)
+        if all(family.intersects(rng_set) for rng_set in tail_ranges)
+    ]

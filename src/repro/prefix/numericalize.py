@@ -1,0 +1,45 @@
+"""Prefix numericalization ``O(.)`` (section II.B).
+
+HMAC consumes byte strings, not wildcard patterns, so every prefix is first
+converted to a unique ``(w + 1)``-bit number: the fixed bits, then a
+separator ``1``, then zeros for the wildcards.  E.g. ``O(110*) = 11010``.
+The mapping is injective over prefixes of a common width, which is exactly
+what the equality-only comparison of HMAC outputs requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.prefix.prefixes import Prefix
+
+__all__ = ["numericalize", "numericalize_set", "numericalized_to_bytes"]
+
+
+def numericalize(prefix: Prefix) -> int:
+    """Map a prefix to its unique ``(width + 1)``-bit number.
+
+    ``t1 ... ts * ... *`` becomes ``t1 ... ts 1 0 ... 0``.
+
+    >>> from repro.prefix.prefixes import Prefix
+    >>> bin(numericalize(Prefix(0b110, 3, 4)))
+    '0b11010'
+    """
+    wildcards = prefix.width - prefix.length
+    return (prefix.value << (wildcards + 1)) | (1 << wildcards)
+
+
+def numericalize_set(prefixes: Iterable[Prefix]) -> List[int]:
+    """Numericalize every prefix, preserving order."""
+    return [numericalize(p) for p in prefixes]
+
+
+def numericalized_to_bytes(value: int, width: int) -> bytes:
+    """Fixed-size big-endian encoding of a numericalized prefix.
+
+    All numericalized prefixes of ``width``-bit numbers fit in ``width + 1``
+    bits; a fixed-length encoding keeps the HMAC input unambiguous across
+    prefixes (no length extension games between e.g. ``0b110`` and ``0b0110``).
+    """
+    n_bytes = (width + 1 + 7) // 8
+    return value.to_bytes(n_bytes, "big")

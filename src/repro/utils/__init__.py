@@ -1,0 +1,13 @@
+"""Small shared utilities: deterministic RNG streams and validation helpers."""
+
+from repro.utils.rng import numpy_rng, spawn_rng, stable_seed
+from repro.utils.stats import Summary, bootstrap_ci, summarize
+
+__all__ = [
+    "numpy_rng",
+    "spawn_rng",
+    "stable_seed",
+    "Summary",
+    "bootstrap_ci",
+    "summarize",
+]

@@ -1,0 +1,65 @@
+"""Small statistics helpers for the experiment harnesses.
+
+Monte-Carlo experiment rows deserve error bars; this module provides the
+mean / sample standard deviation / percentile-bootstrap confidence interval
+trio without pulling in scipy for the core library.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["Summary", "summarize", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and count of one sample."""
+
+    n: int
+    mean: float
+    std: float
+
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n > 0 else float("nan")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean and sample (n-1) standard deviation."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, std=0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Summary(n=n, mean=mean, std=math.sqrt(variance))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    rng: random.Random,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI for the mean."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    n = len(values)
+    means = sorted(
+        sum(values[rng.randrange(n)] for _ in range(n)) / n
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_idx = int(alpha * resamples)
+    high_idx = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return means[low_idx], means[high_idx]

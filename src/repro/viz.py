@@ -1,0 +1,93 @@
+"""Text and image rendering of maps, candidate regions and results.
+
+Dependency-free visual output: ASCII panels for terminals (the examples use
+these) and binary PGM (portable graymap) export for anything that wants an
+actual image of an RSS field, quality surface or attack posterior.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.geo.coverage import CoverageMap
+from repro.geo.grid import Cell
+
+__all__ = ["render_mask", "render_coverage", "save_pgm"]
+
+
+def render_mask(
+    mask: np.ndarray,
+    true_cell: Optional[Cell] = None,
+    *,
+    step: int = 1,
+    hit_char: str = "*",
+    miss_char: str = ".",
+    marker_char: str = "X",
+) -> str:
+    """ASCII view of a boolean cell mask, optionally marking the true cell.
+
+    ``step`` downsamples: each output character covers a ``step x step``
+    block and shows ``hit_char`` if any cell in the block is set.
+    """
+    if mask.ndim != 2 or mask.dtype != bool:
+        raise ValueError("mask must be a 2-D boolean array")
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    rows = []
+    for m in range(0, mask.shape[0], step):
+        row = []
+        for n in range(0, mask.shape[1], step):
+            char = hit_char if mask[m:m + step, n:n + step].any() else miss_char
+            if true_cell is not None and (
+                m <= true_cell[0] < m + step and n <= true_cell[1] < n + step
+            ):
+                char = marker_char
+            row.append(char)
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_coverage(
+    coverage_map: CoverageMap, channel: int, *, step: int = 1
+) -> str:
+    """ASCII view of one channel's protected coverage ('#') vs white space."""
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    return render_mask(
+        coverage_map.channels[channel].covered,
+        step=step,
+        hit_char="#",
+        miss_char=".",
+    )
+
+
+def save_pgm(
+    field: np.ndarray,
+    path: Union[str, Path],
+    *,
+    invert: bool = False,
+) -> Path:
+    """Write a 2-D numeric field as an 8-bit binary PGM image.
+
+    Values are min-max normalised to 0..255 (a constant field renders mid
+    grey).  Boolean arrays work too — True maps to white (or black with
+    ``invert``).
+    """
+    if field.ndim != 2:
+        raise ValueError("field must be a 2-D array")
+    data = np.asarray(field, dtype=float)
+    low, high = float(data.min()), float(data.max())
+    if high > low:
+        scaled = (data - low) / (high - low)
+    else:
+        scaled = np.full_like(data, 0.5)
+    if invert:
+        scaled = 1.0 - scaled
+    pixels = (scaled * 255).round().astype(np.uint8)
+    path = Path(path)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    path.write_bytes(header + pixels.tobytes())
+    return path

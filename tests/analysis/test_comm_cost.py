@@ -1,0 +1,59 @@
+"""Communication-cost accounting against Theorem 4."""
+
+import random
+
+import pytest
+
+from repro.analysis.comm_cost import measure_bid_cost, measure_location_cost
+from repro.crypto.keys import generate_keyring
+from repro.geo.grid import GridSpec
+from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+from repro.lppa.location import submit_location
+
+
+@pytest.fixture(scope="module")
+def submissions():
+    keyring = generate_keyring(b"comm-test", 4, rd=4, cr=8)
+    scale = BidScale(bmax=30, rd=4, cr=8)
+    rng = random.Random(0)
+    subs = [
+        submit_bids_advanced(i, [5, 0, 17, 30], keyring, scale, rng)[0]
+        for i in range(6)
+    ]
+    return subs, scale
+
+
+def test_theorem4_prediction_is_exact(submissions):
+    """The advanced scheme's prefix material is sized exactly by Theorem 4."""
+    subs, scale = submissions
+    report = measure_bid_cost(subs, scale)
+    assert report.measured_masked_bits == report.predicted_bits
+    assert report.prediction_error == 0.0
+
+
+def test_total_exceeds_masked(submissions):
+    subs, scale = submissions
+    report = measure_bid_cost(subs, scale)
+    assert report.measured_total_bits > report.measured_masked_bits
+
+
+def test_as_row(submissions):
+    subs, scale = submissions
+    row = measure_bid_cost(subs, scale).as_row()
+    assert row["N"] == 6 and row["k"] == 4
+    assert row["error"] == 0.0
+
+
+def test_empty_submissions_rejected():
+    with pytest.raises(ValueError):
+        measure_bid_cost([], BidScale(bmax=30, rd=4, cr=8))
+
+
+def test_location_cost():
+    grid = GridSpec(rows=32, cols=32, cell_km=1.0)
+    subs = [
+        submit_location(i, (i, i), b"g0-key", grid, 4) for i in range(5)
+    ]
+    total = measure_location_cost(subs)
+    assert total == sum(s.wire_bytes() for s in subs)
+    assert total > 0

@@ -1,0 +1,119 @@
+"""Section IV.C.1's leaks: present in the basic scheme, closed by the advanced."""
+
+import random
+
+import pytest
+
+from repro.analysis.security import (
+    cardinality_rank_correlation,
+    cross_channel_linkability,
+    frequency_zero_guess,
+    tail_cardinalities,
+)
+from repro.crypto.keys import generate_keyring
+from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+from repro.lppa.bids_basic import submit_bids_basic
+
+KEYRING = generate_keyring(b"security-test", 3, rd=4, cr=8)
+SCALE = BidScale(bmax=30, rd=4, cr=8)
+BMAX = 30
+
+# A population where zeros dominate, as in any real spectrum auction.
+BID_ROWS = [
+    [0, 12, 0],
+    [0, 0, 25],
+    [7, 0, 0],
+    [0, 19, 0],
+    [0, 0, 0],
+    [15, 0, 9],
+]
+
+
+@pytest.fixture(scope="module")
+def basic_submissions():
+    rng = random.Random(0)
+    return [
+        submit_bids_basic(uid, row, KEYRING, BMAX, rng)
+        for uid, row in enumerate(BID_ROWS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def advanced_submissions():
+    rng = random.Random(1)
+    return [
+        submit_bids_advanced(uid, row, KEYRING, SCALE, rng)[0]
+        for uid, row in enumerate(BID_ROWS)
+    ]
+
+
+class TestFrequencyLeak:
+    def test_basic_scheme_exposes_every_zero(self, basic_submissions):
+        guessed, multiplicity = frequency_zero_guess(basic_submissions)
+        true_zeros = {
+            (u, c)
+            for u, row in enumerate(BID_ROWS)
+            for c, b in enumerate(row)
+            if b == 0
+        }
+        assert guessed == true_zeros
+        assert multiplicity == len(true_zeros)
+
+    def test_advanced_scheme_flattens_the_histogram(self, advanced_submissions):
+        true_zeros = sum(1 for row in BID_ROWS for b in row if b == 0)
+        guessed, multiplicity = frequency_zero_guess(advanced_submissions)
+        # rd spreading + cr expansion scatter the zeros; the modal family
+        # shrinks to birthday-collision size and stops covering them.
+        assert multiplicity <= 2
+        assert len(guessed) < true_zeros
+
+
+class TestCardinalityLeak:
+    # Bids whose tail covers [b, 30] have strictly shrinking prefix counts:
+    # 1 -> 8 prefixes, 2 -> 7, 9 -> 7, 16 -> 4, 24 -> 3, 30 -> 1.
+    MONOTONE_BIDS = [[1], [2], [9], [16], [24], [30]]
+
+    @pytest.fixture(scope="class")
+    def monotone_basic(self):
+        rng = random.Random(7)
+        return [
+            submit_bids_basic(uid, row, KEYRING, BMAX, rng)
+            for uid, row in enumerate(self.MONOTONE_BIDS)
+        ]
+
+    def test_basic_scheme_orders_bids_by_set_size(self, monotone_basic):
+        corr = cardinality_rank_correlation(
+            monotone_basic, self.MONOTONE_BIDS, channel=0
+        )
+        assert corr < -0.9  # larger bid -> shorter tail cover
+
+    def test_basic_scheme_sizes_are_distinguishable(self, basic_submissions):
+        sizes = tail_cardinalities(basic_submissions, channel=2)
+        assert len(set(sizes)) > 1
+
+    def test_advanced_scheme_has_constant_cardinality(self, advanced_submissions):
+        sizes = tail_cardinalities(advanced_submissions, channel=1)
+        assert len(set(sizes)) == 1
+        corr = cardinality_rank_correlation(
+            advanced_submissions, BID_ROWS, channel=1
+        )
+        assert corr == 0.0
+
+
+class TestCrossChannelLeak:
+    def test_basic_scheme_is_fully_linkable(self, basic_submissions):
+        assert cross_channel_linkability(basic_submissions) == 1.0
+
+    def test_advanced_scheme_is_unlinkable(self, advanced_submissions):
+        assert cross_channel_linkability(advanced_submissions) == 0.0
+
+
+def test_validation(basic_submissions):
+    with pytest.raises(ValueError):
+        frequency_zero_guess([])
+    with pytest.raises(ValueError):
+        cardinality_rank_correlation(basic_submissions, BID_ROWS[:2])
+    with pytest.raises(ValueError):
+        cardinality_rank_correlation(basic_submissions[:1], BID_ROWS[:1])
+    with pytest.raises(ValueError):
+        cross_channel_linkability([])

@@ -1,0 +1,104 @@
+"""The soft (posterior) BPM variant."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.attacks.bayes import bpm_posterior, score_posterior
+from repro.attacks.bcm import bcm_attack
+from repro.attacks.bpm import bpm_attack
+from repro.attacks.metrics import score_attack
+from repro.auction.bidders import SecondaryUser
+from repro.geo.grid import GridSpec
+
+GRID = GridSpec(rows=20, cols=20, cell_km=3.75)
+
+
+def _victim(database):
+    for cell in database.coverage.grid.cells():
+        if len(database.available_channels(cell)) >= 2:
+            qualities = database.coverage.quality_vector(cell)
+            bids = tuple(int(round(q * 100)) for q in qualities)
+            if max(bids) > 0:
+                return SecondaryUser(user_id=0, cell=cell, beta=60.0, bids=bids)
+    pytest.skip("no usable victim in the tiny database")
+
+
+def test_posterior_is_normalised(tiny_db):
+    user = _victim(tiny_db)
+    possible = bcm_attack(tiny_db, user)
+    posterior = bpm_posterior(tiny_db, user.bids, possible)
+    assert posterior.sum() == pytest.approx(1.0)
+    assert np.all(posterior >= 0.0)
+    assert not np.any(posterior[~possible] > 0.0)
+
+
+def test_small_sigma_concentrates_on_argmin(tiny_db):
+    user = _victim(tiny_db)
+    possible = bcm_attack(tiny_db, user)
+    sharp = bpm_posterior(tiny_db, user.bids, possible, sigma=1e-4)
+    hard = bpm_attack(tiny_db, user, possible, keep_fraction=0.0)
+    # Essentially all mass on the hard algorithm's minimal cell(s).
+    assert sharp[hard].sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_large_sigma_approaches_uniform(tiny_db):
+    user = _victim(tiny_db)
+    possible = bcm_attack(tiny_db, user)
+    flat = bpm_posterior(tiny_db, user.bids, possible, sigma=1e4)
+    support = flat > 0
+    values = flat[support]
+    assert values.max() / values.min() < 1.001
+
+
+def test_entropy_decreases_with_sharpness(tiny_db):
+    user = _victim(tiny_db)
+    possible = bcm_attack(tiny_db, user)
+    sharp = score_posterior(
+        bpm_posterior(tiny_db, user.bids, possible, sigma=0.05),
+        user.cell,
+        tiny_db.coverage.grid,
+    )
+    flat = score_posterior(
+        bpm_posterior(tiny_db, user.bids, possible, sigma=10.0),
+        user.cell,
+        tiny_db.coverage.grid,
+    )
+    assert sharp.uncertainty_bits <= flat.uncertainty_bits
+
+
+def test_uniform_posterior_reduces_to_hard_metrics(tiny_db):
+    """score_posterior over a uniform posterior == score_attack on its mask."""
+    user = _victim(tiny_db)
+    possible = bcm_attack(tiny_db, user)
+    uniform = possible.astype(float) / possible.sum()
+    grid = tiny_db.coverage.grid
+    soft = score_posterior(uniform, user.cell, grid)
+    hard = score_attack(possible, user.cell, grid)
+    assert soft.n_cells == hard.n_cells
+    assert soft.uncertainty_bits == pytest.approx(hard.uncertainty_bits)
+    assert soft.incorrectness_cells == pytest.approx(hard.incorrectness_cells)
+    assert soft.failed == hard.failed
+
+
+def test_empty_candidate_set(tiny_db):
+    user = _victim(tiny_db)
+    grid = tiny_db.coverage.grid
+    empty = np.zeros((grid.rows, grid.cols), dtype=bool)
+    posterior = bpm_posterior(tiny_db, user.bids, empty)
+    assert posterior.sum() == 0.0
+    score = score_posterior(posterior, user.cell, grid)
+    assert score.failed and score.n_cells == 0
+    assert math.isnan(score.incorrectness_cells)
+
+
+def test_validation(tiny_db):
+    user = _victim(tiny_db)
+    possible = bcm_attack(tiny_db, user)
+    grid = tiny_db.coverage.grid
+    with pytest.raises(ValueError):
+        bpm_posterior(tiny_db, user.bids, possible, sigma=0.0)
+    with pytest.raises(ValueError):
+        score_posterior(np.full((grid.rows, grid.cols), 0.5), user.cell, grid)

@@ -1,0 +1,64 @@
+"""BCM — Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bcm import bcm_attack, bcm_attack_channels
+
+
+def test_truthful_user_is_always_inside_p(tiny_db, rng):
+    """Genuine availability constraints can never exclude the true cell."""
+    from repro.auction.bidders import generate_users
+
+    for user in generate_users(tiny_db, 20, rng):
+        possible = bcm_attack(tiny_db, user)
+        assert possible[user.cell]
+
+
+def test_no_bids_learns_nothing(tiny_db):
+    grid = tiny_db.coverage.grid
+    possible = bcm_attack_channels(tiny_db, [])
+    assert possible.sum() == grid.n_cells
+
+
+def test_intersection_shrinks_monotonically(tiny_db):
+    channels = list(range(tiny_db.n_channels))
+    previous = tiny_db.coverage.grid.n_cells
+    for k in range(1, len(channels) + 1):
+        count = bcm_attack_channels(tiny_db, channels[:k]).sum()
+        assert count <= previous
+        previous = count
+
+
+def test_matches_manual_intersection(tiny_db):
+    tensor = tiny_db.availability_tensor()
+    expected = tensor[1] & tensor[3]
+    assert np.array_equal(bcm_attack_channels(tiny_db, [1, 3]), expected)
+
+
+def test_duplicate_channels_are_harmless(tiny_db):
+    a = bcm_attack_channels(tiny_db, [1, 1, 3, 3])
+    b = bcm_attack_channels(tiny_db, [1, 3])
+    assert np.array_equal(a, b)
+
+
+def test_skip_emptying_keeps_nonempty_result(tiny_db):
+    """Find a channel set whose plain intersection is empty and check the
+    robust variant survives it."""
+    tensor = tiny_db.availability_tensor()
+    channels = list(range(tiny_db.n_channels))
+    plain = bcm_attack_channels(tiny_db, channels)
+    robust = bcm_attack_channels(tiny_db, channels, skip_emptying=True)
+    assert robust.sum() >= max(plain.sum(), 1)
+    if plain.sum() == 0:
+        assert robust.sum() > 0
+
+
+def test_bad_channel_rejected(tiny_db):
+    with pytest.raises(IndexError):
+        bcm_attack_channels(tiny_db, [tiny_db.n_channels])
+
+
+def test_bid_vector_length_checked(tiny_db, small_users):
+    with pytest.raises(ValueError):
+        bcm_attack(tiny_db, small_users[0])  # 10-channel user, 6-channel db

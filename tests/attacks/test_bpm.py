@@ -1,0 +1,96 @@
+"""BPM — Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bcm import bcm_attack
+from repro.attacks.bpm import bpm_attack, bpm_distance_field
+from repro.auction.bidders import SecondaryUser
+
+
+def _noise_free_user(database, cell, beta=60.0, scale=100.0):
+    """Bids exactly proportional to quality — BPM's ideal target."""
+    qualities = database.coverage.quality_vector(cell)
+    bids = tuple(int(round(q * scale)) for q in qualities)
+    return SecondaryUser(user_id=0, cell=cell, beta=beta, bids=bids)
+
+
+def _target_cell(database):
+    """A cell with at least two available channels (so BPM has signal)."""
+    grid = database.coverage.grid
+    for cell in grid.cells():
+        if len(database.available_channels(cell)) >= 2:
+            return cell
+    pytest.skip("no usable cell in the tiny database")
+
+
+def test_noise_free_profile_scores_zero_at_true_cell(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    possible = bcm_attack(tiny_db, user)
+    dq = bpm_distance_field(tiny_db, user.bids, possible)
+    # Rounding keeps dq near zero at the true cell; it must be (near-)minimal.
+    assert dq[cell] <= np.min(dq[np.isfinite(dq)]) + 1e-2
+
+
+def test_minimal_cell_selection(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    possible = bcm_attack(tiny_db, user)
+    refined = bpm_attack(tiny_db, user, possible, keep_fraction=0.0)
+    assert refined.sum() >= 1
+    assert refined.sum() <= possible.sum()
+
+
+def test_keep_fraction_grows_the_output(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    possible = bcm_attack(tiny_db, user)
+    small = bpm_attack(tiny_db, user, possible, keep_fraction=0.1)
+    large = bpm_attack(tiny_db, user, possible, keep_fraction=0.9)
+    assert small.sum() <= large.sum()
+    assert large.sum() <= possible.sum()
+
+
+def test_max_cells_cap(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    possible = bcm_attack(tiny_db, user)
+    capped = bpm_attack(tiny_db, user, possible, keep_fraction=1.0, max_cells=3)
+    assert capped.sum() <= 3
+
+
+def test_output_is_subset_of_input(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    possible = bcm_attack(tiny_db, user)
+    refined = bpm_attack(tiny_db, user, possible, keep_fraction=0.5)
+    assert not np.any(refined & ~possible)
+
+
+def test_empty_bcm_input_yields_empty_output(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    grid = tiny_db.coverage.grid
+    empty = np.zeros((grid.rows, grid.cols), dtype=bool)
+    assert bpm_attack(tiny_db, user, empty, keep_fraction=0.5).sum() == 0
+
+
+def test_requires_positive_bid(tiny_db):
+    grid = tiny_db.coverage.grid
+    user = SecondaryUser(
+        user_id=0, cell=(0, 0), beta=1.0, bids=(0,) * tiny_db.n_channels
+    )
+    full = np.ones((grid.rows, grid.cols), dtype=bool)
+    with pytest.raises(ValueError):
+        bpm_distance_field(tiny_db, user.bids, full)
+
+
+def test_parameter_validation(tiny_db):
+    cell = _target_cell(tiny_db)
+    user = _noise_free_user(tiny_db, cell)
+    possible = bcm_attack(tiny_db, user)
+    with pytest.raises(ValueError):
+        bpm_attack(tiny_db, user, possible, keep_fraction=1.5)
+    with pytest.raises(ValueError):
+        bpm_attack(tiny_db, user, possible, keep_fraction=0.5, max_cells=0)

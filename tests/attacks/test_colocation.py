@@ -1,0 +1,101 @@
+"""The conflict-graph co-location oracle."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.attacks.colocation import anchor_boxes, colocation_attack
+from repro.attacks.metrics import aggregate_scores, score_attack
+from repro.auction.conflict import build_conflict_graph
+from repro.geo.grid import GridSpec
+
+GRID = GridSpec(rows=40, cols=40, cell_km=1.0)
+
+
+def test_anchor_box_geometry():
+    box = anchor_boxes(GRID, (20, 20), 5)
+    assert box[20, 20]
+    assert box[16, 16] and box[24, 24]  # |Δ| = 4 < 5
+    assert not box[15, 20] and not box[20, 25]  # |Δ| = 5
+    assert box.sum() == 9 * 9
+
+
+def test_anchor_box_clips_at_edges():
+    box = anchor_boxes(GRID, (0, 0), 5)
+    assert box[0, 0] and box[4, 4]
+    assert box.sum() == 5 * 5
+
+
+def test_anchor_box_validation():
+    with pytest.raises(ValueError):
+        anchor_boxes(GRID, (20, 20), 0)
+    with pytest.raises(ValueError):
+        anchor_boxes(GRID, (40, 0), 5)
+
+
+def test_true_cell_always_survives():
+    """Conflict bits are exact, so the oracle never excludes the truth."""
+    rng = random.Random(1)
+    cells = GRID.random_cells(rng, 30)
+    conflict = build_conflict_graph(cells, 6)
+    anchors = {0: cells[0], 1: cells[1], 2: cells[2]}
+    masks = colocation_attack(GRID, conflict, anchors, 6)
+    for user, mask in enumerate(masks):
+        assert mask[cells[user]], f"user {user} excluded from its own cell"
+
+
+def test_anchors_localise_themselves_exactly():
+    cells = [(5, 5), (30, 30), (10, 35)]
+    conflict = build_conflict_graph(cells, 6)
+    masks = colocation_attack(GRID, conflict, {0: cells[0]}, 6)
+    assert masks[0].sum() == 1 and masks[0][cells[0]]
+
+
+def test_conflicting_victim_lands_in_anchor_box():
+    cells = [(20, 20), (22, 22)]  # conflict at 2λ = 6
+    conflict = build_conflict_graph(cells, 6)
+    masks = colocation_attack(GRID, conflict, {0: cells[0]}, 6)
+    victim = masks[1]
+    assert victim.sum() == anchor_boxes(GRID, cells[0], 6).sum()
+    assert victim[cells[1]]
+
+
+def test_more_anchors_never_grow_the_candidate_set():
+    rng = random.Random(2)
+    cells = GRID.random_cells(rng, 25)
+    conflict = build_conflict_graph(cells, 8)
+
+    def mean_cells(n_anchors):
+        anchors = {i: cells[i] for i in range(n_anchors)}
+        masks = colocation_attack(GRID, conflict, anchors, 8)
+        scores = [
+            score_attack(mask, cells[user], GRID)
+            for user, mask in enumerate(masks)
+            if user >= n_anchors
+        ]
+        return aggregate_scores(scores).mean_cells
+
+    assert mean_cells(8) <= mean_cells(2)
+
+
+def test_zero_failure_rate_at_any_anchor_count():
+    rng = random.Random(3)
+    cells = GRID.random_cells(rng, 20)
+    conflict = build_conflict_graph(cells, 8)
+    anchors = {i: cells[i] for i in range(6)}
+    masks = colocation_attack(GRID, conflict, anchors, 8)
+    scores = [
+        score_attack(mask, cells[user], GRID)
+        for user, mask in enumerate(masks)
+    ]
+    assert aggregate_scores(scores).failure_rate == 0.0
+
+
+def test_validation():
+    cells = [(5, 5), (30, 30)]
+    conflict = build_conflict_graph(cells, 6)
+    with pytest.raises(ValueError):
+        colocation_attack(GRID, conflict, {5: (0, 0)}, 6)
+    with pytest.raises(ValueError):
+        colocation_attack(GRID, conflict, {0: (40, 40)}, 6)

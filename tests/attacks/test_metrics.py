@@ -1,0 +1,83 @@
+"""Privacy metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.metrics import aggregate_scores, score_attack
+from repro.geo.grid import GridSpec
+
+GRID = GridSpec(rows=10, cols=10, cell_km=1.0)
+
+
+def _mask(cells):
+    mask = np.zeros((10, 10), dtype=bool)
+    for cell in cells:
+        mask[cell] = True
+    return mask
+
+
+def test_singleton_correct_guess():
+    score = score_attack(_mask([(3, 3)]), (3, 3), GRID)
+    assert score.n_cells == 1
+    assert score.uncertainty_bits == 0.0
+    assert score.incorrectness_cells == 0.0
+    assert not score.failed
+
+
+def test_singleton_wrong_guess():
+    score = score_attack(_mask([(0, 0)]), (3, 4), GRID)
+    assert score.failed
+    assert score.incorrectness_cells == pytest.approx(5.0)
+
+
+def test_uniform_entropy():
+    cells = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    score = score_attack(_mask(cells), (0, 0), GRID)
+    assert score.uncertainty_bits == pytest.approx(2.0)
+    assert not score.failed
+
+
+def test_incorrectness_is_expected_distance():
+    cells = [(0, 0), (0, 2)]
+    score = score_attack(_mask(cells), (0, 0), GRID)
+    assert score.incorrectness_cells == pytest.approx(1.0)  # (0 + 2) / 2
+
+
+def test_empty_mask_is_total_failure():
+    score = score_attack(_mask([]), (5, 5), GRID)
+    assert score.n_cells == 0
+    assert score.failed
+    assert math.isnan(score.incorrectness_cells)
+    assert score.uncertainty_bits == 0.0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        score_attack(np.ones((5, 5), dtype=bool), (0, 0), GRID)
+
+
+def test_aggregate():
+    scores = [
+        score_attack(_mask([(0, 0)]), (0, 0), GRID),
+        score_attack(_mask([(0, 0), (0, 1)]), (5, 5), GRID),
+        score_attack(_mask([]), (5, 5), GRID),
+    ]
+    agg = aggregate_scores(scores)
+    assert agg.n_users == 3
+    assert agg.mean_cells == pytest.approx(1.0)
+    assert agg.failure_rate == pytest.approx(2 / 3)
+    # NaN incorrectness excluded from the average.
+    assert not math.isnan(agg.mean_incorrectness_cells)
+
+
+def test_aggregate_rejects_empty():
+    with pytest.raises(ValueError):
+        aggregate_scores([])
+
+
+def test_as_row():
+    agg = aggregate_scores([score_attack(_mask([(0, 0)]), (0, 0), GRID)])
+    row = agg.as_row()
+    assert row["users"] == 1 and row["failure_rate"] == 0.0

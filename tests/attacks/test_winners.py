@@ -1,0 +1,91 @@
+"""The winner-list attack."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.attacks.metrics import aggregate_scores, score_attack
+from repro.attacks.winners import winner_channel_sets, winner_list_attack
+from repro.auction.bidders import generate_users
+from repro.auction.outcome import AuctionOutcome, WinRecord
+from repro.lppa.campaign import Campaign
+from repro.lppa.policies import UniformReplacePolicy
+
+
+def _outcome(n_users, wins):
+    return AuctionOutcome(
+        n_users=n_users,
+        wins=tuple(
+            WinRecord(bidder=b, channel=c, charge=charge, valid=charge > 0)
+            for b, c, charge in wins
+        ),
+    )
+
+
+def test_winner_channel_sets_accumulate():
+    outcomes = [
+        _outcome(3, [(0, 2, 5), (1, 0, 3)]),
+        _outcome(3, [(0, 4, 7), (2, 2, 0)]),  # bidder 2's win is invalid
+    ]
+    won = winner_channel_sets(outcomes, 3)
+    assert won[0] == {2, 4}
+    assert won[1] == {0}
+    assert won[2] == set()  # invalid wins carry no information
+
+
+def test_unknown_bidder_rejected():
+    with pytest.raises(ValueError):
+        winner_channel_sets([_outcome(3, [(2, 0, 5)])], 2)
+
+
+def test_attack_requires_observations(tiny_db):
+    with pytest.raises(ValueError):
+        winner_list_attack(tiny_db, [], 3)
+
+
+def test_attack_never_excludes_the_true_cell(tiny_db):
+    """Valid wins are genuine availability: zero failure by construction."""
+    users = generate_users(tiny_db, 15, random.Random(2))
+    campaign = Campaign(
+        tiny_db,
+        users,
+        two_lambda=3,
+        bmax=127,
+        policy=UniformReplacePolicy(0.7),
+        mix_ids=False,
+        rng=random.Random(4),
+    )
+    campaign.run(6)
+    masks = winner_list_attack(tiny_db, campaign.public_outcomes(), len(users))
+    for mask, user in zip(masks, users):
+        assert mask[user.cell]
+
+
+def test_more_rounds_never_grow_the_candidate_set(tiny_db):
+    users = generate_users(tiny_db, 15, random.Random(5))
+    campaign = Campaign(
+        tiny_db,
+        users,
+        two_lambda=3,
+        bmax=127,
+        mix_ids=False,
+        rng=random.Random(6),
+    )
+    campaign.run(8)
+    outcomes = campaign.public_outcomes()
+    grid = tiny_db.coverage.grid
+
+    def mean_cells(upto):
+        masks = winner_list_attack(tiny_db, outcomes[:upto], len(users))
+        return aggregate_scores(
+            [score_attack(m, u.cell, grid) for m, u in zip(masks, users)]
+        ).mean_cells
+
+    assert mean_cells(8) <= mean_cells(1)
+
+
+def test_unobserved_user_yields_whole_area(tiny_db):
+    outcomes = [_outcome(2, [(0, 1, 5)])]
+    masks = winner_list_attack(tiny_db, outcomes, 2)
+    assert masks[1].sum() == tiny_db.coverage.grid.n_cells

@@ -1,0 +1,88 @@
+"""Conflict-graph analytics."""
+
+import pytest
+
+from repro.auction.analysis import (
+    conflict_stats,
+    greedy_coloring,
+    is_independent_set,
+    to_networkx,
+)
+from repro.auction.conflict import ConflictGraph, build_conflict_graph
+
+
+def _triangle_plus_isolate():
+    # Users 0, 1, 2 pairwise conflicting; user 3 isolated.
+    return ConflictGraph(
+        n_users=4, edges=frozenset({(0, 1), (0, 2), (1, 2)})
+    )
+
+
+def test_coloring_is_proper():
+    graph = _triangle_plus_isolate()
+    colors = greedy_coloring(graph)
+    for u, v in graph.edges:
+        assert colors[u] != colors[v]
+    assert len(set(colors.values())) == 3  # a triangle needs 3 colours
+
+
+def test_coloring_of_empty_graph_uses_one_color():
+    graph = ConflictGraph(n_users=5, edges=frozenset())
+    assert set(greedy_coloring(graph).values()) == {0}
+
+
+def test_coloring_is_proper_on_random_geometry():
+    cells = [(i * 7 % 40, i * 13 % 40) for i in range(25)]
+    graph = build_conflict_graph(cells, 8)
+    colors = greedy_coloring(graph)
+    for u, v in graph.edges:
+        assert colors[u] != colors[v]
+
+
+def test_independent_set():
+    graph = _triangle_plus_isolate()
+    assert is_independent_set(graph, [0, 3])
+    assert is_independent_set(graph, [3])
+    assert not is_independent_set(graph, [0, 1])
+    assert is_independent_set(graph, [0, 0, 3])  # duplicates collapse
+
+
+def test_stats():
+    stats = conflict_stats(_triangle_plus_isolate())
+    assert stats.n_users == 4
+    assert stats.n_edges == 3
+    assert stats.max_degree == 2
+    assert stats.mean_degree == pytest.approx(1.5)
+    assert stats.density == pytest.approx(0.5)
+    assert stats.greedy_colors == 3
+    assert stats.as_row()["edges"] == 3
+
+
+def test_networkx_bridge():
+    graph = _triangle_plus_isolate()
+    g = to_networkx(graph)
+    assert g.number_of_nodes() == 4
+    assert g.number_of_edges() == 3
+    import networkx as nx
+
+    # Cross-check the colouring bound against networkx's own.
+    nx_colors = nx.greedy_color(g, strategy="largest_first")
+    assert len(set(nx_colors.values())) <= 3
+
+
+def test_channel_winners_form_independent_sets(small_users):
+    """Tie the analytics back to the auction: every channel's winner set is
+    an independent set of the conflict graph."""
+    import random
+
+    from repro.auction.plain_auction import run_plain_auction
+
+    conflict = build_conflict_graph([u.cell for u in small_users], 8)
+    outcome = run_plain_auction(
+        small_users, random.Random(1), two_lambda=8, conflict=conflict
+    )
+    per_channel = {}
+    for win in outcome.wins:
+        per_channel.setdefault(win.channel, []).append(win.bidder)
+    for winners in per_channel.values():
+        assert is_independent_set(conflict, winners)

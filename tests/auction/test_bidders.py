@@ -1,0 +1,82 @@
+"""Secondary users and truthful bid generation."""
+
+import random
+
+import pytest
+
+from repro.auction.bidders import (
+    BID_NOISE_FRACTION,
+    SecondaryUser,
+    generate_users,
+)
+
+
+def test_generation_shape(small_db, small_users):
+    assert len(small_users) == 30
+    for uid, user in enumerate(small_users):
+        assert user.user_id == uid
+        assert user.n_channels == small_db.n_channels
+        assert small_db.coverage.grid.contains(user.cell)
+
+
+def test_zero_bid_on_unavailable_channels(small_db, small_users):
+    for user in small_users:
+        available = small_db.available_channels(user.cell)
+        for ch, bid in enumerate(user.bids):
+            if ch not in available:
+                assert bid == 0
+
+
+def test_bids_respect_noise_envelope(small_db, small_users):
+    """b = q*beta + eta with |eta| <= 20% q beta, rounded to integers."""
+    bound = 1.0 + BID_NOISE_FRACTION
+    for user in small_users:
+        qualities = small_db.coverage.quality_vector(user.cell)
+        for ch, bid in enumerate(user.bids):
+            ceiling = qualities[ch] * user.beta * bound
+            assert bid <= round(ceiling) + 1
+
+
+def test_available_set_equals_positive_bids(small_users):
+    for user in small_users:
+        assert user.available_set() == {
+            ch for ch, b in enumerate(user.bids) if b > 0
+        }
+
+
+def test_max_bid(small_users):
+    for user in small_users:
+        assert user.max_bid() == max(user.bids)
+
+
+def test_generation_is_deterministic(small_db):
+    a = generate_users(small_db, 10, random.Random(5))
+    b = generate_users(small_db, 10, random.Random(5))
+    assert a == b
+
+
+def test_explicit_cells(small_db):
+    cells = [(0, 0), (50, 50), (99, 99)]
+    users = generate_users(small_db, 3, random.Random(0), cells=cells)
+    assert [u.cell for u in users] == cells
+
+
+def test_explicit_cells_length_mismatch(small_db):
+    with pytest.raises(ValueError):
+        generate_users(small_db, 2, random.Random(0), cells=[(0, 0)])
+
+
+def test_invalid_arguments(small_db):
+    with pytest.raises(ValueError):
+        generate_users(small_db, 0, random.Random(0))
+    with pytest.raises(ValueError):
+        generate_users(small_db, 1, random.Random(0), beta_range=(0.0, 10.0))
+    with pytest.raises(ValueError):
+        generate_users(small_db, 1, random.Random(0), beta_range=(10.0, 5.0))
+
+
+def test_secondary_user_validation():
+    with pytest.raises(ValueError):
+        SecondaryUser(user_id=0, cell=(0, 0), beta=0.0, bids=(1,))
+    with pytest.raises(ValueError):
+        SecondaryUser(user_id=0, cell=(0, 0), beta=1.0, bids=(-1,))

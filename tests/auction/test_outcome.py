@@ -1,0 +1,56 @@
+"""Auction outcome metrics."""
+
+import pytest
+
+from repro.auction.outcome import AuctionOutcome, WinRecord
+
+
+def _win(bidder, channel, charge, valid=True):
+    return WinRecord(bidder=bidder, channel=channel, charge=charge, valid=valid)
+
+
+def test_metrics_over_mixed_wins():
+    outcome = AuctionOutcome(
+        n_users=10,
+        wins=(
+            _win(0, 0, 5),
+            _win(1, 0, 4),
+            _win(2, 1, 0, valid=False),
+            _win(3, 2, 7),
+        ),
+    )
+    assert outcome.sum_of_winning_bids() == 16
+    assert outcome.user_satisfaction() == pytest.approx(0.3)
+    assert outcome.channels_used() == 2
+    assert outcome.reuse_factor() == pytest.approx(3 / 2)
+
+
+def test_no_wins():
+    outcome = AuctionOutcome(n_users=5, wins=())
+    assert outcome.sum_of_winning_bids() == 0
+    assert outcome.user_satisfaction() == 0.0
+    assert outcome.reuse_factor() == 0.0
+
+
+def test_invalid_wins_carry_no_charge():
+    with pytest.raises(ValueError):
+        WinRecord(bidder=0, channel=0, charge=3, valid=False)
+    with pytest.raises(ValueError):
+        WinRecord(bidder=0, channel=0, charge=0, valid=True)
+    with pytest.raises(ValueError):
+        WinRecord(bidder=0, channel=0, charge=-1, valid=False)
+
+
+def test_duplicate_winner_rejected():
+    with pytest.raises(ValueError):
+        AuctionOutcome(n_users=3, wins=(_win(0, 0, 5), _win(0, 1, 2)))
+
+
+def test_unknown_bidder_rejected():
+    with pytest.raises(ValueError):
+        AuctionOutcome(n_users=2, wins=(_win(5, 0, 5),))
+
+
+def test_zero_users_rejected():
+    with pytest.raises(ValueError):
+        AuctionOutcome(n_users=0, wins=())

@@ -1,0 +1,57 @@
+"""The plaintext baseline auction."""
+
+import random
+
+import pytest
+
+from repro.auction.conflict import build_conflict_graph
+from repro.auction.plain_auction import run_plain_auction
+
+
+def test_all_wins_are_valid_and_positively_charged(small_users):
+    outcome = run_plain_auction(small_users, random.Random(0), two_lambda=6)
+    for win in outcome.wins:
+        assert win.valid
+        assert win.charge == small_users[win.bidder].bids[win.channel]
+        assert win.charge > 0
+
+
+def test_first_price_revenue(small_users):
+    outcome = run_plain_auction(small_users, random.Random(1), two_lambda=6)
+    assert outcome.sum_of_winning_bids() == sum(
+        small_users[w.bidder].bids[w.channel] for w in outcome.wins
+    )
+
+
+def test_deterministic_given_rng(small_users):
+    a = run_plain_auction(small_users, random.Random(7), two_lambda=6)
+    b = run_plain_auction(small_users, random.Random(7), two_lambda=6)
+    assert a == b
+
+
+def test_prebuilt_conflict_graph_is_honoured(small_users):
+    conflict = build_conflict_graph([u.cell for u in small_users], 6)
+    a = run_plain_auction(
+        small_users, random.Random(3), two_lambda=6, conflict=conflict
+    )
+    b = run_plain_auction(small_users, random.Random(3), two_lambda=6)
+    assert a == b
+
+
+def test_winners_on_same_channel_never_conflict(small_users):
+    conflict = build_conflict_graph([u.cell for u in small_users], 8)
+    outcome = run_plain_auction(
+        small_users, random.Random(5), two_lambda=8, conflict=conflict
+    )
+    per_channel = {}
+    for w in outcome.wins:
+        per_channel.setdefault(w.channel, []).append(w.bidder)
+    for bidders in per_channel.values():
+        for i in range(len(bidders)):
+            for j in range(i + 1, len(bidders)):
+                assert not conflict.are_conflicting(bidders[i], bidders[j])
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        run_plain_auction([], random.Random(0), two_lambda=4)

@@ -1,0 +1,64 @@
+"""Plaintext bid table."""
+
+import pytest
+
+from repro.auction.table import PlainBidTable
+
+
+def test_zero_bids_are_not_entries():
+    table = PlainBidTable([[0, 5], [0, 0]])
+    assert table.channel_bidders(0) == set()
+    assert table.channel_bidders(1) == {0}
+
+
+def test_max_bidders_and_ties():
+    table = PlainBidTable([[3, 7], [9, 7], [9, 1]])
+    assert table.max_bidders(0) == [1, 2]
+    assert table.max_bidders(1) == [0, 1]
+
+
+def test_max_bidders_on_empty_column_raises():
+    table = PlainBidTable([[0, 5]])
+    with pytest.raises(ValueError):
+        table.max_bidders(0)
+
+
+def test_bid_of():
+    table = PlainBidTable([[3, 0]])
+    assert table.bid_of(0, 0) == 3
+    with pytest.raises(KeyError):
+        table.bid_of(0, 1)
+
+
+def test_remove_row():
+    table = PlainBidTable([[3, 7], [9, 1]])
+    table.remove_row(1)
+    assert table.channel_bidders(0) == {0}
+    assert table.channel_bidders(1) == {0}
+    table.remove_row(1)  # idempotent
+
+
+def test_remove_entry_and_emptiness():
+    table = PlainBidTable([[3, 7]])
+    table.remove_entry(0, 0)
+    assert table.has_entries()
+    table.remove_entry(0, 1)
+    assert not table.has_entries()
+    table.remove_entry(0, 1)  # idempotent on gone rows
+
+
+def test_channel_bounds():
+    table = PlainBidTable([[1]])
+    with pytest.raises(IndexError):
+        table.channel_bidders(1)
+    with pytest.raises(IndexError):
+        table.remove_entry(0, -1)
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        PlainBidTable([])
+    with pytest.raises(ValueError):
+        PlainBidTable([[1, 2], [3]])
+    with pytest.raises(ValueError):
+        PlainBidTable([[]])

@@ -1,0 +1,41 @@
+"""The pluggable HMAC backend: both implementations, switching semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.backend import get_backend, hmac_digest, set_backend, use_backend
+
+
+def test_default_backend_is_stdlib():
+    assert get_backend() == "stdlib"
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError):
+        set_backend("openssl-but-faster")
+
+
+def test_use_backend_restores_on_exit():
+    before = get_backend()
+    with use_backend("pure"):
+        assert get_backend() == "pure"
+    assert get_backend() == before
+
+
+def test_use_backend_restores_on_exception():
+    before = get_backend()
+    with pytest.raises(RuntimeError):
+        with use_backend("pure"):
+            raise RuntimeError("boom")
+    assert get_backend() == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(key=st.binary(min_size=1, max_size=80), msg=st.binary(max_size=200))
+def test_backends_are_bit_identical(key, msg):
+    with use_backend("stdlib"):
+        fast = hmac_digest(key, msg)
+    with use_backend("pure"):
+        slow = hmac_digest(key, msg)
+    assert fast == slow

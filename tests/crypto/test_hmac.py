@@ -1,0 +1,88 @@
+"""The from-scratch HMAC-SHA256 against RFC 4231 vectors and stdlib hmac."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac_impl import HMAC, hmac_sha256
+
+# RFC 4231 test cases (SHA-256 outputs).
+RFC4231 = [
+    (
+        b"\x0b" * 20,
+        b"Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+    ),
+    (
+        b"Jefe",
+        b"what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+    ),
+    (
+        b"\xaa" * 20,
+        b"\xdd" * 50,
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+    ),
+    (
+        bytes(range(1, 26)),
+        b"\xcd" * 50,
+        "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+    ),
+    (
+        b"\xaa" * 131,
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+    ),
+    (
+        b"\xaa" * 131,
+        b"This is a test using a larger than block-size key and a larger t"
+        b"han block-size data. The key needs to be hashed before being use"
+        b"d by the HMAC algorithm.",
+        "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,message,expected", RFC4231)
+def test_rfc4231_vectors(key, message, expected):
+    assert hmac_sha256(key, message).hex() == expected
+
+
+def test_exactly_block_size_key():
+    key = b"K" * 64
+    assert hmac_sha256(key, b"msg") == stdlib_hmac.new(key, b"msg", hashlib.sha256).digest()
+
+
+def test_incremental_updates():
+    mac = HMAC(b"key")
+    mac.update(b"part one ")
+    mac.update(b"part two")
+    assert (
+        mac.digest()
+        == stdlib_hmac.new(b"key", b"part one part two", hashlib.sha256).digest()
+    )
+
+
+def test_digest_repeatable_and_copy_independent():
+    mac = HMAC(b"key", b"abc")
+    first = mac.digest()
+    clone = mac.copy()
+    clone.update(b"def")
+    assert mac.digest() == first
+    assert (
+        clone.digest() == stdlib_hmac.new(b"key", b"abcdef", hashlib.sha256).digest()
+    )
+
+
+def test_rejects_non_bytes_key():
+    with pytest.raises(TypeError):
+        HMAC("string key")
+
+
+@settings(max_examples=60, deadline=None)
+@given(key=st.binary(min_size=1, max_size=150), msg=st.binary(max_size=300))
+def test_matches_stdlib_on_random_inputs(key, msg):
+    assert hmac_sha256(key, msg) == stdlib_hmac.new(key, msg, hashlib.sha256).digest()

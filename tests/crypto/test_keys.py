@@ -1,0 +1,60 @@
+"""Key ring generation and derivation."""
+
+import pytest
+
+from repro.crypto.keys import KeyRing, derive_key, generate_keyring
+
+
+def test_derivation_is_deterministic():
+    assert derive_key(b"master", "label") == derive_key(b"master", "label")
+
+
+def test_derivation_separates_labels_and_masters():
+    assert derive_key(b"master", "a") != derive_key(b"master", "b")
+    assert derive_key(b"m1", "a") != derive_key(b"m2", "a")
+
+
+def test_generate_keyring_shape():
+    ring = generate_keyring(b"seed", 8, rd=3, cr=4)
+    assert ring.n_channels == 8
+    assert ring.rd == 3 and ring.cr == 4
+    assert len(ring.g0) == len(ring.gb) == len(ring.gc) == 16
+
+
+def test_all_keys_distinct():
+    ring = generate_keyring(b"seed", 16)
+    keys = [ring.g0, ring.gb, ring.gc, *ring.gb_channels]
+    assert len(set(keys)) == len(keys)
+
+
+def test_keyring_is_reproducible():
+    assert generate_keyring(b"seed", 4) == generate_keyring(b"seed", 4)
+    assert generate_keyring(b"seed", 4) != generate_keyring(b"other", 4)
+
+
+def test_channel_key_bounds():
+    ring = generate_keyring(b"seed", 3)
+    assert ring.channel_key(2) == ring.gb_channels[2]
+    with pytest.raises(IndexError):
+        ring.channel_key(3)
+    with pytest.raises(IndexError):
+        ring.channel_key(-1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        generate_keyring(b"", 4)
+    with pytest.raises(ValueError):
+        generate_keyring(b"seed", 0)
+    with pytest.raises(ValueError):
+        KeyRing(g0=b"a", gb=b"b", gc=b"c", rd=-1)
+    with pytest.raises(ValueError):
+        KeyRing(g0=b"a", gb=b"b", gc=b"c", cr=0)
+
+
+def test_describe_exposes_no_key_material():
+    ring = generate_keyring(b"seed", 4)
+    summary = ring.describe()
+    for value in summary.values():
+        assert not isinstance(value, bytes)
+    assert summary["n_channels"] == 4

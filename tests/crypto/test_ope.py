@@ -1,0 +1,76 @@
+"""The keyed order-preserving encoder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ope import OrderPreservingEncoder
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return OrderPreservingEncoder(b"test-key", 500)
+
+
+def test_strictly_monotone(encoder):
+    previous = -1
+    for x in range(encoder.domain):
+        c = encoder.encrypt(x)
+        assert c > previous
+        previous = c
+
+
+def test_deterministic_per_key(encoder):
+    again = OrderPreservingEncoder(b"test-key", 500)
+    assert [again.encrypt(x) for x in (0, 99, 499)] == [
+        encoder.encrypt(x) for x in (0, 99, 499)
+    ]
+
+
+def test_different_keys_differ():
+    a = OrderPreservingEncoder(b"key-a", 100)
+    b = OrderPreservingEncoder(b"key-b", 100)
+    assert any(a.encrypt(x) != b.encrypt(x) for x in range(100))
+
+
+def test_decrypt_roundtrip(encoder):
+    for x in (0, 1, 250, 499):
+        assert encoder.decrypt(encoder.encrypt(x)) == x
+
+
+def test_decrypt_rejects_non_ciphertexts(encoder):
+    with pytest.raises(ValueError):
+        encoder.decrypt(encoder.encrypt(10) + 1)
+    with pytest.raises(ValueError):
+        encoder.decrypt(encoder._table[-1] + 10_000_000)
+
+
+def test_domain_bounds(encoder):
+    with pytest.raises(ValueError):
+        encoder.encrypt(-1)
+    with pytest.raises(ValueError):
+        encoder.encrypt(500)
+
+
+def test_ciphertext_bytes(encoder):
+    assert encoder.ciphertext_bytes >= 1
+    assert encoder.encrypt(499).bit_length() <= encoder.ciphertext_bytes * 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OrderPreservingEncoder(b"", 10)
+    with pytest.raises(ValueError):
+        OrderPreservingEncoder(b"k", 0)
+    with pytest.raises(ValueError):
+        OrderPreservingEncoder(b"k", 10, gap_bits=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=199),
+    y=st.integers(min_value=0, max_value=199),
+)
+def test_order_preservation_property(x, y):
+    encoder = OrderPreservingEncoder(b"prop-key", 200, gap_bits=8)
+    assert (encoder.encrypt(x) < encoder.encrypt(y)) == (x < y)

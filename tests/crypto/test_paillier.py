@@ -1,0 +1,80 @@
+"""The Paillier cryptosystem."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import PaillierPublicKey, generate_paillier_keypair
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_paillier_keypair(128, random.Random(42))
+
+
+def test_roundtrip(key):
+    rng = random.Random(0)
+    for message in (0, 1, 1234, key.public.n - 1):
+        assert key.decrypt(key.public.encrypt(message, rng)) == message
+
+
+def test_encryption_is_probabilistic(key):
+    rng = random.Random(1)
+    a = key.public.encrypt(99, rng)
+    b = key.public.encrypt(99, rng)
+    assert a != b
+    assert key.decrypt(a) == key.decrypt(b) == 99
+
+
+def test_additive_homomorphism(key):
+    rng = random.Random(2)
+    c = key.public.add(key.public.encrypt(30, rng), key.public.encrypt(12, rng))
+    assert key.decrypt(c) == 42
+
+
+def test_add_constant(key):
+    rng = random.Random(3)
+    c = key.public.add_constant(key.public.encrypt(30, rng), 5)
+    assert key.decrypt(c) == 35
+
+
+def test_multiply_constant(key):
+    rng = random.Random(4)
+    c = key.public.multiply_constant(key.public.encrypt(7, rng), 6)
+    assert key.decrypt(c) == 42
+
+
+def test_message_bounds(key):
+    rng = random.Random(5)
+    with pytest.raises(ValueError):
+        key.public.encrypt(-1, rng)
+    with pytest.raises(ValueError):
+        key.public.encrypt(key.public.n, rng)
+    with pytest.raises(ValueError):
+        key.decrypt(key.public.n_squared)
+
+
+def test_ciphertext_bytes(key):
+    assert key.public.ciphertext_bytes == (key.public.n_squared.bit_length() + 7) // 8
+
+
+def test_keypair_generation_validation():
+    with pytest.raises(ValueError):
+        generate_paillier_keypair(8, random.Random(0))
+    with pytest.raises(ValueError):
+        PaillierPublicKey(n=4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=10_000),
+    b=st.integers(min_value=0, max_value=10_000),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_homomorphism_property(key, a, b, seed):
+    rng = random.Random(seed)
+    public = key.public
+    combined = public.add(public.encrypt(a, rng), public.encrypt(b, rng))
+    assert key.decrypt(combined) == (a + b) % public.n

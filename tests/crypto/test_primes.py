@@ -1,0 +1,41 @@
+"""Prime generation."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 101, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 0, 4, 100, 104730, 2**31, 561, 41041]  # incl. Carmichaels
+
+
+def test_known_primes():
+    rng = random.Random(0)
+    for p in KNOWN_PRIMES:
+        assert is_probable_prime(p, rng), p
+
+
+def test_known_composites():
+    rng = random.Random(1)
+    for c in KNOWN_COMPOSITES:
+        assert not is_probable_prime(c, rng), c
+
+
+def test_generated_primes_have_exact_bit_length():
+    rng = random.Random(2)
+    for bits in (8, 16, 32, 64):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p, random.Random(3))
+
+
+def test_generation_is_deterministic():
+    assert generate_prime(32, random.Random(7)) == generate_prime(
+        32, random.Random(7)
+    )
+
+
+def test_too_small_request_rejected():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))

@@ -1,0 +1,92 @@
+"""The from-scratch SHA-256 against NIST vectors and hashlib."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import SHA256, sha256
+
+# FIPS 180-4 / NIST CAVP known-answer vectors.
+NIST_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (
+        b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+        b"hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", NIST_VECTORS)
+def test_nist_vectors(message, expected):
+    assert sha256(message).hexdigest() == expected
+
+
+def test_half_million_a():
+    # Reduced version of the classic 1M-'a' vector, cross-checked via hashlib.
+    message = b"a" * 500_000
+    assert sha256(message).digest() == hashlib.sha256(message).digest()
+
+
+@pytest.mark.parametrize("size", [0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 128, 1000])
+def test_padding_boundaries(size):
+    """Messages straddling the 55/56/64-byte padding edges."""
+    message = bytes(i % 251 for i in range(size))
+    assert sha256(message).digest() == hashlib.sha256(message).digest()
+
+
+def test_incremental_updates_match_one_shot():
+    h = sha256()
+    for chunk in (b"he", b"llo", b"", b" world", b"!" * 200):
+        h.update(chunk)
+    assert h.digest() == hashlib.sha256(b"hello world" + b"!" * 200).digest()
+
+
+def test_digest_does_not_consume_state():
+    h = sha256(b"abc")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b"def")
+    assert h.digest() == hashlib.sha256(b"abcdef").digest()
+
+
+def test_copy_is_independent():
+    h = sha256(b"abc")
+    clone = h.copy()
+    clone.update(b"def")
+    assert h.digest() == hashlib.sha256(b"abc").digest()
+    assert clone.digest() == hashlib.sha256(b"abcdef").digest()
+
+
+def test_update_rejects_str():
+    with pytest.raises(TypeError):
+        sha256().update("not bytes")
+
+
+def test_accepts_bytearray_and_memoryview():
+    data = bytearray(b"payload")
+    assert sha256(bytes(data)).digest() == SHA256(memoryview(data)).digest()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=600))
+def test_matches_hashlib_on_random_inputs(data):
+    assert sha256(data).digest() == hashlib.sha256(data).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(max_size=150), max_size=8))
+def test_incremental_matches_hashlib_on_random_chunking(chunks):
+    h = sha256()
+    ref = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+        ref.update(chunk)
+    assert h.digest() == ref.digest()

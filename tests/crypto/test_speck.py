@@ -1,0 +1,74 @@
+"""Speck64/128 and its CTR mode."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.speck import Speck64128, ctr_decrypt, ctr_encrypt
+
+# The official Speck64/128 test vector (Beaulieu et al., Appendix C):
+# key = 1b1a1918 13121110 0b0a0908 03020100, plaintext = 3b726574 7475432d,
+# ciphertext = 8c6fa548 454e028b.
+OFFICIAL_KEY = struct.pack("<4I", 0x03020100, 0x0B0A0908, 0x13121110, 0x1B1A1918)
+OFFICIAL_PT = struct.pack("<2I", 0x7475432D, 0x3B726574)
+OFFICIAL_CT = struct.pack("<2I", 0x454E028B, 0x8C6FA548)
+
+
+def test_official_vector_encrypt():
+    assert Speck64128(OFFICIAL_KEY).encrypt_block(OFFICIAL_PT) == OFFICIAL_CT
+
+
+def test_official_vector_decrypt():
+    assert Speck64128(OFFICIAL_KEY).decrypt_block(OFFICIAL_CT) == OFFICIAL_PT
+
+
+def test_wrong_key_size_rejected():
+    with pytest.raises(ValueError):
+        Speck64128(b"short")
+
+
+@pytest.mark.parametrize("bad", [b"", b"7bytes!", b"9 bytes!!"])
+def test_wrong_block_size_rejected(bad):
+    cipher = Speck64128(OFFICIAL_KEY)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(bad)
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(bad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=8, max_size=8))
+def test_block_roundtrip(key, block):
+    cipher = Speck64128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=4, max_size=4),
+    payload=st.binary(max_size=100),
+)
+def test_ctr_roundtrip(key, nonce, payload):
+    cipher = Speck64128(key)
+    assert ctr_decrypt(cipher, nonce, ctr_encrypt(cipher, nonce, payload)) == payload
+
+
+def test_ctr_distinct_nonces_give_distinct_ciphertexts():
+    cipher = Speck64128(OFFICIAL_KEY)
+    payload = b"\x00" * 16
+    assert ctr_encrypt(cipher, b"aaaa", payload) != ctr_encrypt(cipher, b"bbbb", payload)
+
+
+def test_ctr_preserves_length():
+    cipher = Speck64128(OFFICIAL_KEY)
+    for size in (0, 1, 7, 8, 9, 31):
+        assert len(ctr_encrypt(cipher, b"nonc", b"x" * size)) == size
+
+
+def test_ctr_rejects_bad_nonce():
+    cipher = Speck64128(OFFICIAL_KEY)
+    with pytest.raises(ValueError):
+        ctr_encrypt(cipher, b"toolong!", b"payload")

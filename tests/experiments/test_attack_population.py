@@ -1,0 +1,50 @@
+"""The shared attack-population helper behind the Fig. 4 harnesses."""
+
+import pytest
+
+from repro.experiments.fig4 import attack_population
+from repro.geo.datasets import make_database
+from repro.geo.grid import GridSpec
+
+GRID = GridSpec(rows=25, cols=25, cell_km=3.0)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return make_database(4, n_channels=12, grid=GRID, seed="pop-test")
+
+
+def test_bcm_only(database):
+    aggs = attack_population(database, 12, seed="pop-test")
+    assert set(aggs) == {"bcm"}
+    assert aggs["bcm"].n_users == 12
+    assert aggs["bcm"].failure_rate == 0.0  # truthful bids never mislead
+
+
+def test_bpm_included_when_requested(database):
+    aggs = attack_population(
+        database, 12, seed="pop-test", bpm_fraction=0.5, bpm_max_cells=50
+    )
+    assert "bpm" in aggs
+    # BPM only covers users with at least one positive bid.
+    assert aggs["bpm"].n_users <= aggs["bcm"].n_users
+    assert aggs["bpm"].mean_cells <= aggs["bcm"].mean_cells
+
+
+def test_bpm_cap_is_respected(database):
+    aggs = attack_population(
+        database, 12, seed="pop-test", bpm_fraction=1.0, bpm_max_cells=5
+    )
+    assert aggs["bpm"].mean_cells <= 5.0
+
+
+def test_label_separates_populations(database):
+    a = attack_population(database, 8, seed="pop-test", label="one")
+    b = attack_population(database, 8, seed="pop-test", label="two")
+    assert a["bcm"].mean_cells != b["bcm"].mean_cells
+
+
+def test_same_label_is_deterministic(database):
+    a = attack_population(database, 8, seed="pop-test", label="same")
+    b = attack_population(database, 8, seed="pop-test", label="same")
+    assert a["bcm"] == b["bcm"]

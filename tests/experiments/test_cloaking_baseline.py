@@ -1,0 +1,57 @@
+"""The cloaking-vs-LPPA comparison harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.cloaking_baseline import cloaking_comparison_table
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig(
+    n_users=40,
+    n_channels=10,
+    channel_sweep=(10,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(40,),
+    n_rounds=1,
+    bpm_max_cells=100,
+    two_lambda=8,
+    bmax=127,
+    seed="test-cloak",
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return cloaking_comparison_table(
+        TINY, cloak_sizes=(1, 10), n_users=80, n_channels=10, two_lambda=10
+    )
+
+
+def test_row_structure(rows):
+    defences = [row["defence"] for row in rows]
+    assert defences[0] == "cloak 1x1"
+    assert defences[-1].startswith("LPPA")
+    for row in rows:
+        assert {"bpm_cells", "violations", "revenue_ratio"} <= set(row)
+
+
+def test_exact_defences_have_zero_violations(rows):
+    exact = [r for r in rows if r["defence"] in ("cloak 1x1",) or
+             r["defence"].startswith("LPPA")]
+    for row in exact:
+        assert row["violations"] == 0
+
+
+def test_lppa_blocks_bpm(rows):
+    lppa = rows[-1]
+    assert math.isnan(lppa["bpm_cells"])
+    assert lppa["bpm_failure"] == 1.0
+
+
+def test_cloaking_does_not_block_bpm(rows):
+    cloak = rows[0]
+    assert not math.isnan(cloak["bpm_cells"])
+    assert cloak["bpm_failure"] < 0.5

@@ -1,0 +1,34 @@
+"""The Theorem 4 communication-cost experiment."""
+
+from repro.experiments.comm import theorem4_table
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig(
+    n_users=5,
+    n_channels=4,
+    channel_sweep=(4,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(5,),
+    n_rounds=1,
+    bpm_max_cells=100,
+    two_lambda=6,
+    bmax=127,
+    seed="test-comm",
+)
+
+
+def test_rows_report_zero_prediction_error():
+    rows = theorem4_table(TINY, sweep=((4, 3), (8, 3)))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["error"] == 0.0
+        assert row["measured_kbits"] == row["predicted_kbits"]
+        assert row["location_kbits"] > 0
+
+
+def test_cost_scales_linearly_with_users():
+    rows = theorem4_table(TINY, sweep=((4, 3), (8, 3)))
+    # as_row rounds to 0.1 kbit, so allow that much slack on the doubling.
+    assert abs(rows[1]["measured_kbits"] - 2 * rows[0]["measured_kbits"]) <= 0.2

@@ -1,0 +1,45 @@
+"""Experiment presets."""
+
+import pytest
+
+from repro.experiments.config import FULL, SMOKE, ExperimentConfig, default_config
+
+
+def test_presets_are_valid():
+    for preset in (SMOKE, FULL):
+        assert preset.n_users >= 1
+        assert preset.n_channels == 129
+        assert all(0 < f <= 1 for f in preset.attack_fractions)
+        assert all(0 <= p <= 1 for p in preset.zero_replace_probs)
+
+
+def test_full_is_larger_than_smoke():
+    assert FULL.n_users > SMOKE.n_users
+    assert len(FULL.zero_replace_probs) > len(SMOKE.zero_replace_probs)
+
+
+def test_default_config_env_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert default_config() is SMOKE
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert default_config() is FULL
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert default_config() is SMOKE
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(
+            n_users=0,
+            n_channels=10,
+            channel_sweep=(10,),
+            bpm_fractions=(0.5,),
+            attack_fractions=(0.5,),
+            zero_replace_probs=(0.5,),
+            n_users_sweep=(10,),
+            n_rounds=1,
+            bpm_max_cells=100,
+            two_lambda=4,
+            bmax=127,
+            seed="s",
+        )

@@ -1,0 +1,71 @@
+"""Fig. 4 harness — structure and qualitative shapes on a tiny preset."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import (
+    attack_population,
+    fig4ab_channel_sweep,
+    fig4c_four_areas,
+)
+from repro.geo.datasets import make_database
+
+TINY = ExperimentConfig(
+    n_users=15,
+    n_channels=40,
+    channel_sweep=(10, 40),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(15,),
+    n_rounds=1,
+    bpm_max_cells=250,
+    two_lambda=6,
+    bmax=127,
+    seed="test-fig4",
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return fig4ab_channel_sweep(TINY, area=4)
+
+
+def test_sweep_row_structure(sweep_rows):
+    attacks_per_k = {}
+    for row in sweep_rows:
+        assert {"channels", "attack", "cells", "success_rate"} <= set(row)
+        attacks_per_k.setdefault(row["channels"], []).append(row["attack"])
+    assert set(attacks_per_k) == {10, 40}
+    for attacks in attacks_per_k.values():
+        assert "BCM" in attacks and "BPM-0.5" in attacks
+
+
+def test_more_channels_shrink_bcm_output(sweep_rows):
+    bcm = {r["channels"]: r["cells"] for r in sweep_rows if r["attack"] == "BCM"}
+    assert bcm[40] <= bcm[10]
+
+
+def test_bpm_refines_bcm(sweep_rows):
+    by_k = {}
+    for row in sweep_rows:
+        by_k.setdefault(row["channels"], {})[row["attack"]] = row
+    for k, attacks in by_k.items():
+        assert attacks["BPM-0.5"]["cells"] <= attacks["BCM"]["cells"]
+
+
+def test_fig4c_covers_all_areas():
+    rows = fig4c_four_areas(TINY, areas=(3, 4))
+    assert [row["area"] for row in rows] == [3, 4]
+    for row in rows:
+        assert row["bcm_cells"] > 0
+        assert 0.0 <= row["bcm_success"] <= 1.0
+
+
+def test_attack_population_keys():
+    database = make_database(4, n_channels=8, seed="test-fig4")
+    aggs = attack_population(
+        database, 10, seed="test-fig4", bpm_fraction=0.5, bpm_max_cells=50
+    )
+    assert "bcm" in aggs
+    assert aggs["bcm"].n_users == 10

@@ -1,0 +1,87 @@
+"""Fig. 5 harness — structure and qualitative shapes on a tiny preset."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5 import fig5_performance_sweep, fig5_privacy_sweep
+
+TINY = ExperimentConfig(
+    n_users=20,
+    n_channels=30,
+    channel_sweep=(30,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.25, 0.8),
+    zero_replace_probs=(0.2, 1.0),
+    n_users_sweep=(20,),
+    n_rounds=1,
+    bpm_max_cells=250,
+    two_lambda=6,
+    bmax=127,
+    seed="test-fig5",
+)
+
+
+@pytest.fixture(scope="module")
+def privacy_rows():
+    return fig5_privacy_sweep(TINY)
+
+
+@pytest.fixture(scope="module")
+def performance_rows():
+    return fig5_performance_sweep(TINY)
+
+
+def test_privacy_reference_rows_present(privacy_rows):
+    names = {row["attack"] for row in privacy_rows}
+    assert "BCM (no LPPA)" in names
+    assert any(name.startswith("LPPA-BCM") for name in names)
+
+
+def test_privacy_sweep_covers_grid(privacy_rows):
+    lppa_rows = [r for r in privacy_rows if r["zero_replace"] != "-"]
+    combos = {(r["zero_replace"], r["attack"]) for r in lppa_rows}
+    assert len(combos) == 2 * 2  # replace probs x fractions
+
+
+def test_lppa_raises_failure_rate(privacy_rows):
+    """The defence's core claim: the attacker fails far more often."""
+    reference = next(
+        r for r in privacy_rows if r["attack"] == "BCM (no LPPA)"
+    )
+    lppa_rows = [r for r in privacy_rows if r["zero_replace"] != "-"]
+    assert max(r["failure_rate"] for r in lppa_rows) > reference["failure_rate"]
+
+
+def test_performance_rows_structure(performance_rows):
+    assert len(performance_rows) == 2  # one N, two replace probs
+    for row in performance_rows:
+        assert 0.0 <= row["revenue_ratio"] <= 1.5
+        assert 0.0 <= row["satisfaction_ratio"] <= 1.0
+
+
+def test_heavier_disguise_costs_performance(performance_rows):
+    by_replace = {row["zero_replace"]: row for row in performance_rows}
+    assert (
+        by_replace[1.0]["satisfaction_ratio"]
+        <= by_replace[0.2]["satisfaction_ratio"] + 0.1
+    )
+
+
+def test_ci_columns_appear_with_enough_rounds():
+    config = ExperimentConfig(
+        n_users=15, n_channels=10, channel_sweep=(10,), bpm_fractions=(0.5,),
+        attack_fractions=(0.5,), zero_replace_probs=(0.5,), n_users_sweep=(15,),
+        n_rounds=3, bpm_max_cells=100, two_lambda=6, bmax=127, seed="ci-cols",
+    )
+    rows = fig5_performance_sweep(config)
+    assert all("revenue_ci95" in row for row in rows)
+    for row in rows:
+        low, high = (
+            float(x) for x in row["revenue_ci95"].strip("[]").split(",")
+        )
+        assert low <= row["revenue_ratio"] + 1e-9
+        assert high >= row["revenue_ratio"] - 1e-9
+
+
+def test_ci_columns_absent_with_few_rounds(performance_rows):
+    assert all("revenue_ci95" not in row for row in performance_rows)

@@ -1,0 +1,69 @@
+"""The Paillier comparison baseline and the masking-backend ablation."""
+
+import pytest
+
+from repro.experiments.ablations import ablation_masking_backend
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paillier_baseline import (
+    baseline_comparison_table,
+    paillier_comparison_bytes,
+    paillier_submission_bytes,
+)
+
+TINY = ExperimentConfig(
+    n_users=10,
+    n_channels=8,
+    channel_sweep=(8,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(10,),
+    n_rounds=1,
+    bpm_max_cells=100,
+    two_lambda=6,
+    bmax=127,
+    seed="test-paillier",
+)
+
+
+def test_submission_cost_formula():
+    # 2048-bit modulus -> 4096-bit = 512-byte ciphertexts.
+    assert paillier_submission_bytes(10, 5, 2048) == 10 * 5 * 512
+
+
+def test_comparison_cost_formula():
+    # (N-1) comparisons per channel, one ciphertext per auctioneer each.
+    assert paillier_comparison_bytes(10, 5, 2048, n_auctioneers=3) == (
+        5 * 9 * 3 * 512
+    )
+
+
+def test_cost_validation():
+    with pytest.raises(ValueError):
+        paillier_submission_bytes(0, 5, 2048)
+    with pytest.raises(ValueError):
+        paillier_comparison_bytes(10, 5, 2048, n_auctioneers=1)
+
+
+def test_comparison_table_shape():
+    rows = baseline_comparison_table(
+        TINY, sweep=((10, 8), (20, 8)), demo_key_bits=64
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["paillier_total_kib"] > row["paillier_submit_kib"]
+        # The paper's claim: the Paillier route costs strictly more overall.
+        assert row["overhead_x"] > 1.0
+
+
+def test_masking_backend_ablation():
+    rows = ablation_masking_backend()
+    backends = {row["backend"] for row in rows}
+    assert len(backends) == 3
+    by_backend = {row["backend"]: row for row in rows}
+    ope = by_backend["keyed OPE"]
+    prefix = by_backend["prefix sets (LPPA)"]
+    # OPE is tiny but cannot answer hidden-range queries.
+    assert ope["bytes_per_entry"] < prefix["bytes_per_entry"]
+    assert ope["hidden_range_query"] == "no"
+    assert prefix["hidden_range_query"] == "yes"

@@ -1,0 +1,45 @@
+"""The combined markdown report."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import write_report
+
+TINY = ExperimentConfig(
+    n_users=12,
+    n_channels=15,
+    channel_sweep=(15,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(12,),
+    n_rounds=1,
+    bpm_max_cells=100,
+    two_lambda=6,
+    bmax=127,
+    seed="test-report",
+)
+
+
+def test_report_without_extensions(tmp_path):
+    path = write_report(tmp_path / "report.md", TINY, include_extensions=False)
+    text = path.read_text()
+    assert text.startswith("# LPPA reproduction report")
+    for heading in (
+        "Fig 4(a)(b)",
+        "Fig 4(c)",
+        "Fig 5(a)-(d)",
+        "Fig 5(e)(f)",
+        "Theorem 1",
+        "Theorem 4",
+    ):
+        assert heading in text
+    assert "Ablation" not in text
+
+
+def test_report_with_extensions(tmp_path):
+    path = write_report(tmp_path / "full.md", TINY)
+    text = path.read_text()
+    assert "Ablation — ID mixing" in text
+    assert "Extension — truthfulness" in text
+    assert "_Report generated in" in text

@@ -1,0 +1,32 @@
+"""The extension sections of the combined report."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import write_report
+
+TINY = ExperimentConfig(
+    n_users=10,
+    n_channels=12,
+    channel_sweep=(12,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(10,),
+    n_rounds=1,
+    bpm_max_cells=100,
+    two_lambda=6,
+    bmax=127,
+    seed="test-report-ext",
+)
+
+
+def test_extension_sections_present(tmp_path):
+    path = write_report(tmp_path / "ext.md", TINY)
+    text = path.read_text()
+    for heading in (
+        "Ablation — co-location oracle",
+        "Ablation — heterogeneous crowds",
+        "Baseline — location cloaking",
+        "Baseline — Paillier",
+        "Baseline — masking backends",
+    ):
+        assert heading in text, heading

@@ -1,0 +1,29 @@
+"""Table formatting."""
+
+from repro.experiments.tables import format_table
+
+
+def test_empty():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="T").startswith("T")
+
+
+def test_alignment_and_order():
+    rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}]
+    text = format_table(rows, title="demo")
+    lines = text.split("\n")
+    assert lines[0] == "demo"
+    assert lines[1].split() == ["a", "bb"]
+    assert len({len(line) for line in lines[2:]}) == 1  # aligned rows
+
+
+def test_missing_cells_render_empty():
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    text = format_table(rows)
+    assert "b" in text.split("\n")[0]
+
+
+def test_later_keys_are_appended():
+    rows = [{"a": 1}, {"b": 2}]
+    header = format_table(rows).split("\n")[0].split()
+    assert header == ["a", "b"]

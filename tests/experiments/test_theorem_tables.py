@@ -1,0 +1,26 @@
+"""Theorem validation tables."""
+
+from repro.experiments.theorem_tables import (
+    theorem1_table,
+    theorem2_table,
+    theorem3_table,
+)
+
+
+def test_theorem1_table_agreement():
+    rows = theorem1_table(cases=((3, 5), (2, 8)), trials=20000)
+    for row in rows:
+        assert row["paper"] == row["exact"]
+        assert abs(row["paper"] - row["monte_carlo"]) < 0.02
+
+
+def test_theorem2_table_exact_column_tracks_mc():
+    rows = theorem2_table(cases=((3, 6, 2),), trials=20000)
+    for row in rows:
+        assert abs(row["exact"] - row["monte_carlo"]) < 0.02
+
+
+def test_theorem3_table_shape():
+    rows = theorem3_table(cases=((6, 2),), trials=5000)
+    assert len(rows) == 1
+    assert {"m", "t", "paper", "monte_carlo"} <= set(rows[0])

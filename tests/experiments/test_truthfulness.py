@@ -1,0 +1,56 @@
+"""The shading (truthfulness) experiment."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.truthfulness import shading_experiment
+
+TINY = ExperimentConfig(
+    n_users=30,
+    n_channels=20,
+    channel_sweep=(20,),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.5,),
+    n_users_sweep=(30,),
+    n_rounds=1,
+    bpm_max_cells=250,
+    two_lambda=6,
+    bmax=127,
+    seed="test-truth",
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return shading_experiment(TINY, shades=(0.6, 1.0), n_rounds=15)
+
+
+def test_row_structure(rows):
+    assert [row["shade"] for row in rows] == [0.6, 1.0]
+    for row in rows:
+        assert "utility_first_price" in row and "utility_second_price" in row
+
+
+def test_first_price_truthful_utility_is_zero(rows):
+    truthful = next(row for row in rows if row["shade"] == 1.0)
+    assert truthful["utility_first_price"] == 0.0
+
+
+def test_first_price_rewards_shading(rows):
+    shaded = next(row for row in rows if row["shade"] == 0.6)
+    truthful = next(row for row in rows if row["shade"] == 1.0)
+    assert shaded["utility_first_price"] > truthful["utility_first_price"]
+
+
+def test_second_price_gives_truthful_bidder_surplus(rows):
+    truthful = next(row for row in rows if row["shade"] == 1.0)
+    assert truthful["utility_second_price"] > 0.0
+
+
+def test_second_price_shrinks_the_shading_gain(rows):
+    shaded = next(row for row in rows if row["shade"] == 0.6)
+    truthful = next(row for row in rows if row["shade"] == 1.0)
+    gain_first = shaded["utility_first_price"] - truthful["utility_first_price"]
+    gain_second = shaded["utility_second_price"] - truthful["utility_second_price"]
+    assert gain_second < gain_first

@@ -1,0 +1,59 @@
+"""Geo-location database queries."""
+
+import numpy as np
+import pytest
+
+from repro.geo.database import GeoLocationDatabase
+
+
+def test_query_matches_coverage(small_db):
+    cell = (50, 50)
+    result = small_db.query(cell)
+    available = small_db.available_channels(cell)
+    assert set(result) == available
+    for ch, quality in result.items():
+        assert quality == pytest.approx(small_db.channel_quality(cell, ch))
+        assert quality >= 0.0
+
+
+def test_unavailable_channels_have_zero_quality(small_db):
+    cell = (10, 10)
+    available = small_db.available_channels(cell)
+    for ch in range(small_db.n_channels):
+        if ch not in available:
+            assert small_db.channel_quality(cell, ch) == 0.0
+
+
+def test_channel_quality_bounds(small_db):
+    with pytest.raises(IndexError):
+        small_db.channel_quality((0, 0), small_db.n_channels)
+    with pytest.raises(IndexError):
+        small_db.channel_quality((0, 0), -1)
+
+
+def test_tensors_shapes(small_db):
+    grid = small_db.coverage.grid
+    availability = small_db.availability_tensor()
+    quality = small_db.quality_tensor()
+    assert availability.shape == (small_db.n_channels, grid.rows, grid.cols)
+    assert quality.shape == availability.shape
+    assert availability.dtype == bool
+
+
+def test_cells_matching_availability_is_intersection(small_db):
+    tensor = small_db.availability_tensor()
+    channels = [0, 2, 5]
+    expected = tensor[0] & tensor[2] & tensor[5]
+    assert np.array_equal(
+        small_db.cells_matching_availability(channels), expected
+    )
+
+
+def test_cells_matching_empty_list_is_whole_area(small_db):
+    grid = small_db.coverage.grid
+    assert small_db.cells_matching_availability([]).sum() == grid.n_cells
+
+
+def test_cells_matching_rejects_bad_channel(small_db):
+    with pytest.raises(IndexError):
+        small_db.cells_matching_availability([small_db.n_channels])

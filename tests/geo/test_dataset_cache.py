@@ -1,0 +1,42 @@
+"""Coverage-map memoisation."""
+
+import numpy as np
+
+from repro.geo.datasets import (
+    clear_coverage_cache,
+    make_coverage_map,
+)
+from repro.geo.grid import GridSpec
+
+GRID = GridSpec(rows=15, cols=15, cell_km=5.0)
+
+
+def test_identical_requests_share_the_object():
+    clear_coverage_cache()
+    a = make_coverage_map(1, n_channels=4, grid=GRID, seed="cache-test")
+    b = make_coverage_map(1, n_channels=4, grid=GRID, seed="cache-test")
+    assert a is b
+
+
+def test_smaller_channel_counts_are_sliced_from_cache():
+    clear_coverage_cache()
+    big = make_coverage_map(1, n_channels=6, grid=GRID, seed="cache-test")
+    small = make_coverage_map(1, n_channels=3, grid=GRID, seed="cache-test")
+    for ch in range(3):
+        assert small.channels[ch] is big.channels[ch]
+
+
+def test_different_seeds_do_not_collide():
+    clear_coverage_cache()
+    a = make_coverage_map(1, n_channels=2, grid=GRID, seed="seed-a")
+    b = make_coverage_map(1, n_channels=2, grid=GRID, seed="seed-b")
+    assert not np.array_equal(a.channels[0].rss_dbm, b.channels[0].rss_dbm)
+
+
+def test_clear_cache_forces_rebuild():
+    clear_coverage_cache()
+    a = make_coverage_map(1, n_channels=2, grid=GRID, seed="cache-test")
+    clear_coverage_cache()
+    b = make_coverage_map(1, n_channels=2, grid=GRID, seed="cache-test")
+    assert a is not b
+    assert np.array_equal(a.channels[0].rss_dbm, b.channels[0].rss_dbm)

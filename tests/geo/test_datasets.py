@@ -1,0 +1,91 @@
+"""The four synthetic evaluation areas."""
+
+import numpy as np
+import pytest
+
+from repro.geo.datasets import (
+    AREA_CONFIGS,
+    AreaConfig,
+    N_LA_CHANNELS,
+    make_coverage_map,
+    make_database,
+)
+from repro.geo.grid import GridSpec
+
+
+def test_la_channel_count():
+    assert N_LA_CHANNELS == 129
+
+
+def test_four_areas_configured():
+    assert sorted(AREA_CONFIGS) == [1, 2, 3, 4]
+    names = {cfg.name for cfg in AREA_CONFIGS.values()}
+    assert names == {"urban-core", "suburban-basin", "mixed", "rural"}
+
+
+def test_mode_probs_sum_to_one():
+    for config in AREA_CONFIGS.values():
+        assert sum(config.mode_probs) == pytest.approx(1.0)
+
+
+def test_invalid_area_config_rejected():
+    with pytest.raises(ValueError):
+        AreaConfig(
+            name="bad",
+            mode_probs=(0.5, 0.5, 0.5),
+            boundary_radius_km=(30, 80),
+            clear_distance_factor=(2, 3),
+            sigma_db=5,
+            correlation_km=8,
+            path_loss_exponent=3.5,
+        )
+
+
+def test_maps_are_deterministic():
+    a = make_coverage_map(3, n_channels=5)
+    b = make_coverage_map(3, n_channels=5)
+    for ca, cb in zip(a.channels, b.channels):
+        assert np.array_equal(ca.rss_dbm, cb.rss_dbm)
+
+
+def test_different_seeds_differ():
+    a = make_coverage_map(3, n_channels=3, seed="one")
+    b = make_coverage_map(3, n_channels=3, seed="two")
+    assert not all(
+        np.array_equal(ca.rss_dbm, cb.rss_dbm)
+        for ca, cb in zip(a.channels, b.channels)
+    )
+
+
+def test_channel_prefix_stability():
+    """Channel i's map does not depend on how many channels are built."""
+    small = make_coverage_map(4, n_channels=3)
+    large = make_coverage_map(4, n_channels=6)
+    for ch in range(3):
+        assert np.array_equal(
+            small.channels[ch].rss_dbm, large.channels[ch].rss_dbm
+        )
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        make_coverage_map(5)
+    with pytest.raises(ValueError):
+        make_coverage_map(1, n_channels=0)
+
+
+def _boundary_fraction(area, n_channels=60):
+    cmap = make_coverage_map(area, n_channels=n_channels)
+    fractions = [c.availability_fraction() for c in cmap.channels]
+    return sum(1 for f in fractions if 0.03 < f < 0.97) / n_channels
+
+
+def test_rural_has_more_boundary_channels_than_urban():
+    """The knob behind the paper's rural-beats-urban attack ordering."""
+    assert _boundary_fraction(4) > _boundary_fraction(3) > _boundary_fraction(2)
+
+
+def test_make_database_wraps_map():
+    db = make_database(1, n_channels=4, grid=GridSpec(rows=10, cols=10, cell_km=7.5))
+    assert db.n_channels == 4
+    assert db.coverage.grid.rows == 10

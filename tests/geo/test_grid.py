@@ -1,0 +1,80 @@
+"""Grid geometry."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import GridSpec
+
+
+def test_defaults_match_paper():
+    grid = GridSpec()
+    assert grid.rows == grid.cols == 100
+    assert grid.extent_km == (75.0, 75.0)
+    assert grid.n_cells == 10000
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        GridSpec(rows=0)
+    with pytest.raises(ValueError):
+        GridSpec(cell_km=0)
+
+
+def test_contains_and_require():
+    grid = GridSpec(rows=5, cols=7)
+    assert grid.contains((0, 0)) and grid.contains((4, 6))
+    assert not grid.contains((5, 0)) and not grid.contains((0, -1))
+    with pytest.raises(ValueError):
+        grid.require((5, 0))
+
+
+def test_index_round_trip():
+    grid = GridSpec(rows=4, cols=6)
+    for cell in grid.cells():
+        assert grid.cell_from_index(grid.cell_index(cell)) == cell
+    with pytest.raises(ValueError):
+        grid.cell_from_index(24)
+
+
+def test_cells_iterates_row_major():
+    grid = GridSpec(rows=2, cols=3)
+    assert list(grid.cells()) == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def test_center_km():
+    grid = GridSpec(rows=10, cols=10, cell_km=2.0)
+    assert grid.center_km((0, 0)) == (1.0, 1.0)
+    assert grid.center_km((9, 9)) == (19.0, 19.0)
+
+
+def test_centers_meshgrid_matches_scalar():
+    grid = GridSpec(rows=3, cols=4, cell_km=1.5)
+    yy, xx = grid.centers_km()
+    assert yy.shape == xx.shape == (3, 4)
+    for cell in grid.cells():
+        cy, cx = grid.center_km(cell)
+        assert yy[cell] == pytest.approx(cy)
+        assert xx[cell] == pytest.approx(cx)
+
+
+def test_distances():
+    grid = GridSpec(rows=10, cols=10, cell_km=1.0)
+    assert grid.distance_km((0, 0), (0, 3)) == pytest.approx(3.0)
+    assert grid.distance_cells((0, 0), (3, 4)) == pytest.approx(5.0)
+    assert grid.distance_km((2, 2), (2, 2)) == 0.0
+
+
+def test_random_cells_in_bounds():
+    grid = GridSpec(rows=8, cols=3)
+    cells = grid.random_cells(random.Random(0), 500)
+    assert len(cells) == 500
+    assert all(grid.contains(c) for c in cells)
+    # Uniformity sanity: every column index appears.
+    assert {c[1] for c in cells} == {0, 1, 2}
+
+
+def test_random_cells_rejects_negative_count():
+    with pytest.raises(ValueError):
+        GridSpec().random_cells(random.Random(0), -1)

@@ -1,0 +1,50 @@
+"""Coverage-map persistence."""
+
+import numpy as np
+import pytest
+
+from repro.geo.datasets import make_coverage_map
+from repro.geo.grid import GridSpec
+from repro.geo.io import load_coverage_map, save_coverage_map
+
+GRID = GridSpec(rows=15, cols=15, cell_km=5.0)
+
+
+def test_roundtrip(tmp_path):
+    original = make_coverage_map(3, n_channels=5, grid=GRID)
+    path = save_coverage_map(original, tmp_path / "map.npz")
+    restored = load_coverage_map(path)
+    assert restored.grid == original.grid
+    assert restored.n_channels == original.n_channels
+    for a, b in zip(original.channels, restored.channels):
+        assert a.channel == b.channel
+        assert a.threshold_dbm == b.threshold_dbm
+        assert np.array_equal(a.rss_dbm, b.rss_dbm)
+
+
+def test_derived_quantities_survive(tmp_path):
+    original = make_coverage_map(4, n_channels=3, grid=GRID)
+    path = save_coverage_map(original, tmp_path / "map.npz")
+    restored = load_coverage_map(path)
+    assert np.array_equal(
+        original.availability_stack(), restored.availability_stack()
+    )
+    assert np.allclose(original.quality_stack(), restored.quality_stack())
+
+
+def test_suffix_is_normalised(tmp_path):
+    original = make_coverage_map(3, n_channels=2, grid=GRID)
+    path = save_coverage_map(original, tmp_path / "bare")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_version_check(tmp_path):
+    original = make_coverage_map(3, n_channels=2, grid=GRID)
+    path = save_coverage_map(original, tmp_path / "map.npz")
+    with np.load(path) as data:
+        arrays = {key: data[key] for key in data.files}
+    arrays["version"] = np.array([99])
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(ValueError):
+        load_coverage_map(path)

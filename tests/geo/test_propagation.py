@@ -1,0 +1,66 @@
+"""Path-loss model."""
+
+import numpy as np
+import pytest
+
+from repro.geo.propagation import (
+    FCC_THRESHOLD_DBM,
+    PRACTICAL_THRESHOLD_DBM,
+    PropagationModel,
+)
+
+
+def test_paper_thresholds():
+    assert FCC_THRESHOLD_DBM == -114.0
+    assert PRACTICAL_THRESHOLD_DBM == -81.0
+
+
+def test_path_loss_at_reference_distance():
+    model = PropagationModel(reference_loss_db=100.0)
+    assert model.path_loss_db(np.array([1.0]))[0] == pytest.approx(100.0)
+
+
+def test_path_loss_monotone_in_distance():
+    model = PropagationModel()
+    distances = np.array([1.0, 2.0, 5.0, 20.0, 80.0])
+    losses = model.path_loss_db(distances)
+    assert np.all(np.diff(losses) > 0)
+
+
+def test_distances_below_reference_are_clamped():
+    model = PropagationModel()
+    assert model.path_loss_db(np.array([0.0]))[0] == model.path_loss_db(
+        np.array([1.0])
+    )[0]
+
+
+def test_exponent_decade_slope():
+    model = PropagationModel(path_loss_exponent=3.5)
+    loss10 = model.path_loss_db(np.array([10.0]))[0]
+    loss100 = model.path_loss_db(np.array([100.0]))[0]
+    assert loss100 - loss10 == pytest.approx(35.0)
+
+
+def test_received_power_and_shadowing():
+    model = PropagationModel(reference_loss_db=100.0)
+    rss = model.received_dbm(70.0, np.array([1.0]), np.array([5.0]))
+    assert rss[0] == pytest.approx(70.0 - 100.0 + 5.0)
+
+
+def test_coverage_radius_inverts_received_power():
+    model = PropagationModel()
+    radius = model.coverage_radius_km(70.0, PRACTICAL_THRESHOLD_DBM)
+    rss_at_radius = model.received_dbm(70.0, np.array([radius]))
+    assert rss_at_radius[0] == pytest.approx(PRACTICAL_THRESHOLD_DBM)
+
+
+def test_coverage_radius_zero_when_underpowered():
+    model = PropagationModel()
+    assert model.coverage_radius_km(-50.0, PRACTICAL_THRESHOLD_DBM) == 0.0
+
+
+def test_invalid_model_rejected():
+    with pytest.raises(ValueError):
+        PropagationModel(reference_km=0.0)
+    with pytest.raises(ValueError):
+        PropagationModel(path_loss_exponent=0.0)

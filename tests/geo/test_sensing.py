@@ -1,0 +1,75 @@
+"""Energy-detector spectrum sensing."""
+
+import math
+import random
+
+import pytest
+
+from repro.geo.sensing import EnergyDetector, SensingReport
+
+
+def test_effective_sigma_shrinks_with_samples():
+    noisy = EnergyDetector(noise_sigma_db=4.0, n_samples=1)
+    averaged = EnergyDetector(noise_sigma_db=4.0, n_samples=16)
+    assert averaged.effective_sigma_db == pytest.approx(1.0)
+    assert averaged.effective_sigma_db < noisy.effective_sigma_db
+
+
+def test_noiseless_detector_matches_database(small_db):
+    detector = EnergyDetector(noise_sigma_db=0.0, n_samples=1)
+    rng = random.Random(0)
+    for cell in [(0, 0), (50, 50), (99, 99)]:
+        sensed = detector.available_set(small_db, cell, rng)
+        assert sensed == small_db.available_channels(cell)
+
+
+def test_noiseless_quality_matches_database(small_db):
+    detector = EnergyDetector(noise_sigma_db=0.0, n_samples=1)
+    rng = random.Random(0)
+    cell = (50, 50)
+    for report in detector.sense_all(small_db, cell, rng):
+        assert report.quality_estimate == pytest.approx(
+            small_db.channel_quality(cell, report.channel), abs=1e-9
+        )
+
+
+def test_noisy_detector_sometimes_errs(small_db):
+    """Near coverage contours, measurement noise flips verdicts."""
+    detector = EnergyDetector(noise_sigma_db=6.0, n_samples=1)
+    rng = random.Random(7)
+    mismatches = 0
+    for cell in small_db.coverage.grid.random_cells(random.Random(1), 60):
+        sensed = detector.available_set(small_db, cell, rng)
+        truth = small_db.available_channels(cell)
+        mismatches += len(sensed ^ truth)
+    assert mismatches > 0
+
+
+def test_reports_are_structured(small_db):
+    detector = EnergyDetector()
+    reports = detector.sense_all(small_db, (10, 10), random.Random(2))
+    assert len(reports) == small_db.n_channels
+    for report in reports:
+        assert 0.0 <= report.quality_estimate <= 1.0
+        assert report.available == (report.measured_dbm <= detector.threshold_dbm)
+
+
+def test_sensing_bids_pipeline(small_db):
+    from repro.auction.bidders import generate_users_from_sensing
+
+    detector = EnergyDetector(noise_sigma_db=2.0, n_samples=4)
+    users = generate_users_from_sensing(
+        small_db, 10, random.Random(3), detector
+    )
+    assert len(users) == 10
+    assert any(u.max_bid() > 0 for u in users)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EnergyDetector(noise_sigma_db=-1.0)
+    with pytest.raises(ValueError):
+        EnergyDetector(n_samples=0)
+    with pytest.raises(ValueError):
+        SensingReport(channel=0, measured_dbm=-90.0, available=True,
+                      quality_estimate=1.5)

@@ -1,0 +1,31 @@
+"""Dataset statistics artifact."""
+
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.geo.summary import area_summary_table, channel_mode_counts
+
+GRID = GridSpec(rows=20, cols=20, cell_km=3.75)
+
+
+def test_mode_counts_partition_channels(tiny_db):
+    counts = channel_mode_counts(tiny_db.coverage)
+    assert sum(counts.values()) == tiny_db.n_channels
+    assert set(counts) == {"covered", "boundary", "clear"}
+
+
+def test_summary_rows():
+    rows = area_summary_table(areas=(3, 4), n_channels=40, grid=GRID)
+    assert [row["area"] for row in rows] == [3, 4]
+    for row in rows:
+        assert row["covered"] + row["boundary"] + row["clear"] == 40
+        assert 0.0 <= row["mean_availability"] <= 1.0
+        assert 0.0 <= row["mean_usable_quality"] <= 1.0
+
+
+def test_rural_beats_urban_on_boundary_channels():
+    """The calibration DESIGN.md documents, as a measured artifact."""
+    rows = area_summary_table(areas=(2, 4), n_channels=60, grid=GRID)
+    suburban = next(r for r in rows if r["area"] == 2)
+    rural = next(r for r in rows if r["area"] == 4)
+    assert rural["boundary"] > suburban["boundary"]

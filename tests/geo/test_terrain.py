@@ -1,0 +1,53 @@
+"""Shadowing-field generation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.geo.terrain import shadowing_field
+from repro.utils.rng import numpy_rng
+
+GRID = GridSpec(rows=60, cols=60, cell_km=1.0)
+
+
+def test_shape_and_zero_mean_ish():
+    field = shadowing_field(GRID, numpy_rng("t", "a"), sigma_db=6.0, correlation_km=8.0)
+    assert field.shape == (60, 60)
+    assert abs(field.mean()) < 3.0  # zero-mean up to sampling noise
+
+
+def test_marginal_sigma_is_renormalised():
+    field = shadowing_field(GRID, numpy_rng("t", "b"), sigma_db=7.5, correlation_km=6.0)
+    assert field.std() == pytest.approx(7.5, rel=1e-6)
+
+
+def test_zero_sigma_gives_flat_field():
+    field = shadowing_field(GRID, numpy_rng("t", "c"), sigma_db=0.0, correlation_km=5.0)
+    assert np.all(field == 0.0)
+
+
+def test_determinism_per_stream():
+    a = shadowing_field(GRID, numpy_rng("t", "d"), sigma_db=5.0, correlation_km=5.0)
+    b = shadowing_field(GRID, numpy_rng("t", "d"), sigma_db=5.0, correlation_km=5.0)
+    assert np.array_equal(a, b)
+    c = shadowing_field(GRID, numpy_rng("t", "e"), sigma_db=5.0, correlation_km=5.0)
+    assert not np.array_equal(a, c)
+
+
+def test_longer_correlation_means_smoother_field():
+    """Mean neighbour difference should drop as correlation length grows."""
+    def roughness(correlation_km):
+        field = shadowing_field(
+            GRID, numpy_rng("t", "f"), sigma_db=6.0, correlation_km=correlation_km
+        )
+        return np.abs(np.diff(field, axis=0)).mean()
+
+    assert roughness(20.0) < roughness(2.0)
+
+
+def test_invalid_parameters_rejected():
+    rng = numpy_rng("t", "g")
+    with pytest.raises(ValueError):
+        shadowing_field(GRID, rng, sigma_db=-1.0, correlation_km=5.0)
+    with pytest.raises(ValueError):
+        shadowing_field(GRID, rng, sigma_db=5.0, correlation_km=0.0)

@@ -1,0 +1,50 @@
+"""Transmitter placement."""
+
+import random
+
+import pytest
+
+from repro.geo.grid import GridSpec
+from repro.geo.transmitters import Transmitter, place_transmitters
+
+GRID = GridSpec(rows=20, cols=20, cell_km=1.0)
+
+
+def test_placement_count_and_channel():
+    towers = place_transmitters(
+        GRID, random.Random(0), 7, count=3, margin_km=10.0, power_dbm_range=(60, 70)
+    )
+    assert len(towers) == 3
+    assert all(t.channel == 7 for t in towers)
+
+
+def test_placement_respects_box_and_power():
+    towers = place_transmitters(
+        GRID, random.Random(1), 0, count=50, margin_km=5.0, power_dbm_range=(60, 70)
+    )
+    for t in towers:
+        assert -5.0 <= t.y_km <= 25.0
+        assert -5.0 <= t.x_km <= 25.0
+        assert 60.0 <= t.power_dbm <= 70.0
+
+
+def test_placement_is_deterministic():
+    kwargs = dict(count=4, margin_km=3.0, power_dbm_range=(55, 65))
+    a = place_transmitters(GRID, random.Random(9), 1, **kwargs)
+    b = place_transmitters(GRID, random.Random(9), 1, **kwargs)
+    assert a == b
+
+
+def test_invalid_arguments_rejected():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        place_transmitters(GRID, rng, 0, count=0, margin_km=1.0, power_dbm_range=(60, 70))
+    with pytest.raises(ValueError):
+        place_transmitters(GRID, rng, 0, count=1, margin_km=-1.0, power_dbm_range=(60, 70))
+    with pytest.raises(ValueError):
+        place_transmitters(GRID, rng, 0, count=1, margin_km=1.0, power_dbm_range=(70, 60))
+
+
+def test_transmitter_validation():
+    with pytest.raises(ValueError):
+        Transmitter(y_km=0.0, x_km=0.0, power_dbm=60.0, channel=-1)

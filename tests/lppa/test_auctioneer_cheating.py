@@ -1,0 +1,73 @@
+"""Auctioneer-level handling of TTP cheating verdicts."""
+
+import random
+
+import pytest
+
+from repro.lppa.auctioneer import Auctioneer
+from repro.lppa.bids_advanced import submit_bids_advanced
+from repro.lppa.bids_basic import encrypt_bid_value
+from repro.lppa.location import submit_location
+from repro.lppa.messages import BidSubmission, MaskedBid
+from repro.lppa.ttp import TrustedThirdParty
+from repro.geo.grid import GridSpec
+
+GRID = GridSpec(rows=10, cols=10, cell_km=1.0)
+
+
+def test_cheating_winner_aborts_charging():
+    """A bidder sealing a different price to the TTP is detected at
+    charging time and the auctioneer refuses to assemble the outcome."""
+    ttp, keyring, scale = TrustedThirdParty.setup(b"cheat", 1, bmax=30)
+    rng = random.Random(0)
+
+    honest, _ = submit_bids_advanced(1, [5], keyring, scale, rng)
+    cheater_sub, _ = submit_bids_advanced(0, [20], keyring, scale, rng)
+    cheaper = scale.expand(scale.offset_value(2), rng)
+    forged = BidSubmission(
+        user_id=0,
+        channel_bids=(
+            MaskedBid(
+                family=cheater_sub.channel_bids[0].family,
+                tail=cheater_sub.channel_bids[0].tail,
+                ciphertext=encrypt_bid_value(keyring.gc, cheaper, rng),
+            ),
+        ),
+    )
+
+    auctioneer = Auctioneer(1)
+    auctioneer.receive_locations(
+        [
+            submit_location(0, (1, 1), keyring.g0, GRID, 2),
+            submit_location(1, (8, 8), keyring.g0, GRID, 2),
+        ]
+    )
+    auctioneer.receive_bids([forged, honest])
+    auctioneer.run_allocation(rng)
+    # The cheater masked 20 (wins the column) but sealed 2.
+    with pytest.raises(RuntimeError, match="cheating"):
+        auctioneer.charge_winners(ttp, n_users=2)
+
+
+def test_assignments_property_roundtrip():
+    ttp, keyring, scale = TrustedThirdParty.setup(b"assign", 2, bmax=30)
+    rng = random.Random(1)
+    subs = [
+        submit_bids_advanced(i, [10, 3], keyring, scale, rng)[0]
+        for i in range(2)
+    ]
+    auctioneer = Auctioneer(2)
+    auctioneer.receive_locations(
+        [
+            submit_location(0, (0, 0), keyring.g0, GRID, 2),
+            submit_location(1, (9, 9), keyring.g0, GRID, 2),
+        ]
+    )
+    auctioneer.receive_bids(subs)
+    with pytest.raises(RuntimeError):
+        auctioneer.assignments
+    assignments = auctioneer.run_allocation(rng)
+    assert auctioneer.assignments == assignments
+    # The returned list is a copy, not internal state.
+    auctioneer.assignments.clear()
+    assert auctioneer.assignments == assignments

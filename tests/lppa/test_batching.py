@@ -1,0 +1,85 @@
+"""TTP batch scheduling."""
+
+import pytest
+
+from repro.lppa.batching import (
+    ChargeQueue,
+    TtpSchedule,
+    simulate_charging,
+)
+
+
+def test_schedule_windows():
+    schedule = TtpSchedule(period=10.0, capacity=5)
+    assert list(schedule.windows_until(25.0)) == [0.0, 10.0, 20.0]
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        TtpSchedule(period=0.0, capacity=5)
+    with pytest.raises(ValueError):
+        TtpSchedule(period=1.0, capacity=0)
+
+
+def test_queue_fifo_and_capacity():
+    queue = ChargeQueue()
+    queue.deposit(0.0, 3)
+    queue.deposit(5.0, 2)
+    served = queue.drain(10.0, capacity=4)
+    assert [req_id for _, req_id in served] == [0, 1, 2, 3]
+    assert len(queue) == 1
+
+
+def test_queue_respects_deposit_time():
+    queue = ChargeQueue()
+    queue.deposit(100.0, 2)
+    assert queue.drain(50.0, capacity=10) == []
+
+
+def test_queue_rejects_time_travel():
+    queue = ChargeQueue()
+    queue.deposit(10.0, 1)
+    with pytest.raises(ValueError):
+        queue.deposit(5.0, 1)
+
+
+def test_single_round_latency_is_wait_to_next_window():
+    schedule = TtpSchedule(period=10.0, capacity=100)
+    report = simulate_charging(schedule, [3.0], [4])
+    assert report.served == 4
+    # Deposited at t=3, first serving window at t=10.
+    assert report.mean_latency == pytest.approx(7.0)
+    assert report.max_latency == pytest.approx(7.0)
+
+
+def test_capacity_spreads_backlog_over_windows():
+    schedule = TtpSchedule(period=10.0, capacity=2)
+    report = simulate_charging(schedule, [0.0], [5])
+    assert report.served == 5
+    # Windows at t=0 (2 served, latency 0), t=10 (2), t=20 (1):
+    # mean = (0 + 0 + 10 + 10 + 20) / 5 = 8.
+    assert report.mean_latency == pytest.approx(8.0)
+    assert report.max_latency == pytest.approx(20.0)
+
+
+def test_longer_period_trades_latency_for_duty_cycle():
+    rounds = [float(t) for t in range(0, 100, 10)]
+    winners = [5] * len(rounds)
+    fast = simulate_charging(TtpSchedule(period=5.0, capacity=50), rounds, winners)
+    slow = simulate_charging(TtpSchedule(period=50.0, capacity=50), rounds, winners)
+    assert fast.mean_latency < slow.mean_latency
+    assert slow.duty_cycle >= fast.duty_cycle
+
+
+def test_everything_served_by_default_horizon():
+    schedule = TtpSchedule(period=7.0, capacity=3)
+    report = simulate_charging(schedule, [0.0, 1.0, 30.0], [4, 4, 4])
+    assert report.served == report.n_requests == 12
+
+
+def test_validation():
+    schedule = TtpSchedule(period=1.0, capacity=1)
+    with pytest.raises(ValueError):
+        simulate_charging(schedule, [0.0, 1.0], [1])
+    with pytest.raises(ValueError):
+        simulate_charging(schedule, [5.0, 0.0], [1, 1])

@@ -1,0 +1,181 @@
+"""The advanced private bid submission scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import generate_keyring
+from repro.lppa.bids_advanced import (
+    BidScale,
+    disguise_and_expand,
+    submit_bids_advanced,
+)
+from repro.lppa.bids_basic import decrypt_bid_value
+from repro.lppa.policies import KeepZeroPolicy, UniformReplacePolicy
+from repro.prefix.membership import is_member
+from repro.prefix.ranges import max_cover_size
+
+SCALE = BidScale(bmax=30, rd=4, cr=8)
+KEYRING = generate_keyring(b"advanced-test", 3, rd=4, cr=8)
+
+
+class TestBidScale:
+    def test_emax_and_width(self):
+        assert SCALE.emax == 8 * 35 - 1
+        assert SCALE.width == SCALE.emax.bit_length()
+        assert SCALE.pad_to == max_cover_size(SCALE.width)
+
+    def test_offset_and_contract_roundtrip(self):
+        rng = random.Random(0)
+        for bid in (0, 1, 15, 30):
+            offset = SCALE.offset_value(bid)
+            expanded = SCALE.expand(offset, rng)
+            assert SCALE.cr * offset <= expanded < SCALE.cr * (offset + 1)
+            assert SCALE.contract(expanded) == offset
+
+    def test_zero_marker_band(self):
+        assert SCALE.is_zero_marker(0)
+        assert SCALE.is_zero_marker(4)
+        assert not SCALE.is_zero_marker(5)
+
+    def test_expansion_preserves_order_of_distinct_values(self):
+        rng = random.Random(1)
+        low = SCALE.expand(3, rng)
+        high = SCALE.expand(4, rng)
+        assert low < high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BidScale(bmax=0, rd=4, cr=8)
+        with pytest.raises(ValueError):
+            BidScale(bmax=10, rd=0, cr=8)
+        with pytest.raises(ValueError):
+            SCALE.offset_value(31)
+        with pytest.raises(ValueError):
+            SCALE.expand(36, random.Random(0))
+        with pytest.raises(ValueError):
+            SCALE.contract(SCALE.emax + 1)
+
+
+class TestDisguiseAndExpand:
+    def test_positive_bids_are_truthful(self):
+        rng = random.Random(2)
+        disclosures = disguise_and_expand([5, 17], SCALE, rng)
+        for d, bid in zip(disclosures, [5, 17]):
+            assert not d.disguised
+            assert d.pretend_value == bid + SCALE.rd
+            assert d.true_expanded == d.masked_expanded
+            assert SCALE.contract(d.masked_expanded) == bid + SCALE.rd
+
+    def test_kept_zeros_spread_over_zero_band(self):
+        rng = random.Random(3)
+        disclosures = disguise_and_expand(
+            [0] * 200 + [9], SCALE, rng, policy=KeepZeroPolicy()
+        )
+        spread = {d.pretend_value for d in disclosures[:-1]}
+        assert spread <= set(range(SCALE.rd + 1))
+        assert len(spread) == SCALE.rd + 1  # every band value appears
+
+
+    def test_disguised_zero_has_split_personality(self):
+        rng = random.Random(4)
+        disclosures = disguise_and_expand(
+            [0] * 100 + [20], SCALE, rng, policy=UniformReplacePolicy(1.0)
+        )
+        disguised = [d for d in disclosures if d.disguised]
+        assert disguised, "with p=1 and a positive bid some zero must disguise"
+        for d in disguised:
+            assert d.true_bid == 0
+            assert SCALE.rd + 1 <= d.pretend_value <= 20 + SCALE.rd
+            assert SCALE.is_zero_marker(SCALE.contract(d.true_expanded))
+            assert not SCALE.is_zero_marker(SCALE.contract(d.masked_expanded))
+
+
+class TestSubmission:
+    def test_submission_matches_disclosures(self):
+        rng = random.Random(5)
+        submission, disclosure = submit_bids_advanced(
+            0, [5, 0, 17], KEYRING, SCALE, rng
+        )
+        assert submission.n_channels == 3
+        for ch, (mb, d) in enumerate(
+            zip(submission.channel_bids, disclosure.channels)
+        ):
+            assert (
+                decrypt_bid_value(KEYRING.gc, mb.ciphertext) == d.true_expanded
+            )
+
+    def test_tail_padded_to_worst_case(self):
+        rng = random.Random(6)
+        submission, _ = submit_bids_advanced(0, [5, 0, 17], KEYRING, SCALE, rng)
+        for mb in submission.channel_bids:
+            assert len(mb.tail) == SCALE.pad_to
+
+    def test_per_channel_keys_kill_cross_channel_comparison(self):
+        """Leak 1 of section IV.C.1, closed: same value, different channels."""
+        rng = random.Random(7)
+        submission, disclosure = submit_bids_advanced(
+            0, [9, 9, 9], KEYRING, SCALE, rng
+        )
+        fam0 = submission.channel_bids[0].family
+        tail1 = submission.channel_bids[1].tail
+        assert not is_member(fam0, tail1)
+
+    def test_order_readable_within_a_channel(self):
+        """The auctioneer can still compare two users on ONE channel."""
+        rng = random.Random(8)
+        sub_a, disc_a = submit_bids_advanced(0, [20, 0, 0], KEYRING, SCALE, rng)
+        sub_b, disc_b = submit_bids_advanced(1, [5, 0, 0], KEYRING, SCALE, rng)
+        assert is_member(
+            sub_a.channel_bids[0].family, sub_b.channel_bids[0].tail
+        )  # 20 >= 5
+        assert not is_member(
+            sub_b.channel_bids[0].family, sub_a.channel_bids[0].tail
+        )
+
+    def test_equal_bids_yield_distinct_masked_sets(self):
+        """The cr expansion's purpose: no ciphertext linkability."""
+        rng = random.Random(9)
+        sub_a, _ = submit_bids_advanced(0, [9, 0, 0], KEYRING, SCALE, rng)
+        sub_b, _ = submit_bids_advanced(1, [9, 0, 0], KEYRING, SCALE, rng)
+        assert (
+            sub_a.channel_bids[0].family.digests
+            != sub_b.channel_bids[0].family.digests
+        )
+
+    def test_channel_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            submit_bids_advanced(0, [1, 2], KEYRING, SCALE, random.Random(0))
+
+    def test_keyring_scale_mismatch_rejected(self):
+        other = BidScale(bmax=30, rd=2, cr=8)
+        with pytest.raises(ValueError):
+            submit_bids_advanced(0, [1, 2, 3], KEYRING, other, random.Random(0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bids=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    replace=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_pipeline_invariants_hold_for_random_inputs(bids, seed, replace):
+    rng = random.Random(seed)
+    disclosures = disguise_and_expand(
+        bids, SCALE, rng, policy=UniformReplacePolicy(replace)
+    )
+    for d, bid in zip(disclosures, bids):
+        assert d.true_bid == bid
+        assert 0 <= d.masked_expanded <= SCALE.emax
+        assert 0 <= d.true_expanded <= SCALE.emax
+        true_offset = SCALE.contract(d.true_expanded)
+        if bid > 0:
+            assert true_offset == bid + SCALE.rd
+            assert not d.disguised
+        else:
+            assert SCALE.is_zero_marker(true_offset)
+        if d.disguised:
+            assert d.pretend_value > SCALE.rd
+            assert d.pretend_value - SCALE.rd <= max(bids)

@@ -1,0 +1,113 @@
+"""Multi-round campaigns."""
+
+import random
+
+import pytest
+
+from repro.lppa.campaign import Campaign
+from repro.lppa.policies import UniformReplacePolicy
+
+
+@pytest.fixture()
+def campaign(small_db, small_users):
+    return Campaign(
+        small_db,
+        small_users[:20],
+        two_lambda=6,
+        bmax=127,
+        policy=UniformReplacePolicy(0.3),
+        rng=random.Random(11),
+    )
+
+
+def test_rounds_are_recorded_in_order(campaign):
+    records = campaign.run(3)
+    assert [r.round_index for r in records] == [0, 1, 2]
+    assert [r.deposit_time for r in records] == [0.0, 30.0, 60.0]
+    assert campaign.records == records
+
+
+def test_series_lengths(campaign):
+    campaign.run(4)
+    assert len(campaign.revenue_series()) == 4
+    assert len(campaign.satisfaction_series()) == 4
+    times, sizes = campaign.charge_deposits()
+    assert len(times) == len(sizes) == 4
+    assert all(size == 20 for size in sizes)  # full rows: everyone wins
+
+
+def test_mixing_gives_fresh_pseudonyms(campaign):
+    records = campaign.run(2)
+    assert records[0].pseudonyms is not None
+    overlap = set(records[0].pseudonyms.pseudonyms) & set(
+        records[1].pseudonyms.pseudonyms
+    )
+    assert len(overlap) <= 1
+
+
+def test_mixing_blocks_linkable_view(campaign):
+    campaign.run(1)
+    with pytest.raises(RuntimeError):
+        campaign.linkable_rankings()
+
+
+def test_unmixed_campaign_exposes_linkable_view(small_db, small_users):
+    campaign = Campaign(
+        small_db,
+        small_users[:10],
+        two_lambda=6,
+        bmax=127,
+        mix_ids=False,
+        rng=random.Random(3),
+    )
+    campaign.run(2)
+    assert records_none_pseudonyms(campaign.records)
+    assert len(campaign.linkable_rankings()) == 2
+
+
+def records_none_pseudonyms(records):
+    return all(r.pseudonyms is None for r in records)
+
+
+def test_bids_change_between_rounds(small_db, small_users):
+    campaign = Campaign(
+        small_db, small_users[:10], two_lambda=6, bmax=127,
+        rng=random.Random(5),
+    )
+    first, second = campaign.run(2)
+    # With fresh sensing noise the outcomes should differ.
+    assert (
+        first.outcome.sum_of_winning_bids()
+        != second.outcome.sum_of_winning_bids()
+        or first.outcome.wins != second.outcome.wins
+    )
+
+
+def test_conflict_graph_is_stable(campaign):
+    before = campaign.conflict_graph
+    campaign.run(2)
+    assert campaign.conflict_graph is before
+
+
+def test_revalidating_campaign(small_db, small_users):
+    campaign = Campaign(
+        small_db,
+        small_users[:15],
+        two_lambda=6,
+        bmax=127,
+        policy=UniformReplacePolicy(1.0),
+        revalidate=True,
+        rng=random.Random(7),
+    )
+    record = campaign.run_round()
+    assert all(w.valid for w in record.outcome.wins)
+
+
+def test_validation(small_db, small_users):
+    with pytest.raises(ValueError):
+        Campaign(small_db, [], two_lambda=6, bmax=127)
+    with pytest.raises(ValueError):
+        Campaign(small_db, small_users, two_lambda=6, bmax=127, round_interval=0)
+    campaign = Campaign(small_db, small_users[:5], two_lambda=6, bmax=127)
+    with pytest.raises(ValueError):
+        campaign.run(0)

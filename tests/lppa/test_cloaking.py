@@ -1,0 +1,84 @@
+"""The cloaking baseline."""
+
+import random
+
+import pytest
+
+from repro.auction.interference import count_violations
+from repro.geo.grid import GridSpec
+from repro.lppa.cloaking import cloak_cell, cloak_users, run_cloaked_auction
+
+GRID = GridSpec(rows=100, cols=100, cell_km=0.75)
+
+
+def test_cloak_snaps_to_supercell_centre():
+    assert cloak_cell((0, 0), GRID, 10) == (5, 5)
+    assert cloak_cell((9, 9), GRID, 10) == (5, 5)
+    assert cloak_cell((10, 0), GRID, 10) == (15, 5)
+    assert cloak_cell((99, 99), GRID, 10) == (95, 95)
+
+
+def test_cloak_size_one_is_identity():
+    for cell in [(0, 0), (42, 17), (99, 99)]:
+        assert cloak_cell(cell, GRID, 1) == cell
+
+
+def test_cloak_stays_in_grid():
+    grid = GridSpec(rows=13, cols=13, cell_km=1.0)
+    for cell in grid.cells():
+        cloaked = cloak_cell(cell, grid, 10)
+        assert grid.contains(cloaked)
+
+
+def test_cloak_validation():
+    with pytest.raises(ValueError):
+        cloak_cell((0, 0), GRID, 0)
+    with pytest.raises(ValueError):
+        cloak_cell((100, 0), GRID, 5)
+
+
+def test_cloak_users(small_users):
+    cloaked = cloak_users(small_users, GRID, 20)
+    assert len(cloaked) == len(small_users)
+    # Users sharing a super-cell share a cloak.
+    for user, cell in zip(small_users, cloaked):
+        assert cell == cloak_cell(user.cell, GRID, 20)
+
+
+def test_cloaked_auction_charges_true_bids(small_users):
+    outcome, conflict = run_cloaked_auction(
+        small_users, GRID, random.Random(0), two_lambda=6, cloak_size=10
+    )
+    for win in outcome.wins:
+        assert win.charge == small_users[win.bidder].bids[win.channel]
+    assert conflict.n_users == len(small_users)
+
+
+def test_coarse_cloak_can_cause_violations(small_db):
+    """Engineer a missed conflict: two near users straddling a boundary."""
+    from repro.auction.bidders import generate_users
+
+    # Cells (9, 9) and (10, 10) are 1 apart but cloak-10 to (5,5)/(15,15).
+    users = generate_users(
+        small_db, 2, random.Random(1), cells=[(9, 9), (10, 10)]
+    )
+    if not (users[0].available_set() & users[1].available_set()):
+        pytest.skip("no shared channel at the chosen cells")
+    outcome, conflict = run_cloaked_auction(
+        users, small_db.coverage.grid, random.Random(2),
+        two_lambda=6, cloak_size=10,
+    )
+    # The cloaked graph must miss the true conflict...
+    assert not conflict.are_conflicting(0, 1)
+    # ...so if both won the same channel, that is a physical violation.
+    report = count_violations(outcome, [u.cell for u in users], 6)
+    per_channel = {}
+    for win in outcome.valid_wins:
+        per_channel.setdefault(win.channel, []).append(win.bidder)
+    if any(len(v) == 2 for v in per_channel.values()):
+        assert report.n_violations > 0
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        run_cloaked_auction([], GRID, random.Random(0), two_lambda=6, cloak_size=5)

@@ -1,0 +1,105 @@
+"""Wire codec round-trips and size accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import generate_keyring
+from repro.geo.grid import GridSpec
+from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+from repro.lppa.codec import (
+    CodecError,
+    decode_bids,
+    decode_location,
+    decode_masked_set,
+    encode_bids,
+    encode_location,
+    encode_masked_set,
+    framing_overhead,
+)
+from repro.lppa.location import submit_location
+from repro.prefix.membership import mask_range, mask_value
+
+KEYRING = generate_keyring(b"codec-test", 3, rd=4, cr=8)
+SCALE = BidScale(bmax=30, rd=4, cr=8)
+GRID = GridSpec(rows=32, cols=32, cell_km=1.0)
+
+
+def _bid_submission(seed=0):
+    return submit_bids_advanced(
+        7, [5, 0, 22], KEYRING, SCALE, random.Random(seed)
+    )[0]
+
+
+def test_masked_set_roundtrip():
+    masked = mask_value(b"k", 123, 8)
+    decoded, offset = decode_masked_set(encode_masked_set(masked))
+    assert decoded == masked
+    assert offset == len(encode_masked_set(masked))
+
+
+def test_location_roundtrip():
+    sub = submit_location(3, (10, 20), KEYRING.g0, GRID, 4)
+    assert decode_location(encode_location(sub)) == sub
+
+
+def test_bids_roundtrip():
+    sub = _bid_submission()
+    assert decode_bids(encode_bids(sub)) == sub
+
+
+def test_encoded_size_is_payload_plus_framing():
+    bid_sub = _bid_submission()
+    assert len(encode_bids(bid_sub)) == bid_sub.wire_bytes() + framing_overhead(
+        bid_sub
+    )
+    loc_sub = submit_location(3, (10, 20), KEYRING.g0, GRID, 4)
+    assert len(encode_location(loc_sub)) == loc_sub.wire_bytes() + framing_overhead(
+        loc_sub
+    )
+
+
+def test_wrong_tag_rejected():
+    sub = _bid_submission()
+    with pytest.raises(CodecError):
+        decode_location(encode_bids(sub))
+    loc = submit_location(3, (10, 20), KEYRING.g0, GRID, 4)
+    with pytest.raises(CodecError):
+        decode_bids(encode_location(loc))
+
+
+def test_truncation_rejected():
+    blob = encode_bids(_bid_submission())
+    with pytest.raises(CodecError):
+        decode_bids(blob[:-3])
+    with pytest.raises(CodecError):
+        decode_masked_set(b"\x10\x00")
+
+
+def test_trailing_bytes_rejected():
+    blob = encode_location(submit_location(3, (10, 20), KEYRING.g0, GRID, 4))
+    with pytest.raises(CodecError):
+        decode_location(blob + b"\x00")
+
+
+def test_framing_overhead_validates_type():
+    with pytest.raises(TypeError):
+        framing_overhead("not a message")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=255),
+    low=st.integers(min_value=0, max_value=255),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_masked_set_roundtrip_random(x, low, seed):
+    rng = random.Random(seed)
+    family = mask_value(b"key", x, 8, digest_bytes=12)
+    cover = mask_range(b"key", min(low, 255), 255, 8, pad_to=14, rng=rng,
+                       digest_bytes=12)
+    for masked in (family, cover):
+        decoded, _ = decode_masked_set(encode_masked_set(masked))
+        assert decoded == masked

@@ -1,0 +1,37 @@
+"""Pseudonym mixing."""
+
+import random
+
+import pytest
+
+from repro.lppa.idpool import IdPool
+
+
+def test_fresh_pool_unique_ids():
+    pool = IdPool.fresh(50, random.Random(0))
+    assert pool.n_users == 50
+    assert len(set(pool.pseudonyms)) == 50
+
+
+def test_wire_id_and_reverse_map():
+    pool = IdPool.fresh(10, random.Random(1))
+    reverse = pool.reverse_map()
+    for user in range(10):
+        assert reverse[pool.wire_id(user)] == user
+
+
+def test_rounds_are_unlinkable():
+    """Fresh pools share (almost) no pseudonyms between rounds."""
+    round1 = IdPool.fresh(100, random.Random(2))
+    round2 = IdPool.fresh(100, random.Random(3))
+    overlap = set(round1.pseudonyms) & set(round2.pseudonyms)
+    assert len(overlap) < 5  # expected ~0.01 collisions at the default space
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IdPool.fresh(0, random.Random(0))
+    with pytest.raises(ValueError):
+        IdPool.fresh(10, random.Random(0), id_space=5)
+    with pytest.raises(ValueError):
+        IdPool(pseudonyms=(1, 1))

@@ -1,0 +1,55 @@
+"""Wire message structures and size accounting."""
+
+import pytest
+
+from repro.lppa.messages import USER_ID_BYTES, BidSubmission, LocationSubmission, MaskedBid
+from repro.prefix.membership import mask_range, mask_value
+
+KEY = b"k"
+
+
+def _masked_bid(value=5, width=4, bmax=15):
+    return MaskedBid(
+        family=mask_value(KEY, value, width),
+        tail=mask_range(KEY, value, bmax, width),
+        ciphertext=b"\x00" * 12,
+    )
+
+
+def test_location_submission_wire_bytes():
+    fam = mask_value(KEY, 7, 7)
+    rng = mask_range(KEY, 3, 11, 7)
+    sub = LocationSubmission(
+        user_id=1, x_family=fam, x_range=rng, y_family=fam, y_range=rng
+    )
+    expected = USER_ID_BYTES + 2 * fam.wire_bytes() + 2 * rng.wire_bytes()
+    assert sub.wire_bytes() == expected
+
+
+def test_masked_bid_wire_bytes():
+    mb = _masked_bid()
+    assert mb.wire_bytes() == mb.family.wire_bytes() + mb.tail.wire_bytes() + 12
+
+
+def test_masked_bid_requires_nonce_and_payload():
+    with pytest.raises(ValueError):
+        MaskedBid(
+            family=mask_value(KEY, 1, 4),
+            tail=mask_range(KEY, 1, 15, 4),
+            ciphertext=b"abc",
+        )
+
+
+def test_bid_submission_sizes():
+    bids = tuple(_masked_bid(v) for v in (2, 9, 0))
+    sub = BidSubmission(user_id=0, channel_bids=bids)
+    assert sub.n_channels == 3
+    assert sub.wire_bytes() == USER_ID_BYTES + sum(b.wire_bytes() for b in bids)
+    assert sub.masked_set_bytes() == sum(
+        b.family.wire_bytes() + b.tail.wire_bytes() for b in bids
+    )
+
+
+def test_bid_submission_needs_channels():
+    with pytest.raises(ValueError):
+        BidSubmission(user_id=0, channel_bids=())

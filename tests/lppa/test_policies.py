@@ -1,0 +1,84 @@
+"""Zero-disguise policies."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.lppa.policies import (
+    KeepZeroPolicy,
+    LinearDecreasingPolicy,
+    UniformDisguisePolicy,
+    UniformReplacePolicy,
+)
+
+
+def test_keep_zero_never_disguises():
+    policy = KeepZeroPolicy()
+    rng = random.Random(0)
+    assert all(policy.sample(rng, 100) == 0 for _ in range(100))
+    assert policy.replace_probability(100) == 0.0
+
+
+def test_linear_policy_replace_rate():
+    policy = LinearDecreasingPolicy(0.6)
+    rng = random.Random(1)
+    draws = [policy.sample(rng, 50) for _ in range(20000)]
+    rate = sum(1 for d in draws if d > 0) / len(draws)
+    assert rate == pytest.approx(0.6, abs=0.02)
+
+
+def test_linear_policy_weights_decrease():
+    """p_1 >= p_2 >= ... >= p_b(max), the paper's requirement."""
+    policy = LinearDecreasingPolicy(1.0)
+    rng = random.Random(2)
+    counts = Counter(policy.sample(rng, 10) for _ in range(60000))
+    # Compare well-separated values to keep sampling noise harmless.
+    assert counts[1] > counts[5] > counts[10]
+
+
+def test_uniform_replace_policy_is_flat():
+    policy = UniformReplacePolicy(1.0)
+    rng = random.Random(3)
+    counts = Counter(policy.sample(rng, 8) for _ in range(80000))
+    values = [counts[t] for t in range(1, 9)]
+    assert max(values) / min(values) < 1.2
+
+
+def test_uniform_disguise_matches_theorem3_law():
+    """p_0 = ... = p_b(max) = 1/(1+b(max))."""
+    policy = UniformDisguisePolicy()
+    rng = random.Random(4)
+    bmax = 9
+    counts = Counter(policy.sample(rng, bmax) for _ in range(50000))
+    for t in range(0, bmax + 1):
+        assert counts[t] / 50000 == pytest.approx(1 / (bmax + 1), abs=0.01)
+    assert policy.replace_probability(bmax) == pytest.approx(bmax / (bmax + 1))
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [
+        LinearDecreasingPolicy(1.0),
+        UniformReplacePolicy(1.0),
+        UniformDisguisePolicy(),
+    ],
+)
+def test_no_disguise_when_user_has_no_positive_bid(policy):
+    rng = random.Random(5)
+    assert all(policy.sample(rng, 0) == 0 for _ in range(50))
+    assert policy.replace_probability(0) == 0.0
+
+
+def test_samples_stay_within_user_scale():
+    policy = UniformReplacePolicy(1.0)
+    rng = random.Random(6)
+    assert all(0 <= policy.sample(rng, 7) <= 7 for _ in range(1000))
+
+
+@pytest.mark.parametrize("cls", [LinearDecreasingPolicy, UniformReplacePolicy])
+def test_invalid_probability_rejected(cls):
+    with pytest.raises(ValueError):
+        cls(-0.1)
+    with pytest.raises(ValueError):
+        cls(1.1)

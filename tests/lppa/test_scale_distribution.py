@@ -1,0 +1,48 @@
+"""Distributional properties of the cr expansion and rd spreading."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.lppa.bids_advanced import BidScale, disguise_and_expand
+from repro.lppa.policies import KeepZeroPolicy
+
+SCALE = BidScale(bmax=20, rd=4, cr=8)
+
+
+def test_expansion_is_uniform_within_slot():
+    """expand(v) must hit every offset in [cr*v, cr*(v+1)) near-uniformly."""
+    rng = random.Random(0)
+    counts = Counter(SCALE.expand(3, rng) - SCALE.cr * 3 for _ in range(40000))
+    assert set(counts) == set(range(SCALE.cr))
+    values = list(counts.values())
+    assert max(values) / min(values) < 1.15
+
+
+def test_zero_spreading_is_uniform_over_band():
+    """Stay-zero values must cover [0, rd] near-uniformly (§IV.C.2 step i)."""
+    rng = random.Random(1)
+    pretends = Counter()
+    for _ in range(20000):
+        (record,) = disguise_and_expand([0], SCALE, rng, policy=KeepZeroPolicy())
+        pretends[record.pretend_value] += 1
+    assert set(pretends) == set(range(SCALE.rd + 1))
+    values = list(pretends.values())
+    assert max(values) / min(values) < 1.15
+
+
+def test_expanded_zeros_never_reach_genuine_band():
+    """Spread zeros stay strictly below the smallest genuine bid's slot."""
+    rng = random.Random(2)
+    genuine_floor = SCALE.cr * SCALE.offset_value(1)  # smallest positive bid
+    for _ in range(5000):
+        (record,) = disguise_and_expand([0], SCALE, rng, policy=KeepZeroPolicy())
+        assert record.masked_expanded < genuine_floor
+
+
+def test_genuine_bids_order_is_never_violated_by_expansion():
+    rng = random.Random(3)
+    for _ in range(2000):
+        records = disguise_and_expand([3, 7], SCALE, rng)
+        assert records[0].masked_expanded < records[1].masked_expanded

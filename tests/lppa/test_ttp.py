@@ -1,0 +1,104 @@
+"""TTP charging, invalid-winner detection and cheating detection."""
+
+import random
+
+import pytest
+
+from repro.lppa.bids_advanced import submit_bids_advanced
+from repro.lppa.bids_basic import encrypt_bid_value
+from repro.lppa.messages import MaskedBid
+from repro.lppa.policies import UniformReplacePolicy
+from repro.lppa.ttp import ChargeDecision, ChargeStatus, TrustedThirdParty
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ttp, keyring, scale = TrustedThirdParty.setup(b"ttp-test", 2, bmax=30)
+    return ttp, keyring, scale
+
+
+def test_valid_charge_returns_original_bid(setup):
+    ttp, keyring, scale = setup
+    rng = random.Random(0)
+    submission, _ = submit_bids_advanced(0, [13, 7], keyring, scale, rng)
+    for channel, bid in enumerate([13, 7]):
+        decision = ttp.process_charge(channel, submission.channel_bids[channel])
+        assert decision.status is ChargeStatus.VALID
+        assert decision.charge == bid
+
+
+def test_zero_bid_is_invalid_winner(setup):
+    ttp, keyring, scale = setup
+    rng = random.Random(1)
+    submission, _ = submit_bids_advanced(0, [0, 7], keyring, scale, rng)
+    decision = ttp.process_charge(0, submission.channel_bids[0])
+    assert decision.status is ChargeStatus.INVALID_ZERO
+    assert decision.charge == 0
+
+
+def test_disguised_zero_is_unmasked(setup):
+    """The masked sets lie, the ciphertext doesn't: TTP flags the win."""
+    ttp, keyring, scale = setup
+    rng = random.Random(2)
+    submission, disclosure = submit_bids_advanced(
+        0, [0, 30], keyring, scale, rng, policy=UniformReplacePolicy(1.0)
+    )
+    assert disclosure.channels[0].disguised
+    decision = ttp.process_charge(0, submission.channel_bids[0])
+    assert decision.status is ChargeStatus.INVALID_ZERO
+
+
+def test_price_manipulation_detected(setup):
+    """A bidder sealing a lower price to the TTP than it masked is caught."""
+    ttp, keyring, scale = setup
+    rng = random.Random(3)
+    submission, disclosure = submit_bids_advanced(0, [20, 7], keyring, scale, rng)
+    genuine = submission.channel_bids[0]
+    cheaper = scale.expand(scale.offset_value(3), rng)
+    forged = MaskedBid(
+        family=genuine.family,
+        tail=genuine.tail,
+        ciphertext=encrypt_bid_value(keyring.gc, cheaper, rng),
+    )
+    assert ttp.process_charge(0, forged).status is ChargeStatus.CHEATING
+
+
+def test_out_of_domain_ciphertext_is_cheating(setup):
+    ttp, keyring, scale = setup
+    rng = random.Random(4)
+    submission, _ = submit_bids_advanced(0, [20, 7], keyring, scale, rng)
+    forged = MaskedBid(
+        family=submission.channel_bids[0].family,
+        tail=submission.channel_bids[0].tail,
+        ciphertext=encrypt_bid_value(keyring.gc, scale.emax + 100, rng),
+    )
+    assert ttp.process_charge(0, forged).status is ChargeStatus.CHEATING
+
+
+def test_batch_processing(setup):
+    ttp, keyring, scale = setup
+    rng = random.Random(5)
+    submission, _ = submit_bids_advanced(0, [13, 0], keyring, scale, rng)
+    decisions = ttp.process_batch(
+        [(0, submission.channel_bids[0]), (1, submission.channel_bids[1])]
+    )
+    assert [d.status for d in decisions] == [
+        ChargeStatus.VALID,
+        ChargeStatus.INVALID_ZERO,
+    ]
+
+
+def test_charge_decision_validation():
+    with pytest.raises(ValueError):
+        ChargeDecision(status=ChargeStatus.VALID, charge=0)
+    with pytest.raises(ValueError):
+        ChargeDecision(status=ChargeStatus.INVALID_ZERO, charge=5)
+
+
+def test_setup_rejects_mismatched_scale():
+    from repro.crypto.keys import generate_keyring
+    from repro.lppa.bids_advanced import BidScale
+
+    keyring = generate_keyring(b"x", 2, rd=4, cr=8)
+    with pytest.raises(ValueError):
+        TrustedThirdParty(keyring, BidScale(bmax=30, rd=2, cr=8))

@@ -1,0 +1,50 @@
+"""Direct masking of explicit prefix collections + digest-size handling."""
+
+import pytest
+
+from repro.prefix.membership import MaskedSet, mask_prefixes, mask_value
+from repro.prefix.prefixes import Prefix, prefix_family
+
+
+def test_mask_prefixes_matches_mask_value():
+    family = prefix_family(42, 8)
+    explicit = mask_prefixes(b"key", family)
+    convenience = mask_value(b"key", 42, 8)
+    assert explicit == convenience
+
+
+def test_distinct_prefixes_distinct_digests():
+    family = prefix_family(42, 8)
+    masked = mask_prefixes(b"key", family)
+    assert len(masked) == len(family)
+
+
+def test_digest_truncation_controls_wire_size():
+    family = prefix_family(42, 8)
+    wide = mask_prefixes(b"key", family, digest_bytes=32)
+    narrow = mask_prefixes(b"key", family, digest_bytes=8)
+    assert wide.wire_bytes() == 4 * narrow.wire_bytes()
+    # Truncation is prefix-of-digest: narrow digests are prefixes of wide.
+    wide_prefixes = {d[:8] for d in wide.digests}
+    assert narrow.digests == frozenset(wide_prefixes)
+
+
+def test_truncated_sets_preserve_membership():
+    from repro.prefix.membership import is_member, mask_range
+
+    for digest_bytes in (8, 16, 32):
+        fam = mask_value(b"k", 7, 4, digest_bytes=digest_bytes)
+        cover = mask_range(b"k", 6, 14, 4, digest_bytes=digest_bytes)
+        assert is_member(fam, cover)
+
+
+def test_mixed_digest_sizes_never_match():
+    fam16 = mask_value(b"k", 7, 4, digest_bytes=16)
+    fam8 = mask_value(b"k", 7, 4, digest_bytes=8)
+    assert not fam16.intersects(fam8)
+
+
+def test_empty_prefix_collection():
+    masked = mask_prefixes(b"key", [])
+    assert len(masked) == 0
+    assert not masked.intersects(mask_value(b"key", 1, 4))

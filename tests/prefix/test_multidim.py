@@ -1,0 +1,91 @@
+"""Multi-dimensional conjunctive masked range queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefix.multidim import mask_box, mask_point, point_in_box
+
+KEY = b"multidim-key"
+
+
+def test_2d_membership():
+    point = mask_point(KEY, (5, 9), (4, 4))
+    inside = mask_box(KEY, [(3, 7), (8, 12)], (4, 4))
+    outside_x = mask_box(KEY, [(6, 7), (8, 12)], (4, 4))
+    outside_y = mask_box(KEY, [(3, 7), (10, 12)], (4, 4))
+    assert point_in_box(point, inside)
+    assert not point_in_box(point, outside_x)
+    assert not point_in_box(point, outside_y)
+
+
+def test_3d_membership():
+    point = mask_point(KEY, (1, 2, 3), (3, 3, 3))
+    box = mask_box(KEY, [(0, 2), (2, 2), (0, 7)], (3, 3, 3))
+    assert point_in_box(point, box)
+
+
+def test_axis_separation():
+    """Axis i's family must not match axis j's cover, even for equal values."""
+    point = mask_point(KEY, (5, 6), (4, 4))
+    swapped_box = mask_box(KEY, [(6, 6), (5, 5)], (4, 4))
+    assert not point_in_box(point, swapped_box)
+
+
+def test_dimension_mismatch_rejected():
+    point = mask_point(KEY, (1, 2), (4, 4))
+    box = mask_box(KEY, [(0, 3)], (4,))
+    with pytest.raises(ValueError):
+        point_in_box(point, box)
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        mask_point(KEY, (1, 2), (4,))
+    with pytest.raises(ValueError):
+        mask_box(KEY, [(0, 3)], (4, 4))
+
+
+def test_wire_bytes():
+    point = mask_point(KEY, (5, 9), (4, 6))
+    assert point.wire_bytes() == sum(f.wire_bytes() for f in point.families)
+    box = mask_box(KEY, [(0, 3), (0, 63)], (4, 6))
+    assert box.wire_bytes() == sum(c.wire_bytes() for c in box.covers)
+
+
+def test_reproduces_the_conflict_predicate():
+    """The location protocol is the 2-D instantiation: the box query over
+    interference ranges equals the strict |Δ| < 2λ conflict predicate."""
+    from repro.auction.conflict import cells_conflict
+
+    width = 6
+    two_lambda = 4
+    d = two_lambda - 1
+    for a in [(5, 5), (10, 20), (0, 0)]:
+        point = mask_point(KEY, a, (width, width))
+        for b in [(5, 5), (8, 8), (9, 5), (5, 9), (20, 20), (13, 17)]:
+            box = mask_box(
+                KEY,
+                [
+                    (max(0, b[0] - d), b[0] + d),
+                    (max(0, b[1] - d), b[1] + d),
+                ],
+                (width, width),
+            )
+            assert point_in_box(point, box) == cells_conflict(a, b, two_lambda)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=31),
+    y=st.integers(min_value=0, max_value=31),
+    x0=st.integers(min_value=0, max_value=31),
+    y0=st.integers(min_value=0, max_value=31),
+    dx=st.integers(min_value=0, max_value=10),
+    dy=st.integers(min_value=0, max_value=10),
+)
+def test_membership_property(x, y, x0, y0, dx, dy):
+    x1, y1 = min(31, x0 + dx), min(31, y0 + dy)
+    point = mask_point(KEY, (x, y), (5, 5))
+    box = mask_box(KEY, [(x0, x1), (y0, y1)], (5, 5))
+    assert point_in_box(point, box) == (x0 <= x <= x1 and y0 <= y <= y1)

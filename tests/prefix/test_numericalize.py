@@ -1,0 +1,52 @@
+"""Prefix numericalization O(.)."""
+
+import itertools
+
+import pytest
+
+from repro.prefix.numericalize import (
+    numericalize,
+    numericalize_set,
+    numericalized_to_bytes,
+)
+from repro.prefix.prefixes import Prefix, prefix_family
+
+
+def test_paper_example():
+    """O(110*) = 11010 (section II.B)."""
+    assert numericalize(Prefix(0b110, 3, 4)) == 0b11010
+
+
+def test_full_and_empty_prefixes():
+    assert numericalize(Prefix(0b1010, 4, 4)) == 0b10101  # t1..tw then 1
+    assert numericalize(Prefix(0, 0, 4)) == 0b10000  # all wildcards
+
+
+def test_injective_over_all_prefixes_of_one_width():
+    width = 6
+    all_prefixes = [
+        Prefix(value, length, width)
+        for length in range(width + 1)
+        for value in range(1 << length)
+    ]
+    images = {numericalize(p) for p in all_prefixes}
+    assert len(images) == len(all_prefixes)
+
+
+def test_numericalize_set_preserves_order():
+    family = prefix_family(5, 4)
+    values = numericalize_set(family)
+    assert values == [numericalize(p) for p in family]
+
+
+def test_byte_encoding_is_fixed_length():
+    width = 12  # 13-bit numericalized values -> 2 bytes
+    for value in (0, 1, 2**13 - 1):
+        assert len(numericalized_to_bytes(value, width)) == 2
+
+
+def test_byte_encoding_distinguishes_values():
+    width = 7
+    family = prefix_family(100, width)
+    encodings = {numericalized_to_bytes(numericalize(p), width) for p in family}
+    assert len(encodings) == width + 1

@@ -1,0 +1,94 @@
+"""Prefixes and prefix families G(x)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefix.prefixes import Prefix, bit_width_for, prefix_family
+
+
+def test_paper_prefix_family_of_seven():
+    """Section II.B: G(7) for 4-bit numbers is {0111, 011*, 01**, 0***, ****}."""
+    family = [str(p) for p in prefix_family(7, 4)]
+    assert family == ["0111", "011*", "01**", "0***", "****"]
+
+
+def test_family_size_is_width_plus_one():
+    for width in (1, 4, 8, 12):
+        assert len(prefix_family(0, width)) == width + 1
+
+
+def test_family_members_all_contain_x():
+    for prefix in prefix_family(13, 5):
+        assert prefix.contains(13)
+
+
+def test_low_high_bounds():
+    p = Prefix(0b10, 2, 4)  # 10**
+    assert p.low == 8 and p.high == 11
+    full = Prefix(0, 0, 4)  # ****
+    assert full.low == 0 and full.high == 15
+
+
+def test_contains_matches_interval():
+    p = Prefix(0b110, 3, 4)  # 110*
+    inside = {x for x in range(16) if p.contains(x)}
+    assert inside == {12, 13}
+
+
+def test_contains_rejects_out_of_domain():
+    with pytest.raises(ValueError):
+        Prefix(0, 0, 4).contains(16)
+    with pytest.raises(ValueError):
+        Prefix(0, 0, 4).contains(-1)
+
+
+def test_children_partition_parent():
+    p = Prefix(0b1, 1, 4)
+    left, right = p.children()
+    assert left.low == p.low and right.high == p.high
+    assert left.high + 1 == right.low
+
+
+def test_full_prefix_has_no_children():
+    assert list(Prefix(0b1010, 4, 4).children()) == []
+
+
+def test_invalid_prefixes_rejected():
+    with pytest.raises(ValueError):
+        Prefix(4, 2, 4)  # value does not fit in length
+    with pytest.raises(ValueError):
+        Prefix(0, 5, 4)  # length exceeds width
+    with pytest.raises(ValueError):
+        Prefix(0, 0, 0)  # zero width
+
+
+def test_family_rejects_out_of_range_values():
+    with pytest.raises(ValueError):
+        prefix_family(16, 4)
+    with pytest.raises(ValueError):
+        prefix_family(-1, 4)
+
+
+def test_bit_width_for():
+    assert bit_width_for(0) == 1
+    assert bit_width_for(1) == 1
+    assert bit_width_for(2) == 2
+    assert bit_width_for(255) == 8
+    assert bit_width_for(256) == 9
+    with pytest.raises(ValueError):
+        bit_width_for(-1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=10).flatmap(
+    lambda w: st.tuples(st.just(w), st.integers(min_value=0, max_value=2**w - 1))
+))
+def test_family_is_exactly_the_containing_prefixes(case):
+    """G(x) holds one prefix per length, each containing x — no others."""
+    width, x = case
+    family = prefix_family(x, width)
+    assert len({p.length for p in family}) == width + 1
+    for p in family:
+        assert p.contains(x)
+        assert p.low <= x <= p.high

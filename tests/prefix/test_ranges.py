@@ -1,0 +1,79 @@
+"""Minimal range prefix covers Q([a, b])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefix.ranges import max_cover_size, range_cover
+
+
+def test_paper_example_6_14():
+    """Section II.B: the prefix set of [6, 14] is {011*, 10**, 110*, 1110}."""
+    assert [str(p) for p in range_cover(6, 14, 4)] == ["011*", "10**", "110*", "1110"]
+
+
+def test_full_domain_is_single_wildcard():
+    cover = range_cover(0, 15, 4)
+    assert len(cover) == 1 and str(cover[0]) == "****"
+
+
+def test_single_value_is_full_prefix():
+    cover = range_cover(9, 9, 4)
+    assert len(cover) == 1 and str(cover[0]) == "1001"
+
+
+def test_invalid_ranges_rejected():
+    with pytest.raises(ValueError):
+        range_cover(5, 4, 4)
+    with pytest.raises(ValueError):
+        range_cover(0, 16, 4)
+    with pytest.raises(ValueError):
+        range_cover(-1, 3, 4)
+    with pytest.raises(ValueError):
+        range_cover(0, 0, 0)
+
+
+def test_max_cover_size():
+    assert max_cover_size(1) == 1
+    assert max_cover_size(4) == 6
+    assert max_cover_size(12) == 22
+    with pytest.raises(ValueError):
+        max_cover_size(0)
+
+
+def test_worst_case_is_attained():
+    """[1, 2^w - 2] needs the full 2w - 2 prefixes."""
+    width = 6
+    cover = range_cover(1, 2**width - 2, width)
+    assert len(cover) == max_cover_size(width)
+
+
+@st.composite
+def _ranges(draw):
+    width = draw(st.integers(min_value=1, max_value=10))
+    low = draw(st.integers(min_value=0, max_value=2**width - 1))
+    high = draw(st.integers(min_value=low, max_value=2**width - 1))
+    return width, low, high
+
+
+@settings(max_examples=120, deadline=None)
+@given(_ranges())
+def test_cover_is_exact_disjoint_and_bounded(case):
+    width, low, high = case
+    cover = range_cover(low, high, width)
+    assert len(cover) <= max_cover_size(width)
+    # Disjoint intervals whose union is exactly [low, high].
+    intervals = sorted((p.low, p.high) for p in cover)
+    assert intervals[0][0] == low
+    assert intervals[-1][1] == high
+    for (a_low, a_high), (b_low, b_high) in zip(intervals, intervals[1:]):
+        assert a_high + 1 == b_low
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ranges())
+def test_membership_matches_interval(case):
+    width, low, high = case
+    cover = range_cover(low, high, width)
+    for x in range(2**width):
+        assert any(p.contains(x) for p in cover) == (low <= x <= high)

@@ -1,0 +1,73 @@
+"""The command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_demo(capsys):
+    assert main(["demo", "--users", "10", "--channels", "6", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "revenue" in out and "satisfaction" in out
+
+
+def test_coverage(capsys):
+    assert main(
+        ["coverage", "--area", "4", "--channel", "1", "--channels", "4",
+         "--step", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "usable" in out
+    assert "#" in out or "." in out
+
+
+def test_coverage_bad_channel(capsys):
+    assert main(
+        ["coverage", "--channel", "10", "--channels", "4"]
+    ) == 2
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("figures", "theorems", "ablations", "coverage", "demo"):
+        args = parser.parse_args(
+            [command] if command != "coverage" else [command, "--area", "1"]
+        )
+        assert args.command == command
+
+
+def test_theorems_command(capsys):
+    assert main(["theorems"]) == 0
+    out = capsys.readouterr().out
+    for heading in ("Theorem 1", "Theorem 2", "Theorem 3", "Theorem 4"):
+        assert heading in out
+
+
+def test_figures_only_fig4(capsys, monkeypatch):
+    # Keep it fast: shrink the smoke preset for this invocation.
+    import repro.experiments as exp
+    from repro.experiments.config import ExperimentConfig
+
+    tiny = ExperimentConfig(
+        n_users=10, n_channels=10, channel_sweep=(10,),
+        bpm_fractions=(0.5,), attack_fractions=(0.5,),
+        zero_replace_probs=(0.5,), n_users_sweep=(10,), n_rounds=1,
+        bpm_max_cells=100, two_lambda=6, bmax=127, seed="cli-test",
+    )
+    monkeypatch.setattr(exp, "SMOKE", tiny)
+    assert main(["figures", "--only", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 4(a)(b)" in out and "Fig 4(c)" in out
+    assert "Fig 5" not in out

@@ -1,0 +1,71 @@
+"""Rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geo.datasets import make_coverage_map
+from repro.geo.grid import GridSpec
+from repro.viz import render_coverage, render_mask, save_pgm
+
+
+def test_render_mask_shapes_and_marker():
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[1, 1] = True
+    art = render_mask(mask, true_cell=(4, 4))
+    lines = art.split("\n")
+    assert len(lines) == 6 and all(len(line) == 6 for line in lines)
+    assert lines[1][1] == "*"
+    assert lines[4][4] == "X"
+
+
+def test_render_mask_downsampling():
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[5, 5] = True
+    art = render_mask(mask, step=3)
+    lines = art.split("\n")
+    assert len(lines) == 2 and len(lines[0]) == 2
+    assert lines[1][1] == "*"
+
+
+def test_render_mask_validation():
+    with pytest.raises(ValueError):
+        render_mask(np.zeros((3, 3)))  # not boolean
+    with pytest.raises(ValueError):
+        render_mask(np.zeros((3, 3), dtype=bool), step=0)
+
+
+def test_render_coverage():
+    cmap = make_coverage_map(4, n_channels=3,
+                             grid=GridSpec(rows=20, cols=20, cell_km=3.75))
+    art = render_coverage(cmap, 0, step=2)
+    assert set(art) <= {"#", ".", "\n"}
+    assert len(art.split("\n")) == 10
+
+
+def test_save_pgm(tmp_path):
+    field = np.linspace(0, 1, 24).reshape(4, 6)
+    path = save_pgm(field, tmp_path / "field.pgm")
+    data = path.read_bytes()
+    assert data.startswith(b"P5\n6 4\n255\n")
+    pixels = data.split(b"255\n", 1)[1]
+    assert len(pixels) == 24
+    assert pixels[0] == 0 and pixels[-1] == 255
+
+
+def test_save_pgm_constant_field(tmp_path):
+    path = save_pgm(np.ones((2, 2)), tmp_path / "flat.pgm")
+    pixels = path.read_bytes().split(b"255\n", 1)[1]
+    assert set(pixels) == {128}
+
+
+def test_save_pgm_invert(tmp_path):
+    field = np.array([[0.0, 1.0]])
+    normal = save_pgm(field, tmp_path / "a.pgm").read_bytes()[-2:]
+    inverted = save_pgm(field, tmp_path / "b.pgm", invert=True).read_bytes()[-2:]
+    assert normal == bytes([0, 255])
+    assert inverted == bytes([255, 0])
+
+
+def test_save_pgm_validation(tmp_path):
+    with pytest.raises(ValueError):
+        save_pgm(np.zeros(5), tmp_path / "bad.pgm")

@@ -1,0 +1,44 @@
+"""Deterministic label-addressed RNG streams."""
+
+import pytest
+
+from repro.utils.rng import numpy_rng, spawn_rng, stable_seed
+
+
+def test_stable_seed_is_stable():
+    assert stable_seed("master", "a", "b") == stable_seed("master", "a", "b")
+
+
+def test_labels_separate_streams():
+    assert stable_seed("m", "a") != stable_seed("m", "b")
+    assert stable_seed("m", "a", "b") != stable_seed("m", "ab")
+    assert stable_seed("m1", "a") != stable_seed("m2", "a")
+
+
+def test_seed_types():
+    assert stable_seed(b"bytes") == stable_seed(b"bytes")
+    assert stable_seed(42) == stable_seed(42)
+    assert stable_seed("42") != stable_seed(42)
+    with pytest.raises(TypeError):
+        stable_seed(3.14)
+
+
+def test_spawn_rng_reproducible():
+    a = spawn_rng("m", "x")
+    b = spawn_rng("m", "x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_numpy_rng_reproducible():
+    a = numpy_rng("m", "x").normal(size=5)
+    b = numpy_rng("m", "x").normal(size=5)
+    assert (a == b).all()
+
+
+def test_known_value_pinned():
+    """Guards against accidental changes to the derivation scheme, which
+    would silently reshuffle every experiment in EXPERIMENTS.md."""
+    assert stable_seed("lppa-repro", "area3") == stable_seed("lppa-repro", "area3")
+    assert stable_seed("x") == int.from_bytes(
+        __import__("hashlib").sha256(b"x").digest()[:8], "big"
+    )

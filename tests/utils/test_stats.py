@@ -1,0 +1,56 @@
+"""Statistics helpers."""
+
+import random
+
+import pytest
+
+from repro.utils.stats import Summary, bootstrap_ci, summarize
+
+
+def test_summary_basics():
+    s = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert s.n == 8
+    assert s.mean == pytest.approx(5.0)
+    assert s.std == pytest.approx(2.138, abs=1e-3)
+    assert s.stderr() == pytest.approx(s.std / 8**0.5)
+
+
+def test_single_value():
+    s = summarize([3.0])
+    assert s.mean == 3.0 and s.std == 0.0
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([], random.Random(0))
+
+
+def test_bootstrap_brackets_the_mean():
+    values = [random.Random(1).gauss(10, 2) for _ in range(100)]
+    low, high = bootstrap_ci(values, random.Random(2))
+    mean = sum(values) / len(values)
+    assert low <= mean <= high
+    assert high - low < 2.0  # reasonably tight at n = 100
+
+
+def test_bootstrap_narrows_with_sample_size():
+    rng = random.Random(3)
+    small = [rng.gauss(0, 1) for _ in range(20)]
+    large = [rng.gauss(0, 1) for _ in range(500)]
+    low_s, high_s = bootstrap_ci(small, random.Random(4))
+    low_l, high_l = bootstrap_ci(large, random.Random(5))
+    assert (high_l - low_l) < (high_s - low_s)
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], random.Random(0), confidence=1.5)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], random.Random(0), resamples=5)
+
+
+def test_constant_sample():
+    low, high = bootstrap_ci([7.0] * 30, random.Random(6))
+    assert low == high == 7.0
