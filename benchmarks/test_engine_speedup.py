@@ -1,0 +1,84 @@
+"""The parallel sweep engine: wall-clock before/after and bit-identity.
+
+Runs the Fig. 4(a)(b) channel sweep serially and on 2- and 4-worker pools,
+records the timing table to ``benchmarks/results/engine_speedup.txt`` and
+asserts the engine's two promises:
+
+* the rendered table is **byte-identical** at every worker count, always;
+* on a machine with >= 4 cores, the 4-worker run is at least 2x faster
+  than serial (skipped, not failed, on smaller runners — a 1-core CI box
+  cannot demonstrate a speedup, only the identity).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments.config import default_config
+from repro.experiments.fig4 import fig4ab_channel_sweep
+from repro.experiments.tables import format_table
+from repro.geo.datasets import clear_coverage_cache
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def sweep_runs():
+    """{workers: (table, report)} for the Fig. 4(a)(b) sweep."""
+    config = default_config()
+    runs = {}
+    for workers in WORKER_COUNTS:
+        if workers > 1 and not HAS_FORK:
+            continue
+        # Cold caches per run so each mode pays the same build cost.
+        clear_coverage_cache()
+        reports = []
+        rows = fig4ab_channel_sweep(
+            config, area=4, workers=workers, on_report=reports.append
+        )
+        runs[workers] = (format_table(rows), reports[0])
+    return runs
+
+
+def test_engine_speedup(sweep_runs, record_table):
+    serial_table, serial_report = sweep_runs[1]
+    lines = [
+        "Engine speedup: Fig 4(a)(b) channel sweep "
+        f"({serial_report.n_tasks} tasks, {os.cpu_count()} CPUs)",
+        "",
+        "workers  mode             wall_s   cpu_s    speedup  identical",
+        "-------  ---------------  -------  -------  -------  ---------",
+    ]
+    identical = {}
+    for workers in sorted(sweep_runs):
+        table, report = sweep_runs[workers]
+        identical[workers] = table == serial_table
+        speedup = serial_report.wall_seconds / max(report.wall_seconds, 1e-9)
+        lines.append(
+            f"{workers:<7}  {report.mode:<15}  "
+            f"{report.wall_seconds:<7.2f}  {report.task_seconds:<7.2f}  "
+            f"{speedup:<7.2f}  {identical[workers]}"
+        )
+    record_table("engine_speedup", "\n".join(lines))
+
+    # The identity promise holds unconditionally.
+    assert all(identical.values()), (
+        "parallel sweep produced a different table than serial"
+    )
+
+    if not HAS_FORK:
+        pytest.skip("no fork start method: parallel runs not exercised")
+    for workers in (2, 4):
+        assert sweep_runs[workers][1].mode == "parallel"
+        assert len(sweep_runs[workers][1].worker_pids) > 1
+
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("fewer than 4 CPUs: speedup not measurable here")
+    speedup = (
+        sweep_runs[1][1].wall_seconds / sweep_runs[4][1].wall_seconds
+    )
+    assert speedup >= 2.0, (
+        f"4-worker sweep only {speedup:.2f}x faster than serial"
+    )

@@ -33,6 +33,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_workers_flag(command_parser) -> None:
+        command_parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="parallel sweep workers (default: $REPRO_WORKERS or serial); "
+            "results are bit-identical at any worker count",
+        )
+        command_parser.add_argument(
+            "--timings",
+            action="store_true",
+            help="print one engine timing line per sweep to stderr",
+        )
+
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument(
         "--full", action="store_true", help="EXPERIMENTS.md scale (slow)"
@@ -43,9 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to one figure family",
     )
+    add_workers_flag(figures)
 
     sub.add_parser("theorems", help="validate Theorems 1-4")
-    sub.add_parser("ablations", help="run the design-choice ablations")
+    ablations = sub.add_parser("ablations", help="run the design-choice ablations")
+    add_workers_flag(ablations)
 
     coverage = sub.add_parser("coverage", help="print a coverage map")
     coverage.add_argument("--area", type=int, default=3, choices=(1, 2, 3, 4))
@@ -61,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="lppa_report.md")
     report.add_argument("--full", action="store_true")
     report.add_argument("--no-extensions", action="store_true")
+    add_workers_flag(report)
 
     demo = sub.add_parser("demo", help="run one private auction round")
     demo.add_argument("--users", type=int, default=40)
@@ -69,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="zero-replace probability 1-p0")
     demo.add_argument("--seed", type=int, default=42)
     return parser
+
+
+def _engine_report_hook(args):
+    """``on_report=`` callback printing engine timings when asked for."""
+    if not getattr(args, "timings", False):
+        return None
+
+    def emit(report) -> None:
+        print(report.summary(), file=sys.stderr)
+
+    return emit
 
 
 def _cmd_figures(args) -> int:
@@ -83,18 +112,24 @@ def _cmd_figures(args) -> int:
     )
 
     config = FULL if args.full else SMOKE
+    workers = args.workers
+    on_report = _engine_report_hook(args)
     if args.only in (None, "fig4"):
-        print(format_table(fig4ab_channel_sweep(config),
+        print(format_table(fig4ab_channel_sweep(config, workers=workers,
+                                                on_report=on_report),
                            title="Fig 4(a)(b): cells / success vs channels (Area 4)"))
         print()
-        print(format_table(fig4c_four_areas(config),
+        print(format_table(fig4c_four_areas(config, workers=workers,
+                                            on_report=on_report),
                            title="Fig 4(c): the four areas"))
         print()
     if args.only in (None, "fig5"):
-        print(format_table(fig5_privacy_sweep(config),
+        print(format_table(fig5_privacy_sweep(config, workers=workers,
+                                              on_report=on_report),
                            title="Fig 5(a)-(d): privacy under LPPA (Area 3)"))
         print()
-        print(format_table(fig5_performance_sweep(config),
+        print(format_table(fig5_performance_sweep(config, workers=workers,
+                                                  on_report=on_report),
                            title="Fig 5(e)(f): performance under LPPA (Area 3)"))
     return 0
 
@@ -127,13 +162,21 @@ def _cmd_ablations(args) -> int:
         format_table,
     )
 
+    workers = args.workers
+    on_report = _engine_report_hook(args)
     print(format_table(ablation_id_mixing(), title="ID mixing (§V.C.3)"))
     print()
-    print(format_table(ablation_revalidation(), title="TTP charging mode (§V.B)"))
+    print(format_table(ablation_revalidation(workers=workers,
+                                             on_report=on_report),
+                       title="TTP charging mode (§V.B)"))
     print()
-    print(format_table(ablation_cr_expansion(), title="cr expansion (§V.B)"))
+    print(format_table(ablation_cr_expansion(workers=workers,
+                                             on_report=on_report),
+                       title="cr expansion (§V.B)"))
     print()
-    print(format_table(ablation_disguise_policy(), title="Disguise law (§IV.C.3)"))
+    print(format_table(ablation_disguise_policy(workers=workers,
+                                                on_report=on_report),
+                       title="Disguise law (§IV.C.3)"))
     return 0
 
 
@@ -206,6 +249,8 @@ def _cmd_report(args) -> int:
         args.out,
         FULL if args.full else SMOKE,
         include_extensions=not args.no_extensions,
+        workers=args.workers,
+        on_report=_engine_report_hook(args),
     )
     print(f"report written to {path}")
     return 0

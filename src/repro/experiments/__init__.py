@@ -13,6 +13,12 @@ from repro.experiments.ablations import (
 from repro.experiments.cloaking_baseline import cloaking_comparison_table
 from repro.experiments.comm import theorem4_table
 from repro.experiments.config import FULL, SMOKE, ExperimentConfig, default_config
+from repro.experiments.engine import (
+    WORKERS_ENV,
+    SweepReport,
+    resolve_workers,
+    run_sweep,
+)
 from repro.experiments.fig4 import (
     attack_population,
     fig4ab_channel_sweep,
@@ -47,6 +53,10 @@ __all__ = [
     "theorem4_table",
     "FULL",
     "SMOKE",
+    "WORKERS_ENV",
+    "SweepReport",
+    "resolve_workers",
+    "run_sweep",
     "ExperimentConfig",
     "default_config",
     "attack_population",

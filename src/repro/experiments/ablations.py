@@ -1,5 +1,12 @@
 """Ablations of LPPA's design choices (beyond the paper's evaluation).
 
+The independent-trial ablations (re-validation, ``cr`` expansion, crowd
+mixing, disguise law) run on the parallel experiment engine — one task per
+design point, label-addressed randomness, results identical at any worker
+count.  The multi-round linkage ablations (ID mixing, winner lists) are
+inherently sequential — round ``t`` rebids the population produced by
+round ``t - 1`` — and stay serial.
+
 Each ablation isolates one mechanism DESIGN.md calls out and measures what
 the system loses without it:
 
@@ -17,7 +24,7 @@ the system loses without it:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.attacks.against_lppa import lppa_bcm_attack
 from repro.attacks.metrics import aggregate_scores, score_attack
@@ -25,7 +32,8 @@ from repro.attacks.multiround import multiround_linkage_attack
 from repro.auction.bidders import generate_users, rebid_users
 from repro.auction.plain_auction import run_plain_auction
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.geo.datasets import make_database
+from repro.experiments.engine import SweepReport, run_sweep
+from repro.geo.datasets import cached_database, make_database
 from repro.lppa.bids_advanced import BidScale, disguise_and_expand
 from repro.lppa.fastsim import run_fast_lppa
 from repro.lppa.policies import LinearDecreasingPolicy, UniformReplacePolicy
@@ -157,56 +165,108 @@ def ablation_winner_lists(
     return rows
 
 
+def _revalidation_round(spec: Dict[str, object]) -> Dict[str, float]:
+    """One (charging mode, round) trial of the re-validation ablation."""
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    replace_prob: float = spec["replace_prob"]
+    revalidate: bool = spec["revalidate"]
+    round_idx: int = spec["round_idx"]
+    database = cached_database(
+        area, n_channels=config.n_channels, seed=config.seed
+    )
+    users = generate_users(
+        database, config.n_users, spawn_rng(config.seed, "abl-reval", "users")
+    )
+    seed_val = spawn_rng(
+        config.seed, "abl-reval", f"{revalidate}-{round_idx}"
+    ).random()
+    plain = run_plain_auction(
+        users, random.Random(seed_val), two_lambda=config.two_lambda
+    )
+    private = run_fast_lppa(
+        users,
+        two_lambda=config.two_lambda,
+        bmax=config.bmax,
+        policy=UniformReplacePolicy(replace_prob),
+        rng=random.Random(seed_val),
+        revalidate=revalidate,
+    )
+    return {
+        "revenue": private.outcome.sum_of_winning_bids()
+        / plain.sum_of_winning_bids(),
+        "satisfaction": private.outcome.user_satisfaction()
+        / max(plain.user_satisfaction(), 1e-9),
+        "rejections": private.ttp_rejections,
+    }
+
+
 def ablation_revalidation(
     config: Optional[ExperimentConfig] = None,
     *,
     area: int = 3,
     replace_prob: float = 0.8,
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
 ) -> List[Dict[str, object]]:
     """Batch charging (paper) vs in-loop TTP re-validation (extension)."""
     if config is None:
         config = default_config()
-    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
-    users = generate_users(
-        database, config.n_users, spawn_rng(config.seed, "abl-reval", "users")
+    modes = (False, True)
+    specs = [
+        {
+            "config": config,
+            "area": area,
+            "replace_prob": replace_prob,
+            "revalidate": revalidate,
+            "round_idx": round_idx,
+        }
+        for revalidate in modes
+        for round_idx in range(config.n_rounds)
+    ]
+    trials = run_sweep(
+        _revalidation_round,
+        specs,
+        workers=workers,
+        name="abl-reval",
+        on_report=on_report,
     )
     rows = []
-    for revalidate in (False, True):
-        revenues, satisfactions, rejections = [], [], []
-        for round_idx in range(config.n_rounds):
-            seed_val = spawn_rng(
-                config.seed, "abl-reval", f"{revalidate}-{round_idx}"
-            ).random()
-            plain = run_plain_auction(
-                users, random.Random(seed_val), two_lambda=config.two_lambda
-            )
-            private = run_fast_lppa(
-                users,
-                two_lambda=config.two_lambda,
-                bmax=config.bmax,
-                policy=UniformReplacePolicy(replace_prob),
-                rng=random.Random(seed_val),
-                revalidate=revalidate,
-            )
-            revenues.append(
-                private.outcome.sum_of_winning_bids() / plain.sum_of_winning_bids()
-            )
-            satisfactions.append(
-                private.outcome.user_satisfaction()
-                / max(plain.user_satisfaction(), 1e-9)
-            )
-            rejections.append(private.ttp_rejections)
+    for mode_idx, revalidate in enumerate(modes):
+        chunk = trials[mode_idx * config.n_rounds : (mode_idx + 1) * config.n_rounds]
         rows.append(
             {
                 "charging": "revalidated" if revalidate else "batched (paper)",
-                "revenue_ratio": round(sum(revenues) / len(revenues), 4),
-                "satisfaction_ratio": round(
-                    sum(satisfactions) / len(satisfactions), 4
+                "revenue_ratio": round(
+                    sum(t["revenue"] for t in chunk) / len(chunk), 4
                 ),
-                "ttp_rejections": round(sum(rejections) / len(rejections), 1),
+                "satisfaction_ratio": round(
+                    sum(t["satisfaction"] for t in chunk) / len(chunk), 4
+                ),
+                "ttp_rejections": round(
+                    sum(t["rejections"] for t in chunk) / len(chunk), 1
+                ),
             }
         )
     return rows
+
+
+def _cr_expansion_point(spec: Dict[str, object]) -> Dict[str, object]:
+    """Collision count for one expansion factor ``cr`` (engine task)."""
+    cr: int = spec["cr"]
+    n_users: int = spec["n_users"]
+    scale = BidScale(bmax=spec["bmax"], rd=spec["rd"], cr=cr)
+    rng = random.Random(spawn_rng(spec["seed"], "abl-cr", str(cr)).random())
+    bids = [rng.randint(0, spec["bmax"]) for _ in range(n_users)]
+    disclosures = disguise_and_expand(bids, scale, rng)
+    values = [d.masked_expanded for d in disclosures]
+    collisions = len(values) - len(set(values))
+    return {
+        "cr": cr,
+        "width_bits": scale.width,
+        "collisions": collisions,
+        "collision_rate": round(collisions / n_users, 4),
+    }
 
 
 def ablation_cr_expansion(
@@ -215,6 +275,8 @@ def ablation_cr_expansion(
     bmax: int = 127,
     rd: int = 4,
     seed: str = "lppa-repro",
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
 ) -> List[Dict[str, object]]:
     """Masked-value collisions per channel as a function of ``cr``.
 
@@ -223,23 +285,17 @@ def ablation_cr_expansion(
     on a channel) lets it dereference a second bidder's price for free.
     ``cr = 1`` disables the expansion and maximises collisions.
     """
-    rows = []
-    for cr in (1, 2, 4, 8, 16):
-        scale = BidScale(bmax=bmax, rd=rd, cr=cr)
-        rng = random.Random(spawn_rng(seed, "abl-cr", str(cr)).random())
-        bids = [rng.randint(0, bmax) for _ in range(n_users)]
-        disclosures = disguise_and_expand(bids, scale, rng)
-        values = [d.masked_expanded for d in disclosures]
-        collisions = len(values) - len(set(values))
-        rows.append(
-            {
-                "cr": cr,
-                "width_bits": scale.width,
-                "collisions": collisions,
-                "collision_rate": round(collisions / n_users, 4),
-            }
-        )
-    return rows
+    specs = [
+        {"cr": cr, "n_users": n_users, "bmax": bmax, "rd": rd, "seed": seed}
+        for cr in (1, 2, 4, 8, 16)
+    ]
+    return run_sweep(
+        _cr_expansion_point,
+        specs,
+        workers=workers,
+        name="abl-cr",
+        on_report=on_report,
+    )
 
 
 def ablation_colocation(
@@ -290,6 +346,59 @@ def ablation_colocation(
     return rows
 
 
+def _crowd_mixing_point(spec: Dict[str, object]) -> Dict[str, object]:
+    """One protector-fraction point of the crowd ablation (engine task)."""
+    from repro.lppa.policies import KeepZeroPolicy
+
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    prot_fraction: float = spec["prot_fraction"]
+    replace_prob: float = spec["replace_prob"]
+    fraction: float = spec["fraction"]
+    database = cached_database(
+        area, n_channels=config.n_channels, seed=config.seed
+    )
+    grid = database.coverage.grid
+    users = generate_users(
+        database, config.n_users, spawn_rng(config.seed, "abl-crowd", "users")
+    )
+    n_protectors = round(prot_fraction * len(users))
+    policies = [
+        UniformReplacePolicy(replace_prob)
+        if idx < n_protectors
+        else KeepZeroPolicy()
+        for idx in range(len(users))
+    ]
+    result = run_fast_lppa(
+        users,
+        two_lambda=config.two_lambda,
+        bmax=config.bmax,
+        policy=policies,
+        rng=random.Random(
+            spawn_rng(config.seed, "abl-crowd", f"{prot_fraction}").random()
+        ),
+    )
+    masks = lppa_bcm_attack(database, result.rankings, len(users), fraction)
+    scores = [
+        score_attack(mask, user.cell, grid)
+        for mask, user in zip(masks, users)
+    ]
+    row: Dict[str, object] = {"protector_fraction": prot_fraction}
+    groups = {
+        "protectors": scores[:n_protectors],
+        "optouts": scores[n_protectors:],
+    }
+    for name, group in groups.items():
+        if group:
+            agg = aggregate_scores(group)
+            row[f"{name}_failure"] = round(agg.failure_rate, 3)
+            row[f"{name}_cells"] = round(agg.mean_cells, 1)
+        else:
+            row[f"{name}_failure"] = "-"
+            row[f"{name}_cells"] = "-"
+    return row
+
+
 def ablation_crowd_mixing(
     config: Optional[ExperimentConfig] = None,
     *,
@@ -297,6 +406,8 @@ def ablation_crowd_mixing(
     protector_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     replace_prob: float = 0.8,
     fraction: float = 0.5,
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
 ) -> List[Dict[str, object]]:
     """Heterogeneous crowds (§IV.C.3): do opt-outs ride free on the rest?
 
@@ -309,51 +420,23 @@ def ablation_crowd_mixing(
     """
     if config is None:
         config = default_config()
-    from repro.lppa.policies import KeepZeroPolicy
-
-    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
-    grid = database.coverage.grid
-    users = generate_users(
-        database, config.n_users, spawn_rng(config.seed, "abl-crowd", "users")
-    )
-    rows = []
-    for prot_fraction in protector_fractions:
-        n_protectors = round(prot_fraction * len(users))
-        policies = [
-            UniformReplacePolicy(replace_prob)
-            if idx < n_protectors
-            else KeepZeroPolicy()
-            for idx in range(len(users))
-        ]
-        result = run_fast_lppa(
-            users,
-            two_lambda=config.two_lambda,
-            bmax=config.bmax,
-            policy=policies,
-            rng=random.Random(
-                spawn_rng(config.seed, "abl-crowd", f"{prot_fraction}").random()
-            ),
-        )
-        masks = lppa_bcm_attack(database, result.rankings, len(users), fraction)
-        scores = [
-            score_attack(mask, user.cell, grid)
-            for mask, user in zip(masks, users)
-        ]
-        row: Dict[str, object] = {"protector_fraction": prot_fraction}
-        groups = {
-            "protectors": scores[:n_protectors],
-            "optouts": scores[n_protectors:],
+    specs = [
+        {
+            "config": config,
+            "area": area,
+            "prot_fraction": prot_fraction,
+            "replace_prob": replace_prob,
+            "fraction": fraction,
         }
-        for name, group in groups.items():
-            if group:
-                agg = aggregate_scores(group)
-                row[f"{name}_failure"] = round(agg.failure_rate, 3)
-                row[f"{name}_cells"] = round(agg.mean_cells, 1)
-            else:
-                row[f"{name}_failure"] = "-"
-                row[f"{name}_cells"] = "-"
-        rows.append(row)
-    return rows
+        for prot_fraction in protector_fractions
+    ]
+    return run_sweep(
+        _crowd_mixing_point,
+        specs,
+        workers=workers,
+        name="abl-crowd",
+        on_report=on_report,
+    )
 
 
 def ablation_masking_backend(
@@ -401,17 +484,25 @@ def ablation_masking_backend(
     ]
 
 
-def ablation_disguise_policy(
-    config: Optional[ExperimentConfig] = None,
-    *,
-    area: int = 3,
-    replace_prob: float = 0.8,
-    fraction: float = 0.5,
-) -> List[Dict[str, object]]:
-    """Linear-decreasing vs conditional-uniform substitution laws."""
-    if config is None:
-        config = default_config()
-    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
+def _disguise_policy_point(spec: Dict[str, object]) -> Dict[str, object]:
+    """One substitution law of the disguise ablation (engine task).
+
+    The plaintext baseline is recomputed per task from its own label — a
+    small duplication that keeps every task independent of sweep order.
+    """
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    name: str = spec["policy"]
+    replace_prob: float = spec["replace_prob"]
+    fraction: float = spec["fraction"]
+    policy = (
+        LinearDecreasingPolicy(replace_prob)
+        if name == "linear-decreasing"
+        else UniformReplacePolicy(replace_prob)
+    )
+    database = cached_database(
+        area, n_channels=config.n_channels, seed=config.seed
+    )
     grid = database.coverage.grid
     users = generate_users(
         database, config.n_users, spawn_rng(config.seed, "abl-pol", "users")
@@ -421,34 +512,55 @@ def ablation_disguise_policy(
         random.Random(spawn_rng(config.seed, "abl-pol", "plain").random()),
         two_lambda=config.two_lambda,
     )
-    policies = {
-        "linear-decreasing": LinearDecreasingPolicy(replace_prob),
-        "uniform": UniformReplacePolicy(replace_prob),
+    result = run_fast_lppa(
+        users,
+        two_lambda=config.two_lambda,
+        bmax=config.bmax,
+        policy=policy,
+        rng=random.Random(spawn_rng(config.seed, "abl-pol", name).random()),
+    )
+    masks = lppa_bcm_attack(database, result.rankings, len(users), fraction)
+    agg = aggregate_scores(
+        [score_attack(m, u.cell, grid) for m, u in zip(masks, users)]
+    )
+    return {
+        "policy": name,
+        "attacker_failure": round(agg.failure_rate, 4),
+        "attacker_cells": round(agg.mean_cells, 1),
+        "revenue_ratio": round(
+            result.outcome.sum_of_winning_bids() / plain.sum_of_winning_bids(),
+            4,
+        ),
+        "satisfaction": round(result.outcome.user_satisfaction(), 4),
     }
-    rows = []
-    for name, policy in policies.items():
-        result = run_fast_lppa(
-            users,
-            two_lambda=config.two_lambda,
-            bmax=config.bmax,
-            policy=policy,
-            rng=random.Random(spawn_rng(config.seed, "abl-pol", name).random()),
-        )
-        masks = lppa_bcm_attack(database, result.rankings, len(users), fraction)
-        agg = aggregate_scores(
-            [score_attack(m, u.cell, grid) for m, u in zip(masks, users)]
-        )
-        rows.append(
-            {
-                "policy": name,
-                "attacker_failure": round(agg.failure_rate, 4),
-                "attacker_cells": round(agg.mean_cells, 1),
-                "revenue_ratio": round(
-                    result.outcome.sum_of_winning_bids()
-                    / plain.sum_of_winning_bids(),
-                    4,
-                ),
-                "satisfaction": round(result.outcome.user_satisfaction(), 4),
-            }
-        )
-    return rows
+
+
+def ablation_disguise_policy(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    area: int = 3,
+    replace_prob: float = 0.8,
+    fraction: float = 0.5,
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
+) -> List[Dict[str, object]]:
+    """Linear-decreasing vs conditional-uniform substitution laws."""
+    if config is None:
+        config = default_config()
+    specs = [
+        {
+            "config": config,
+            "area": area,
+            "policy": name,
+            "replace_prob": replace_prob,
+            "fraction": fraction,
+        }
+        for name in ("linear-decreasing", "uniform")
+    ]
+    return run_sweep(
+        _disguise_policy_point,
+        specs,
+        workers=workers,
+        name="abl-pol",
+        on_report=on_report,
+    )

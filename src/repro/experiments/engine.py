@@ -1,0 +1,275 @@
+"""Parallel experiment engine: deterministic fan-out of Monte Carlo sweeps.
+
+The Fig. 4-5 evaluations and the ablations run thousands of independent
+auction rounds.  Every trial in those sweeps derives all of its randomness
+from the master seed plus a human-readable label path
+(:func:`repro.utils.rng.spawn_rng`), so a trial's result is a pure function
+of its *spec* — never of which worker ran it, or in what order.  That
+property is what lets this engine fan trials out over a process pool and
+still return **bit-identical** results to a serial run.
+
+Contract for sweep functions passed to :func:`run_sweep`:
+
+* the function must be a module-level callable (picklable by reference);
+* it takes exactly one argument, the *spec* (any picklable value);
+* it derives every random draw from data inside the spec via the
+  label-addressed RNG scheme, and touches no mutable global state other
+  than per-process memo caches (e.g. the coverage-map cache in
+  :mod:`repro.geo.datasets`, which is keyed purely by build inputs).
+
+Scheduling and robustness:
+
+* worker count comes from the ``workers`` argument, else the
+  ``REPRO_WORKERS`` environment variable, else 1 (serial);
+* tasks are submitted in chunks (``chunksize`` tasks per pickle round-trip)
+  and results are consumed in submission order;
+* expensive per-area artifacts are memoised *per worker process* — with the
+  ``fork`` start method children also inherit whatever the parent already
+  built;
+* any parallel-side failure (pool unavailable, worker crash, task
+  exception) triggers a graceful fallback: the whole sweep reruns serially
+  in the parent, which is authoritative and reproduces a deterministic
+  task error exactly where a plain loop would have raised it.
+
+Every run produces a :class:`SweepReport` (mode, wall time, per-task
+timings, worker PIDs, fallback errors) delivered through the ``on_report``
+callback; the CLI and the benchmark harness print it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "WORKERS_ENV",
+    "SweepReport",
+    "TaskTiming",
+    "resolve_workers",
+    "run_sweep",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: argument, else ``REPRO_WORKERS``, else 1.
+
+    A count of 1 means "run serially in this process" — the engine never
+    spawns a pool for it, so serial remains the zero-dependency default.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+            ) from exc
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall time and executing process of one completed task."""
+
+    index: int
+    seconds: float
+    pid: int
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` call did and how long it took.
+
+    ``mode`` is ``"serial"`` (requested), ``"parallel"`` (pool ran the whole
+    sweep) or ``"serial-fallback"`` (pool requested but the sweep was rerun
+    serially; ``errors`` says why).  ``task_seconds`` sums per-task wall
+    times, so ``task_seconds / wall_seconds`` approximates the achieved
+    parallel speedup.
+    """
+
+    name: str
+    n_tasks: int
+    workers: int
+    chunksize: int
+    mode: str = "serial"
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+    timings: List[TaskTiming] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def worker_pids(self) -> Tuple[int, ...]:
+        return tuple(sorted({t.pid for t in self.timings}))
+
+    def summary(self) -> str:
+        """One-line human-readable digest (what the CLI prints)."""
+        line = (
+            f"{self.name}: {self.n_tasks} tasks, mode={self.mode}, "
+            f"workers={self.workers}, chunksize={self.chunksize}, "
+            f"wall {self.wall_seconds:.2f}s, cpu {self.task_seconds:.2f}s"
+        )
+        if len(self.worker_pids) > 1:
+            line += f", {len(self.worker_pids)} worker processes"
+        if self.errors:
+            line += f", fell back after: {self.errors[0]}"
+        return line
+
+
+class _TaskFailure:
+    """Worker-side marker for a task that raised (triggers serial rerun)."""
+
+    def __init__(self, spec_index: int, formatted: str) -> None:
+        self.spec_index = spec_index
+        self.formatted = formatted
+
+
+def _invoke(task: Tuple[Callable, int, object]):
+    """Worker entry: run one spec, timing it; never let exceptions escape.
+
+    Exceptions are folded into a :class:`_TaskFailure` so a deterministic
+    task error does not brick the pool — the parent reruns serially and the
+    error surfaces there with its natural traceback.
+    """
+    func, index, spec = task
+    start = time.perf_counter()
+    try:
+        value = func(spec)
+    except Exception:
+        return (
+            _TaskFailure(index, traceback.format_exc()),
+            time.perf_counter() - start,
+            os.getpid(),
+        )
+    return value, time.perf_counter() - start, os.getpid()
+
+
+def _default_chunksize(n_tasks: int, workers: int) -> int:
+    # Aim for ~4 chunks per worker: big enough to amortise pickling, small
+    # enough that one slow chunk cannot serialise the tail of the sweep.
+    return max(1, n_tasks // (workers * 4))
+
+
+def _run_serial(
+    func: Callable,
+    specs: Sequence,
+    report: SweepReport,
+    progress: Optional[Callable[[int, int], None]],
+) -> List:
+    results = []
+    for index, spec in enumerate(specs):
+        start = time.perf_counter()
+        results.append(func(spec))
+        elapsed = time.perf_counter() - start
+        report.timings.append(
+            TaskTiming(index=index, seconds=elapsed, pid=os.getpid())
+        )
+        if progress is not None:
+            progress(index + 1, len(specs))
+    return results
+
+
+def _run_parallel(
+    func: Callable,
+    specs: Sequence,
+    workers: int,
+    chunksize: int,
+    report: SweepReport,
+    progress: Optional[Callable[[int, int], None]],
+) -> List:
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    # fork (where available) lets workers inherit already-built geo caches;
+    # results are identical under any start method.
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    tasks = [(func, index, spec) for index, spec in enumerate(specs)]
+    results: List = []
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        for value, seconds, pid in pool.map(_invoke, tasks, chunksize=chunksize):
+            if isinstance(value, _TaskFailure):
+                raise _ParallelTaskError(value)
+            index = len(results)
+            results.append(value)
+            report.timings.append(
+                TaskTiming(index=index, seconds=seconds, pid=pid)
+            )
+            if progress is not None:
+                progress(index + 1, len(specs))
+    return results
+
+
+class _ParallelTaskError(Exception):
+    """A task raised inside a worker (carries the remote traceback)."""
+
+    def __init__(self, failure: _TaskFailure) -> None:
+        super().__init__(f"task {failure.spec_index} failed in worker")
+        self.failure = failure
+
+
+def run_sweep(
+    func: Callable,
+    specs: Sequence,
+    *,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    name: str = "sweep",
+    progress: Optional[Callable[[int, int], None]] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
+) -> List:
+    """Run ``func`` over every spec, preserving order; maybe in parallel.
+
+    Returns ``[func(spec) for spec in specs]`` — exactly that list, in that
+    order, regardless of worker count.  ``progress(done, total)`` is called
+    after each completed task; ``on_report`` receives the final
+    :class:`SweepReport`.
+
+    Parallel execution requires ``func`` to be module-level and all specs
+    and results to be picklable; violations (like any other pool failure)
+    demote the sweep to the serial path rather than raising.
+    """
+    specs = list(specs)
+    workers = resolve_workers(workers)
+    effective = min(workers, len(specs)) if specs else 1
+    if chunksize is None:
+        chunksize = _default_chunksize(len(specs), max(effective, 1))
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    report = SweepReport(
+        name=name, n_tasks=len(specs), workers=workers, chunksize=chunksize
+    )
+    start = time.perf_counter()
+    results: Optional[List] = None
+    if effective > 1:
+        try:
+            results = _run_parallel(
+                func, specs, effective, chunksize, report, progress
+            )
+            report.mode = "parallel"
+        except _ParallelTaskError as exc:
+            report.errors.append(exc.failure.formatted.strip().splitlines()[-1])
+            report.timings.clear()
+            results = None
+        except Exception as exc:  # pool unavailable / broken / unpicklable
+            report.errors.append(f"{type(exc).__name__}: {exc}")
+            report.timings.clear()
+            results = None
+    if results is None:
+        results = _run_serial(func, specs, report, progress)
+        report.mode = "serial" if not report.errors else "serial-fallback"
+    report.wall_seconds = time.perf_counter() - start
+    report.task_seconds = sum(t.seconds for t in report.timings)
+    if on_report is not None:
+        on_report(report)
+    return results

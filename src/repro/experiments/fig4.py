@@ -7,19 +7,26 @@
 
 Each harness returns a list of flat row dicts ready for
 :func:`repro.experiments.tables.format_table`.
+
+Both sweeps run on the parallel experiment engine
+(:mod:`repro.experiments.engine`): one task per sweep point, all
+randomness label-addressed by the point's own identity, so results are
+bit-identical at any worker count.  ``workers=None`` honours
+``REPRO_WORKERS`` and defaults to serial.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.attacks.bcm import bcm_attack
 from repro.attacks.bpm import bpm_attack
 from repro.attacks.metrics import AggregateScore, aggregate_scores, score_attack
 from repro.auction.bidders import generate_users
 from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.engine import SweepReport, run_sweep
 from repro.geo.database import GeoLocationDatabase
-from repro.geo.datasets import make_database
+from repro.geo.datasets import cached_database
 from repro.utils.rng import spawn_rng
 
 __all__ = ["attack_population", "fig4ab_channel_sweep", "fig4c_four_areas"]
@@ -62,8 +69,53 @@ def attack_population(
     return result
 
 
+def _fig4ab_point(spec: Dict[str, object]) -> List[Dict[str, object]]:
+    """One channel-count point of the Fig. 4(a)(b) sweep (engine task)."""
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    k: int = spec["k"]
+    database = cached_database(area, n_channels=k, seed=config.seed)
+    rows: List[Dict[str, object]] = []
+    base = attack_population(
+        database,
+        config.n_users,
+        seed=config.seed,
+        label=f"area{area}-k{k}",
+    )["bcm"]
+    rows.append(
+        {
+            "channels": k,
+            "attack": "BCM",
+            "cells": round(base.mean_cells, 1),
+            "success_rate": round(1.0 - base.failure_rate, 4),
+        }
+    )
+    for fraction in config.bpm_fractions:
+        agg = attack_population(
+            database,
+            config.n_users,
+            seed=config.seed,
+            bpm_fraction=fraction,
+            bpm_max_cells=config.bpm_max_cells,
+            label=f"area{area}-k{k}",
+        )["bpm"]
+        rows.append(
+            {
+                "channels": k,
+                "attack": f"BPM-{fraction:g}",
+                "cells": round(agg.mean_cells, 1),
+                "success_rate": round(1.0 - agg.failure_rate, 4),
+            }
+        )
+    return rows
+
+
 def fig4ab_channel_sweep(
-    config: Optional[ExperimentConfig] = None, *, area: int = 4
+    config: Optional[ExperimentConfig] = None,
+    *,
+    area: int = 4,
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
 ) -> List[Dict[str, object]]:
     """Fig. 4(a)(b): possible cells and success rate vs channel count.
 
@@ -72,47 +124,55 @@ def fig4ab_channel_sweep(
     """
     if config is None:
         config = default_config()
-    rows: List[Dict[str, object]] = []
-    for k in config.channel_sweep:
-        database = make_database(area, n_channels=k, seed=config.seed)
-        base = attack_population(
-            database,
-            config.n_users,
-            seed=config.seed,
-            label=f"area{area}-k{k}",
-        )["bcm"]
-        rows.append(
-            {
-                "channels": k,
-                "attack": "BCM",
-                "cells": round(base.mean_cells, 1),
-                "success_rate": round(1.0 - base.failure_rate, 4),
-            }
-        )
-        for fraction in config.bpm_fractions:
-            agg = attack_population(
-                database,
-                config.n_users,
-                seed=config.seed,
-                bpm_fraction=fraction,
-                bpm_max_cells=config.bpm_max_cells,
-                label=f"area{area}-k{k}",
-            )["bpm"]
-            rows.append(
-                {
-                    "channels": k,
-                    "attack": f"BPM-{fraction:g}",
-                    "cells": round(agg.mean_cells, 1),
-                    "success_rate": round(1.0 - agg.failure_rate, 4),
-                }
-            )
-    return rows
+    specs = [
+        {"config": config, "area": area, "k": k} for k in config.channel_sweep
+    ]
+    per_point = run_sweep(
+        _fig4ab_point,
+        specs,
+        workers=workers,
+        name="fig4ab",
+        on_report=on_report,
+    )
+    return [row for rows in per_point for row in rows]
+
+
+def _fig4c_point(spec: Dict[str, object]) -> Dict[str, object]:
+    """One area of the Fig. 4(c) comparison (engine task)."""
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    fraction = config.bpm_fractions[0]
+    database = cached_database(
+        area, n_channels=config.n_channels, seed=config.seed
+    )
+    aggs = attack_population(
+        database,
+        config.n_users,
+        seed=config.seed,
+        bpm_fraction=fraction,
+        bpm_max_cells=config.bpm_max_cells,
+        label=f"fig4c-area{area}",
+    )
+    row: Dict[str, object] = {
+        "area": area,
+        "character": {1: "urban-core", 2: "suburban", 3: "mixed", 4: "rural"}[
+            area
+        ],
+        "bcm_cells": round(aggs["bcm"].mean_cells, 1),
+        "bcm_success": round(1.0 - aggs["bcm"].failure_rate, 4),
+    }
+    if "bpm" in aggs:
+        row["bpm_cells"] = round(aggs["bpm"].mean_cells, 1)
+        row["bpm_success"] = round(1.0 - aggs["bpm"].failure_rate, 4)
+    return row
 
 
 def fig4c_four_areas(
     config: Optional[ExperimentConfig] = None,
     *,
     areas: Sequence[int] = (1, 2, 3, 4),
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
 ) -> List[Dict[str, object]]:
     """Fig. 4(c): BCM + BPM over the four areas at the full channel count.
 
@@ -121,30 +181,11 @@ def fig4c_four_areas(
     """
     if config is None:
         config = default_config()
-    fraction = config.bpm_fractions[0]
-    rows: List[Dict[str, object]] = []
-    for area in areas:
-        database = make_database(
-            area, n_channels=config.n_channels, seed=config.seed
-        )
-        aggs = attack_population(
-            database,
-            config.n_users,
-            seed=config.seed,
-            bpm_fraction=fraction,
-            bpm_max_cells=config.bpm_max_cells,
-            label=f"fig4c-area{area}",
-        )
-        row: Dict[str, object] = {
-            "area": area,
-            "character": {1: "urban-core", 2: "suburban", 3: "mixed", 4: "rural"}[
-                area
-            ],
-            "bcm_cells": round(aggs["bcm"].mean_cells, 1),
-            "bcm_success": round(1.0 - aggs["bcm"].failure_rate, 4),
-        }
-        if "bpm" in aggs:
-            row["bpm_cells"] = round(aggs["bpm"].mean_cells, 1)
-            row["bpm_success"] = round(1.0 - aggs["bpm"].failure_rate, 4)
-        rows.append(row)
-    return rows
+    specs = [{"config": config, "area": area} for area in areas]
+    return run_sweep(
+        _fig4c_point,
+        specs,
+        workers=workers,
+        name="fig4c",
+        on_report=on_report,
+    )

@@ -11,12 +11,17 @@ Performance sweep (panels e-f): sum of winning bids and user satisfaction
 of the LPPA auction relative to the plaintext baseline, versus ``1 - p0``,
 for several population sizes (the paper's scalability claim: N matters
 little; the cost tops out near 30 %).
+
+Both sweeps run on the parallel experiment engine: one task per sweep
+point.  Each task rebuilds its (memoised) database and regenerates the
+population from the same master-seed labels the serial code used, so the
+row tables are bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.attacks.against_lppa import lppa_bcm_attack
 from repro.attacks.bcm import bcm_attack
@@ -25,7 +30,8 @@ from repro.attacks.metrics import aggregate_scores, score_attack
 from repro.auction.bidders import generate_users
 from repro.auction.plain_auction import run_plain_auction
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.geo.datasets import make_database
+from repro.experiments.engine import SweepReport, run_sweep
+from repro.geo.datasets import cached_database
 from repro.lppa.fastsim import run_fast_lppa
 from repro.lppa.policies import UniformReplacePolicy
 from repro.utils.rng import spawn_rng
@@ -34,26 +40,22 @@ from repro.utils.stats import bootstrap_ci
 __all__ = ["fig5_privacy_sweep", "fig5_performance_sweep"]
 
 
-def fig5_privacy_sweep(
-    config: Optional[ExperimentConfig] = None, *, area: int = 3
-) -> List[Dict[str, object]]:
-    """Panels (a)-(d): privacy metrics vs ``1 - p0`` and attacker fraction.
-
-    Rows tagged ``attack = "BCM (no LPPA)"`` / ``"BPM (no LPPA)"`` are the
-    unprotected references; the remaining rows are the anti-LPPA attacker at
-    each configured fraction.
-    """
-    if config is None:
-        config = default_config()
-    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
-    grid = database.coverage.grid
+def _privacy_users(config: ExperimentConfig, area: int):
+    database = cached_database(
+        area, n_channels=config.n_channels, seed=config.seed
+    )
     users = generate_users(
         database, config.n_users, spawn_rng(config.seed, "fig5", "users")
     )
+    return database, users
 
-    rows: List[Dict[str, object]] = []
 
-    # --- References: attacks on the unprotected auction -------------------------
+def _fig5_reference_rows(spec: Dict[str, object]) -> List[Dict[str, object]]:
+    """Attacks on the unprotected auction (engine task)."""
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    database, users = _privacy_users(config, area)
+    grid = database.coverage.grid
     bcm_scores, bpm_scores = [], []
     for user in users:
         possible = bcm_attack(database, user)
@@ -67,6 +69,7 @@ def fig5_privacy_sweep(
                 max_cells=config.bpm_max_cells,
             )
             bpm_scores.append(score_attack(refined, user.cell, grid))
+    rows: List[Dict[str, object]] = []
     for name, scores in (("BCM (no LPPA)", bcm_scores), ("BPM (no LPPA)", bpm_scores)):
         if not scores:
             continue
@@ -81,42 +84,152 @@ def fig5_privacy_sweep(
                 "failure_rate": round(agg.failure_rate, 4),
             }
         )
+    return rows
 
-    # --- LPPA sweep ----------------------------------------------------------------
-    for replace_prob in config.zero_replace_probs:
-        result = run_fast_lppa(
+
+def _fig5_privacy_point(spec: Dict[str, object]) -> List[Dict[str, object]]:
+    """One zero-replace probability of the privacy sweep (engine task)."""
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    replace_prob: float = spec["replace_prob"]
+    database, users = _privacy_users(config, area)
+    grid = database.coverage.grid
+    result = run_fast_lppa(
+        users,
+        two_lambda=config.two_lambda,
+        bmax=config.bmax,
+        policy=UniformReplacePolicy(replace_prob),
+        rng=random.Random(
+            spawn_rng(config.seed, "fig5", f"round-{replace_prob}").random()
+        ),
+    )
+    rows: List[Dict[str, object]] = []
+    for fraction in config.attack_fractions:
+        masks = lppa_bcm_attack(database, result.rankings, len(users), fraction)
+        scores = [
+            score_attack(mask, user.cell, grid)
+            for mask, user in zip(masks, users)
+        ]
+        agg = aggregate_scores(scores)
+        rows.append(
+            {
+                "zero_replace": round(replace_prob, 2),
+                "attack": f"LPPA-BCM top {int(fraction * 100)}%",
+                "cells": round(agg.mean_cells, 1),
+                "uncertainty_bits": round(agg.mean_uncertainty_bits, 3),
+                "incorrectness_cells": round(agg.mean_incorrectness_cells, 2),
+                "failure_rate": round(agg.failure_rate, 4),
+            }
+        )
+    return rows
+
+
+def _fig5_privacy_task(spec: Dict[str, object]) -> List[Dict[str, object]]:
+    if spec["kind"] == "refs":
+        return _fig5_reference_rows(spec)
+    return _fig5_privacy_point(spec)
+
+
+def fig5_privacy_sweep(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    area: int = 3,
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
+) -> List[Dict[str, object]]:
+    """Panels (a)-(d): privacy metrics vs ``1 - p0`` and attacker fraction.
+
+    Rows tagged ``attack = "BCM (no LPPA)"`` / ``"BPM (no LPPA)"`` are the
+    unprotected references; the remaining rows are the anti-LPPA attacker at
+    each configured fraction.
+    """
+    if config is None:
+        config = default_config()
+    specs: List[Dict[str, object]] = [
+        {"kind": "refs", "config": config, "area": area}
+    ]
+    specs.extend(
+        {
+            "kind": "lppa",
+            "config": config,
+            "area": area,
+            "replace_prob": replace_prob,
+        }
+        for replace_prob in config.zero_replace_probs
+    )
+    per_point = run_sweep(
+        _fig5_privacy_task,
+        specs,
+        workers=workers,
+        name="fig5-privacy",
+        on_report=on_report,
+    )
+    return [row for rows in per_point for row in rows]
+
+
+def _fig5_performance_point(spec: Dict[str, object]) -> Dict[str, object]:
+    """One (N, zero-replace) point of the performance sweep (engine task)."""
+    config: ExperimentConfig = spec["config"]
+    area: int = spec["area"]
+    n_users: int = spec["n_users"]
+    replace_prob: float = spec["replace_prob"]
+    database = cached_database(
+        area, n_channels=config.n_channels, seed=config.seed
+    )
+    users = generate_users(
+        database, n_users, spawn_rng(config.seed, "fig5ef", f"users-{n_users}")
+    )
+    revenue_ratios, satisfaction_ratios = [], []
+    for round_idx in range(config.n_rounds):
+        seed_val = spawn_rng(
+            config.seed, "fig5ef", f"{n_users}-{replace_prob}-{round_idx}"
+        ).random()
+        plain = run_plain_auction(
+            users, random.Random(seed_val), two_lambda=config.two_lambda
+        )
+        private = run_fast_lppa(
             users,
             two_lambda=config.two_lambda,
             bmax=config.bmax,
             policy=UniformReplacePolicy(replace_prob),
-            rng=random.Random(
-                spawn_rng(config.seed, "fig5", f"round-{replace_prob}").random()
-            ),
+            rng=random.Random(seed_val),
         )
-        for fraction in config.attack_fractions:
-            masks = lppa_bcm_attack(
-                database, result.rankings, len(users), fraction
+        plain_revenue = plain.sum_of_winning_bids()
+        plain_satisfaction = plain.user_satisfaction()
+        if plain_revenue > 0:
+            revenue_ratios.append(
+                private.outcome.sum_of_winning_bids() / plain_revenue
             )
-            scores = [
-                score_attack(mask, user.cell, grid)
-                for mask, user in zip(masks, users)
-            ]
-            agg = aggregate_scores(scores)
-            rows.append(
-                {
-                    "zero_replace": round(replace_prob, 2),
-                    "attack": f"LPPA-BCM top {int(fraction * 100)}%",
-                    "cells": round(agg.mean_cells, 1),
-                    "uncertainty_bits": round(agg.mean_uncertainty_bits, 3),
-                    "incorrectness_cells": round(agg.mean_incorrectness_cells, 2),
-                    "failure_rate": round(agg.failure_rate, 4),
-                }
+        if plain_satisfaction > 0:
+            satisfaction_ratios.append(
+                private.outcome.user_satisfaction() / plain_satisfaction
             )
-    return rows
+    row = {
+        "n_users": n_users,
+        "zero_replace": round(replace_prob, 2),
+        "revenue_ratio": round(sum(revenue_ratios) / len(revenue_ratios), 4),
+        "satisfaction_ratio": round(
+            sum(satisfaction_ratios) / len(satisfaction_ratios), 4
+        ),
+    }
+    if config.n_rounds >= 3:
+        # Enough rounds for a meaningful bootstrap error bar.
+        ci_rng = random.Random(
+            spawn_rng(
+                config.seed, "fig5ef-ci", f"{n_users}-{replace_prob}"
+            ).random()
+        )
+        low, high = bootstrap_ci(revenue_ratios, ci_rng, resamples=500)
+        row["revenue_ci95"] = f"[{low:.3f}, {high:.3f}]"
+    return row
 
 
 def fig5_performance_sweep(
-    config: Optional[ExperimentConfig] = None, *, area: int = 3
+    config: Optional[ExperimentConfig] = None,
+    *,
+    area: int = 3,
+    workers: Optional[int] = None,
+    on_report: Optional[Callable[[SweepReport], None]] = None,
 ) -> List[Dict[str, object]]:
     """Panels (e)-(f): revenue and satisfaction ratios vs ``1 - p0`` and N.
 
@@ -126,57 +239,20 @@ def fig5_performance_sweep(
     """
     if config is None:
         config = default_config()
-    database = make_database(area, n_channels=config.n_channels, seed=config.seed)
-
-    rows: List[Dict[str, object]] = []
-    for n_users in config.n_users_sweep:
-        users = generate_users(
-            database, n_users, spawn_rng(config.seed, "fig5ef", f"users-{n_users}")
-        )
-        for replace_prob in config.zero_replace_probs:
-            revenue_ratios, satisfaction_ratios = [], []
-            for round_idx in range(config.n_rounds):
-                seed_val = spawn_rng(
-                    config.seed, "fig5ef", f"{n_users}-{replace_prob}-{round_idx}"
-                ).random()
-                plain = run_plain_auction(
-                    users, random.Random(seed_val), two_lambda=config.two_lambda
-                )
-                private = run_fast_lppa(
-                    users,
-                    two_lambda=config.two_lambda,
-                    bmax=config.bmax,
-                    policy=UniformReplacePolicy(replace_prob),
-                    rng=random.Random(seed_val),
-                )
-                plain_revenue = plain.sum_of_winning_bids()
-                plain_satisfaction = plain.user_satisfaction()
-                if plain_revenue > 0:
-                    revenue_ratios.append(
-                        private.outcome.sum_of_winning_bids() / plain_revenue
-                    )
-                if plain_satisfaction > 0:
-                    satisfaction_ratios.append(
-                        private.outcome.user_satisfaction() / plain_satisfaction
-                    )
-            row = {
-                "n_users": n_users,
-                "zero_replace": round(replace_prob, 2),
-                "revenue_ratio": round(
-                    sum(revenue_ratios) / len(revenue_ratios), 4
-                ),
-                "satisfaction_ratio": round(
-                    sum(satisfaction_ratios) / len(satisfaction_ratios), 4
-                ),
-            }
-            if config.n_rounds >= 3:
-                # Enough rounds for a meaningful bootstrap error bar.
-                ci_rng = random.Random(
-                    spawn_rng(
-                        config.seed, "fig5ef-ci", f"{n_users}-{replace_prob}"
-                    ).random()
-                )
-                low, high = bootstrap_ci(revenue_ratios, ci_rng, resamples=500)
-                row["revenue_ci95"] = f"[{low:.3f}, {high:.3f}]"
-            rows.append(row)
-    return rows
+    specs = [
+        {
+            "config": config,
+            "area": area,
+            "n_users": n_users,
+            "replace_prob": replace_prob,
+        }
+        for n_users in config.n_users_sweep
+        for replace_prob in config.zero_replace_probs
+    ]
+    return run_sweep(
+        _fig5_performance_point,
+        specs,
+        workers=workers,
+        name="fig5-performance",
+        on_report=on_report,
+    )

@@ -13,6 +13,7 @@ from repro.geo.datasets import (
     N_LA_CHANNELS,
     clear_coverage_cache,
     make_coverage_map,
+    cached_database,
     make_database,
 )
 from repro.geo.grid import Cell, GridSpec
@@ -37,6 +38,7 @@ __all__ = [
     "N_LA_CHANNELS",
     "clear_coverage_cache",
     "make_coverage_map",
+    "cached_database",
     "make_database",
     "Cell",
     "GridSpec",

@@ -54,6 +54,7 @@ __all__ = [
     "N_LA_CHANNELS",
     "make_coverage_map",
     "make_database",
+    "cached_database",
 ]
 
 #: Number of TV channels in the paper's LA dataset.
@@ -202,9 +203,17 @@ def _place_channel(
 _MAP_CACHE: Dict[tuple, CoverageMap] = {}
 
 
+#: Memo of wrapped databases, keyed like the map cache.  The wrapper itself
+#: is cheap, but the parallel sweep engine's trial functions hit this once
+#: per trial, and a stable identity keeps any object-keyed caches warm
+#: within a worker process.
+_DB_CACHE: Dict[tuple, GeoLocationDatabase] = {}
+
+
 def clear_coverage_cache() -> None:
     """Drop all memoised coverage maps (mainly for memory-sensitive tests)."""
     _MAP_CACHE.clear()
+    _DB_CACHE.clear()
 
 
 def make_coverage_map(
@@ -274,3 +283,25 @@ def make_database(
     return GeoLocationDatabase(
         make_coverage_map(area, n_channels=n_channels, grid=grid, seed=seed)
     )
+
+
+def cached_database(
+    area: int,
+    *,
+    n_channels: int = N_LA_CHANNELS,
+    grid: GridSpec = GridSpec(),
+    seed: str = "lppa-repro",
+) -> GeoLocationDatabase:
+    """Per-process memoised :func:`make_database`.
+
+    The engine's worker processes call this once per trial; the underlying
+    coverage map (the genuinely expensive artifact) is built at most once
+    per worker per (area, channels, grid, seed) and shared thereafter.
+    Treat the result as read-only, exactly like the session fixtures.
+    """
+    key = (area, n_channels, grid, seed)
+    cached = _DB_CACHE.get(key)
+    if cached is None:
+        cached = make_database(area, n_channels=n_channels, grid=grid, seed=seed)
+        _DB_CACHE[key] = cached
+    return cached

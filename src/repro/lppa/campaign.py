@@ -29,6 +29,7 @@ from repro.geo.database import GeoLocationDatabase
 from repro.lppa.fastsim import FastLppaResult, run_fast_lppa
 from repro.lppa.idpool import IdPool
 from repro.lppa.policies import ZeroDisguisePolicy
+from repro.utils.rng import fresh_rng
 
 __all__ = ["RoundRecord", "Campaign"]
 
@@ -82,7 +83,7 @@ class Campaign:
         self._rd = rd
         self._cr = cr
         self._revalidate = revalidate
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else fresh_rng()
         # Locations never change within a campaign: one conflict graph.
         self._conflict: ConflictGraph = build_conflict_graph(
             [u.cell for u in self._users], two_lambda

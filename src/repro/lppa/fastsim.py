@@ -35,8 +35,32 @@ from repro.lppa.bids_advanced import (
     disguise_and_expand,
 )
 from repro.lppa.policies import ZeroDisguisePolicy
+from repro.utils.rng import Seed, fresh_rng, spawn_rng
 
-__all__ = ["IntegerMaskedTable", "FastLppaResult", "run_fast_lppa"]
+__all__ = [
+    "IntegerMaskedTable",
+    "FastLppaResult",
+    "run_fast_lppa",
+    "derive_round_rngs",
+]
+
+
+def derive_round_rngs(
+    entropy: Seed, n_users: int
+) -> Tuple[List[random.Random], random.Random]:
+    """Per-user bidder RNGs plus the allocation RNG for one auction round.
+
+    This derivation is the *shared* seeding contract of the fast simulator
+    and the full-crypto session: user ``i``'s disguise/expansion draws come
+    from the stream labelled ``("bidder", str(i))`` and the allocation's
+    channel/tie choices from ``("alloc",)``.  Because both paths call
+    :func:`repro.lppa.bids_advanced.disguise_and_expand` *first* on the
+    per-user stream, the same ``entropy`` makes them commit to identical
+    masked values — the differential-equivalence tests assert the
+    consequences (identical rankings, allocations and charges).
+    """
+    user_rngs = [spawn_rng(entropy, "bidder", str(i)) for i in range(n_users)]
+    return user_rngs, spawn_rng(entropy, "alloc")
 
 
 class IntegerMaskedTable(BidTable):
@@ -130,6 +154,7 @@ def run_fast_lppa(
     cr: int = 8,
     policy: Union[ZeroDisguisePolicy, Sequence[ZeroDisguisePolicy], None] = None,
     rng: Optional[random.Random] = None,
+    entropy: Optional[Seed] = None,
     conflict: Optional[ConflictGraph] = None,
     revalidate: bool = False,
     pricing: str = "first",
@@ -139,6 +164,14 @@ def run_fast_lppa(
     The conflict graph is the plaintext one — provably equal to the private
     protocol's output.  Charging follows the TTP's rules: a winner whose
     *true* offset value lies in the zero band ``[0, rd]`` is invalid.
+
+    ``entropy`` opts into the label-addressed seeding of
+    :func:`derive_round_rngs` (overriding ``rng``): every user draws from
+    its own stream, so the round's results match a full-crypto
+    :func:`repro.lppa.session.run_lppa_auction` run with the same
+    ``entropy`` and do not depend on how other randomness consumers
+    interleave.  With neither ``rng`` nor ``entropy`` the round is
+    non-deterministic via a fork-safe fresh RNG.
 
     ``revalidate`` enables the section-V.B extension: the TTP's
     invalid-winner notifications feed back into the allocation loop, which
@@ -159,8 +192,13 @@ def run_fast_lppa(
     n_channels = users[0].n_channels
     if any(u.n_channels != n_channels for u in users):
         raise ValueError("all users must bid over the same channel set")
-    if rng is None:
-        rng = random.Random()
+    if entropy is not None:
+        user_rngs, alloc_rng = derive_round_rngs(entropy, len(users))
+    else:
+        if rng is None:
+            rng = fresh_rng()
+        user_rngs = [rng] * len(users)
+        alloc_rng = rng
     scale = BidScale(bmax=bmax, rd=rd, cr=cr)
 
     # §IV.C.3: "the zero-replace probabilities are selected independently
@@ -176,7 +214,9 @@ def run_fast_lppa(
         SubmissionDisclosure(
             user_id=idx,
             channels=tuple(
-                disguise_and_expand(user.bids, scale, rng, policy=per_user[idx])
+                disguise_and_expand(
+                    user.bids, scale, user_rngs[idx], policy=per_user[idx]
+                )
             ),
         )
         for idx, user in enumerate(users)
@@ -196,7 +236,7 @@ def run_fast_lppa(
 
     wins = []
     if pricing == "second":
-        sales = greedy_allocate_priced(table, conflict, rng)
+        sales = greedy_allocate_priced(table, conflict, alloc_rng)
         for sale in sales:
             valid = true_bid(sale.bidder, sale.channel) > 0
             charge = second_price_charge(sale, true_bid) if valid else 0
@@ -213,11 +253,11 @@ def run_fast_lppa(
             assignments, rejections = greedy_allocate_validated(
                 table,
                 conflict,
-                rng,
+                alloc_rng,
                 lambda bidder, channel: true_bid(bidder, channel) > 0,
             )
         else:
-            assignments = greedy_allocate(table, conflict, rng)
+            assignments = greedy_allocate(table, conflict, alloc_rng)
         for a in assignments:
             valid = true_bid(a.bidder, a.channel) > 0
             wins.append(

@@ -33,8 +33,10 @@ from repro.lppa.bids_advanced import (
 )
 from repro.lppa.location import submit_location
 from repro.lppa.messages import BidSubmission, LocationSubmission
+from repro.lppa.fastsim import derive_round_rngs
 from repro.lppa.policies import KeepZeroPolicy, ZeroDisguisePolicy
 from repro.lppa.ttp import TrustedThirdParty
+from repro.utils.rng import Seed, fresh_rng
 
 __all__ = ["LppaResult", "run_lppa_auction"]
 
@@ -69,6 +71,7 @@ def run_lppa_auction(
     cr: int = 8,
     policy: Optional[ZeroDisguisePolicy] = None,
     rng: Optional[random.Random] = None,
+    entropy: Optional[Seed] = None,
 ) -> LppaResult:
     """One complete private auction round.
 
@@ -92,14 +95,26 @@ def run_lppa_auction(
     rng:
         Randomness for expansion offsets, disguises, nonce generation and
         the allocation's channel/tie choices.
+    entropy:
+        Label-addressed seeding (overrides ``rng``): derives one stream per
+        bidder plus an allocation stream via
+        :func:`repro.lppa.fastsim.derive_round_rngs`, so the round's
+        conflict graph, rankings, allocations and charges are identical to
+        a :func:`repro.lppa.fastsim.run_fast_lppa` run with the same
+        ``entropy`` — the enforced fastsim equivalence contract.
     """
     if not users:
         raise ValueError("need at least one user")
     n_channels = users[0].n_channels
     if any(u.n_channels != n_channels for u in users):
         raise ValueError("all users must bid over the same channel set")
-    if rng is None:
-        rng = random.Random()
+    if entropy is not None:
+        user_rngs, alloc_rng = derive_round_rngs(entropy, len(users))
+    else:
+        if rng is None:
+            rng = fresh_rng()
+        user_rngs = [rng] * len(users)
+        alloc_rng = rng
     if policy is None:
         policy = KeepZeroPolicy()
 
@@ -116,7 +131,7 @@ def run_lppa_auction(
             submit_location(idx, user.cell, keyring.g0, grid, two_lambda)
         )
         submission, disclosure = submit_bids_advanced(
-            idx, user.bids, keyring, scale, rng, policy=policy
+            idx, user.bids, keyring, scale, user_rngs[idx], policy=policy
         )
         bid_subs.append(submission)
         disclosures.append(disclosure)
@@ -126,7 +141,7 @@ def run_lppa_auction(
     conflict = auctioneer.receive_locations(location_subs)
     auctioneer.receive_bids(bid_subs)
     rankings = auctioneer.channel_rankings()
-    auctioneer.run_allocation(rng)
+    auctioneer.run_allocation(alloc_rng)
 
     # --- TTP charging -------------------------------------------------------------
     outcome = auctioneer.charge_winners(ttp, n_users=len(users))

@@ -26,6 +26,7 @@ from repro.crypto.backend import hmac_digest
 from repro.prefix.numericalize import numericalize, numericalized_to_bytes
 from repro.prefix.prefixes import Prefix, prefix_family
 from repro.prefix.ranges import max_cover_size, range_cover
+from repro.utils.rng import fresh_rng
 
 __all__ = [
     "DEFAULT_DIGEST_BYTES",
@@ -140,7 +141,7 @@ def mask_range(
     if pad_to is not None:
         ceiling = max(pad_to, max_cover_size(width))
         if rng is None:
-            rng = random.Random()
+            rng = fresh_rng()
         while len(digests) < ceiling:
             digests.add(rng.getrandbits(8 * digest_bytes).to_bytes(digest_bytes, "big"))
     return MaskedSet(frozenset(digests), digest_bytes=digest_bytes)

@@ -10,6 +10,7 @@ coverage maps.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Union
 
@@ -17,7 +18,7 @@ import numpy as np
 
 from repro.crypto.sha256 import sha256
 
-__all__ = ["stable_seed", "spawn_rng", "numpy_rng"]
+__all__ = ["stable_seed", "spawn_rng", "numpy_rng", "fresh_rng"]
 
 Seed = Union[int, str, bytes]
 
@@ -53,3 +54,17 @@ def spawn_rng(seed: Seed, *labels: str) -> random.Random:
 def numpy_rng(seed: Seed, *labels: str) -> np.random.Generator:
     """An independent NumPy ``Generator`` for the given label path."""
     return np.random.default_rng(stable_seed(seed, *labels))
+
+
+def fresh_rng() -> random.Random:
+    """A non-deterministic RNG that is safe to create inside forked workers.
+
+    Seeds from ``os.urandom`` mixed with the current PID at *call* time, so
+    two worker processes forked from the same parent can never share a
+    stream — unlike the module-level ``random`` functions, whose global
+    state is duplicated by ``fork``.  Every ``rng=None`` fallback in the
+    protocol paths routes through here; deterministic runs should pass an
+    explicit seeded RNG (or use label-addressed ``entropy`` seeding)
+    instead.
+    """
+    return random.Random(os.urandom(16) + os.getpid().to_bytes(8, "big"))

@@ -1,0 +1,127 @@
+"""The parallel sweep engine: resolution, ordering, reports, fallback."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments.engine import (
+    WORKERS_ENV,
+    SweepReport,
+    resolve_workers,
+    run_sweep,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _square(spec):
+    return spec * spec
+
+
+def _fail_on_three(spec):
+    if spec == 3:
+        raise ValueError("spec three is poisoned")
+    return spec
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_env_variable_honoured(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(2) == 2
+
+    def test_blank_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert resolve_workers() == 1
+
+    @pytest.mark.parametrize("raw", ["zero", "2.5", "-1", "0"])
+    def test_invalid_env_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    @pytest.mark.parametrize("workers", [0, -4])
+    def test_invalid_argument_raises(self, workers):
+        with pytest.raises(ValueError):
+            resolve_workers(workers)
+
+
+class TestSerialPath:
+    def test_results_in_spec_order(self):
+        assert run_sweep(_square, range(7), workers=1) == [
+            n * n for n in range(7)
+        ]
+
+    def test_empty_sweep(self):
+        assert run_sweep(_square, [], workers=1) == []
+
+    def test_progress_callback_counts_up(self):
+        seen = []
+        run_sweep(_square, [1, 2, 3], workers=1,
+                  progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_report_contents(self):
+        reports = []
+        run_sweep(_square, [1, 2], workers=1, name="unit", chunksize=1,
+                  on_report=reports.append)
+        (report,) = reports
+        assert isinstance(report, SweepReport)
+        assert report.mode == "serial"
+        assert report.name == "unit"
+        assert report.n_tasks == 2
+        assert report.errors == []
+        assert report.worker_pids == (os.getpid(),)
+        assert len(report.timings) == 2
+        assert report.wall_seconds >= 0.0
+        assert "mode=serial" in report.summary()
+
+    def test_task_error_propagates(self):
+        with pytest.raises(ValueError, match="poisoned"):
+            run_sweep(_fail_on_three, [1, 2, 3, 4], workers=1)
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(_square, [1, 2], workers=1, chunksize=0)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+class TestParallelPath:
+    def test_matches_serial_in_order(self):
+        reports = []
+        results = run_sweep(_square, range(9), workers=2,
+                            on_report=reports.append)
+        assert results == [n * n for n in range(9)]
+        assert reports[0].mode == "parallel"
+        assert reports[0].workers == 2
+
+    def test_task_error_falls_back_and_raises_naturally(self):
+        # The worker-side failure demotes the sweep to a serial rerun, where
+        # the deterministic error surfaces exactly as a plain loop would.
+        with pytest.raises(ValueError, match="poisoned"):
+            run_sweep(_fail_on_three, [1, 2, 3, 4], workers=2)
+
+    def test_unpicklable_func_falls_back_to_serial(self):
+        reports = []
+        results = run_sweep(lambda spec: spec + 1, [1, 2, 3], workers=2,
+                            on_report=reports.append)
+        assert results == [2, 3, 4]
+        (report,) = reports
+        assert report.mode == "serial-fallback"
+        assert report.errors, "fallback must record why the pool was dropped"
+
+    def test_workers_capped_by_task_count(self):
+        # A one-task sweep never pays for a pool.
+        reports = []
+        assert run_sweep(_square, [5], workers=8,
+                         on_report=reports.append) == [25]
+        assert reports[0].mode == "serial"

@@ -1,0 +1,65 @@
+"""Parallel == serial, bit for bit: the engine's core guarantee.
+
+Each sweep is rendered through :func:`format_table` and the resulting
+strings compared byte-for-byte across worker counts.  This holds because
+every trial derives all randomness from the master seed plus its own label
+path, never from shared mutable RNG state.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import fig4ab_channel_sweep, fig4c_four_areas
+from repro.experiments.fig5 import fig5_performance_sweep, fig5_privacy_sweep
+from repro.experiments.tables import format_table
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+TINY = ExperimentConfig(
+    n_users=12,
+    n_channels=10,
+    channel_sweep=(5, 10),
+    bpm_fractions=(0.5,),
+    attack_fractions=(0.5,),
+    zero_replace_probs=(0.2, 0.8),
+    n_users_sweep=(12,),
+    n_rounds=1,
+    bpm_max_cells=100,
+    two_lambda=6,
+    bmax=127,
+    seed="engine-determinism",
+)
+
+SWEEPS = {
+    "fig4ab": lambda workers: fig4ab_channel_sweep(
+        TINY, area=4, workers=workers
+    ),
+    "fig4c": lambda workers: fig4c_four_areas(
+        TINY, areas=(3, 4), workers=workers
+    ),
+    "fig5-privacy": lambda workers: fig5_privacy_sweep(
+        TINY, workers=workers
+    ),
+    "fig5-performance": lambda workers: fig5_performance_sweep(
+        TINY, workers=workers
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def serial_tables():
+    return {name: format_table(sweep(1)) for name, sweep in SWEEPS.items()}
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("name", sorted(SWEEPS))
+def test_parallel_tables_byte_identical(serial_tables, name, workers):
+    assert format_table(SWEEPS[name](workers)) == serial_tables[name]
+
+
+def test_tables_are_nonempty(serial_tables):
+    for name, table in serial_tables.items():
+        assert table.strip(), f"{name} produced an empty table"

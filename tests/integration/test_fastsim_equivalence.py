@@ -1,0 +1,125 @@
+"""Differential equivalence: fast simulator vs the full crypto protocol.
+
+``run_fast_lppa`` skips HMAC masking and encryption but executes the same
+value pipeline.  Under the shared ``entropy`` seeding contract
+(:func:`repro.lppa.fastsim.derive_round_rngs`) both paths give user ``i``
+its own labelled RNG stream whose *first* consumer is
+``disguise_and_expand``, so they commit to identical masked values — and
+therefore must agree on everything downstream: conflict graph, per-channel
+rankings, winners, charges and validity flags.
+
+These tests run both paths over a grid of seeds and disguise policies and
+assert exact equality of all of those observables.  Any divergence means
+the simulator no longer models the protocol and every Fig. 4/5 sweep built
+on it is suspect.
+"""
+
+import pytest
+
+from repro.auction.bidders import generate_users
+from repro.lppa.fastsim import derive_round_rngs, run_fast_lppa
+from repro.lppa.policies import KeepZeroPolicy, UniformReplacePolicy
+from repro.lppa.session import run_lppa_auction
+from repro.utils.rng import spawn_rng
+
+ENTROPIES = ("round-a", "round-b", "round-c")
+POLICIES = (
+    ("keep-zero", KeepZeroPolicy()),
+    ("replace-half", UniformReplacePolicy(0.5)),
+    ("replace-all", UniformReplacePolicy(1.0)),
+)
+RD, CR = 2, 2  # small crypto parameters keep the full path fast
+
+
+def _population(tiny_db, n_users, label):
+    return generate_users(
+        tiny_db, n_users, spawn_rng("fastsim-equivalence", label)
+    )
+
+
+def _run_both(tiny_db, users, entropy, policy):
+    fast = run_fast_lppa(
+        users,
+        two_lambda=6,
+        bmax=127,
+        rd=RD,
+        cr=CR,
+        policy=policy,
+        entropy=entropy,
+    )
+    full = run_lppa_auction(
+        users,
+        tiny_db.coverage.grid,
+        two_lambda=6,
+        bmax=127,
+        rd=RD,
+        cr=CR,
+        policy=policy,
+        entropy=entropy,
+    )
+    return fast, full
+
+
+@pytest.mark.parametrize("entropy", ENTROPIES)
+@pytest.mark.parametrize(
+    "policy", [p for _, p in POLICIES], ids=[n for n, _ in POLICIES]
+)
+def test_full_protocol_matches_fastsim(tiny_db, entropy, policy):
+    users = _population(tiny_db, 8, entropy)
+    fast, full = _run_both(tiny_db, users, entropy, policy)
+
+    # Same conflict graph: the private location protocol provably equals the
+    # plaintext interference test.
+    assert full.conflict_graph.n_users == fast.conflict_graph.n_users
+    assert full.conflict_graph.edges == fast.conflict_graph.edges
+
+    # Same attacker view: per-channel equivalence-class rankings.
+    assert full.rankings == fast.rankings
+
+    # Same economic outcome: winners, channels, charges, validity.
+    assert full.outcome.wins == fast.outcome.wins
+    assert (
+        full.outcome.sum_of_winning_bids()
+        == fast.outcome.sum_of_winning_bids()
+    )
+
+
+@pytest.mark.parametrize("entropy", ENTROPIES[:1])
+def test_disclosed_values_match(tiny_db, entropy):
+    """The per-user disclosures (true bids, offsets, disguises) coincide."""
+    users = _population(tiny_db, 6, "disclosures")
+    fast, full = _run_both(
+        tiny_db, users, entropy, UniformReplacePolicy(0.8)
+    )
+    assert len(fast.disclosures) == len(full.disclosures)
+    for fast_d, full_d in zip(fast.disclosures, full.disclosures):
+        for fast_c, full_c in zip(fast_d.channels, full_d.channels):
+            assert fast_c.true_bid == full_c.true_bid
+            assert fast_c.masked_expanded == full_c.masked_expanded
+
+
+def test_entropy_isolates_users_from_each_other():
+    """Stream ``i`` depends only on ``i`` — never on the population size."""
+    small_users, small_alloc = derive_round_rngs("iso", 3)
+    big_users, big_alloc = derive_round_rngs("iso", 6)
+    for a, b in zip(small_users, big_users):
+        assert a.random() == b.random()
+    assert small_alloc.random() == big_alloc.random()
+
+
+def test_different_entropy_differs(tiny_db):
+    users = _population(tiny_db, 8, "distinct")
+    policy = UniformReplacePolicy(0.5)
+    fast_a = run_fast_lppa(
+        users, two_lambda=6, bmax=127, policy=policy, entropy="seed-a"
+    )
+    fast_b = run_fast_lppa(
+        users, two_lambda=6, bmax=127, policy=policy, entropy="seed-b"
+    )
+    values_a = [
+        [c.masked_expanded for c in d.channels] for d in fast_a.disclosures
+    ]
+    values_b = [
+        [c.masked_expanded for c in d.channels] for d in fast_b.disclosures
+    ]
+    assert values_a != values_b

@@ -1,0 +1,115 @@
+"""Worker-safety of the randomness plumbing (the engine's prerequisites).
+
+The parallel engine forks worker processes.  A fork duplicates the parent's
+``random`` module state, so any code path that fell back to the shared
+module-level generator would make every worker draw the *same* "random"
+stream — silently correlating trials.  The audit routed every such fallback
+(fastsim, the full session, campaign state, range padding) through either
+an injected RNG or :func:`repro.utils.rng.fresh_rng`, which reseeds from
+``os.urandom`` + PID at call time.  These tests pin that down.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.utils.rng import fresh_rng
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _fresh_draw(_):
+    return fresh_rng().getrandbits(128)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+def test_fresh_rng_distinct_across_forked_workers():
+    parent_draw = fresh_rng().getrandbits(128)
+    context = multiprocessing.get_context("fork")
+    with context.Pool(2) as pool:
+        child_draws = pool.map(_fresh_draw, range(4))
+    draws = [parent_draw, *child_draws]
+    assert len(set(draws)) == len(draws), (
+        "forked workers produced overlapping fresh_rng streams"
+    )
+
+
+def test_fresh_rng_distinct_within_process():
+    assert fresh_rng().getrandbits(128) != fresh_rng().getrandbits(128)
+
+
+class _SentinelError(RuntimeError):
+    """Raised by the patched fresh_rng to prove the fallback reached it."""
+
+
+def _sentinel():
+    raise _SentinelError
+
+
+def test_fastsim_unseeded_fallback_uses_fresh_rng(monkeypatch, tiny_db):
+    from repro.auction.bidders import generate_users
+    from repro.lppa import fastsim
+
+    users = generate_users(tiny_db, 3, random.Random(5))
+    monkeypatch.setattr(fastsim, "fresh_rng", _sentinel)
+    with pytest.raises(_SentinelError):
+        fastsim.run_fast_lppa(users, two_lambda=6, bmax=127)
+
+
+def test_session_unseeded_fallback_uses_fresh_rng(monkeypatch, tiny_db):
+    from repro.auction.bidders import generate_users
+    from repro.lppa import session
+
+    users = generate_users(tiny_db, 3, random.Random(5))
+    monkeypatch.setattr(session, "fresh_rng", _sentinel)
+    with pytest.raises(_SentinelError):
+        session.run_lppa_auction(
+            users, tiny_db.coverage.grid, two_lambda=6, bmax=127
+        )
+
+
+def test_mask_range_padding_fallback_uses_fresh_rng(monkeypatch):
+    from repro.prefix import membership
+
+    monkeypatch.setattr(membership, "fresh_rng", _sentinel)
+    with pytest.raises(_SentinelError):
+        membership.mask_range(b"key", 0, 1, 4, pad_to=6)
+    # An injected RNG bypasses the fallback entirely.
+    masked = membership.mask_range(
+        b"key", 0, 1, 4, pad_to=6, rng=random.Random(1)
+    )
+    assert len(masked) == 6
+
+
+def test_campaign_unseeded_fallback_uses_fresh_rng(monkeypatch, tiny_db):
+    from repro.auction.bidders import generate_users
+    from repro.lppa import campaign
+
+    users = generate_users(tiny_db, 3, random.Random(5))
+    monkeypatch.setattr(campaign, "fresh_rng", _sentinel)
+    with pytest.raises(_SentinelError):
+        campaign.Campaign(tiny_db, users, two_lambda=6, bmax=127)
+
+
+def test_no_module_level_random_in_worker_paths():
+    """No engine-reachable module calls the shared ``random`` module API.
+
+    Source-level audit: ``random.<draw>()`` on the module singleton shares
+    state across forks; only ``random.Random(...)`` instances are allowed.
+    """
+    import inspect
+    import re
+
+    from repro.lppa import bids_advanced, campaign, fastsim, session
+    from repro.prefix import membership
+
+    pattern = re.compile(
+        r"\brandom\.(random|randint|randrange|choice|shuffle|uniform|"
+        r"getrandbits|sample)\("
+    )
+    for module in (fastsim, session, bids_advanced, membership, campaign):
+        source = inspect.getsource(module)
+        assert not pattern.search(source), (
+            f"{module.__name__} draws from the shared random module"
+        )
