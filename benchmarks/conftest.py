@@ -5,6 +5,11 @@ stdout (visible with ``pytest benchmarks/ --benchmark-only -s``) and written
 to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
 artifacts.  Scale comes from :mod:`repro.experiments.config`: the default
 smoke preset finishes in minutes; export ``REPRO_FULL=1`` for the full runs.
+
+Benches that collect :mod:`repro.obs` metrics additionally persist a
+schema-versioned ``BENCH_<name>.json`` via the ``bench_artifact`` fixture;
+the CI ``bench-artifacts`` job uploads those and diffs them against the
+committed baselines in ``benchmarks/baselines/``.
 """
 
 import os
@@ -26,3 +31,22 @@ def record_table():
         print(f"\n{text}\n[written to {path}]")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def bench_artifact():
+    """Writer: bench_artifact(name, registry, config=...) -> Path.
+
+    Persists a ``BENCH_<name>.json`` observability artifact into the
+    results directory and returns its path.
+    """
+    from repro.obs import write_artifact
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name, registry, *, config=None):
+        path = write_artifact(RESULTS_DIR, name, registry, config=config or {})
+        print(f"\n[metrics artifact written to {path}]")
+        return path
+
+    return _write

@@ -118,6 +118,39 @@ def test_bench_ope_setup_and_encrypt(benchmark):
     assert value > 0
 
 
+def test_bench_metrics_artifact(small_db_for_bench, bench_artifact):
+    """Collect obs metrics for a full crypto round + the fixed calibration.
+
+    This is the artifact the CI ``bench-artifacts`` job diffs against
+    ``benchmarks/baselines/BENCH_micro_protocol.json``: crypto-op counts
+    are deterministic, and the calibration timers give comparable hot-path
+    baselines across commits.
+    """
+    from repro import obs
+    from repro.obs.calibration import run_calibration
+
+    database, users = small_db_for_bench
+    with obs.collecting() as registry:
+        with obs.timer("bench.full_crypto_round"):
+            result = run_lppa_auction(
+                users,
+                database.coverage.grid,
+                two_lambda=6,
+                bmax=127,
+                rng=random.Random(4),
+            )
+        run_calibration()
+    totals = registry.totals()
+    assert totals["crypto.hmac"] > 0
+    assert totals["lppa.bid_submissions"] == len(users)
+    assert result.total_bytes > 0
+    bench_artifact(
+        "micro_protocol",
+        registry,
+        config={"users": len(users), "channels": 10, "area": 3, "bmax": 127},
+    )
+
+
 def test_bench_codec_roundtrip(benchmark):
     from repro.crypto.keys import generate_keyring
     from repro.lppa.bids_advanced import BidScale, submit_bids_advanced

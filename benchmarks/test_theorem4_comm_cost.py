@@ -6,19 +6,27 @@ exact for the advanced scheme (families of ``w + 1`` digests, tails padded
 to ``2w - 2``), so the error column must read 0.
 """
 
+from repro import obs
 from repro.experiments.comm import theorem4_table
 from repro.experiments.config import default_config
 from repro.experiments.tables import format_table
 
 
-def test_theorem4_comm_cost(benchmark, record_table):
+def test_theorem4_comm_cost(benchmark, record_table, bench_artifact):
     config = default_config()
-    rows = benchmark.pedantic(
-        lambda: theorem4_table(config), rounds=1, iterations=1
-    )
+    with obs.collecting() as registry:
+        rows = benchmark.pedantic(
+            lambda: theorem4_table(config), rounds=1, iterations=1
+        )
     record_table(
         "theorem4_comm_cost",
         format_table(rows, title="Theorem 4: predicted vs measured bid-submission bits"),
+    )
+    assert registry.totals()["crypto.hmac"] > 0
+    bench_artifact(
+        "theorem4_comm_cost",
+        registry,
+        config={"preset": "full" if config.n_users >= 100 else "smoke"},
     )
     for row in rows:
         assert row["error"] == 0.0

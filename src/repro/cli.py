@@ -9,7 +9,14 @@ Gives the whole reproduction a zero-code driving surface:
 * ``coverage``  — print one area/channel's coverage map as ASCII;
 * ``baselines`` — LPPA vs cloaking / Paillier / OPE comparisons;
 * ``report``    — every experiment, one markdown file;
-* ``demo``      — one quick private auction round with a result summary.
+* ``demo``      — one quick private auction round with a result summary;
+* ``metrics``   — inspect, validate and diff ``BENCH_*.json`` artifacts.
+
+Every experiment command additionally accepts ``--metrics PATH``: the run
+executes with a :mod:`repro.obs` registry collecting, the fixed crypto
+calibration workload is appended so artifacts are comparable across runs,
+and a schema-versioned benchmark artifact is written to PATH (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -17,11 +24,14 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro import __version__
 
 __all__ = ["main", "build_parser"]
+
+#: Commands that accept ``--metrics`` (everything that runs protocol code).
+_METRICS_COMMANDS = ("figures", "theorems", "ablations", "baselines", "report", "demo")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="print one engine timing line per sweep to stderr",
         )
 
+    def add_metrics_flag(command_parser) -> None:
+        command_parser.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="collect obs metrics for this run and write a BENCH_*.json "
+            "artifact to PATH (a directory gets the canonical file name)",
+        )
+
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument(
         "--full", action="store_true", help="EXPERIMENTS.md scale (slow)"
@@ -59,10 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to one figure family",
     )
     add_workers_flag(figures)
+    add_metrics_flag(figures)
 
-    sub.add_parser("theorems", help="validate Theorems 1-4")
+    theorems = sub.add_parser("theorems", help="validate Theorems 1-4")
+    add_metrics_flag(theorems)
     ablations = sub.add_parser("ablations", help="run the design-choice ablations")
     add_workers_flag(ablations)
+    add_metrics_flag(ablations)
 
     coverage = sub.add_parser("coverage", help="print a coverage map")
     coverage.add_argument("--area", type=int, default=3, choices=(1, 2, 3, 4))
@@ -72,13 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--step", type=int, default=2,
                           help="downsampling factor for the ASCII render")
 
-    sub.add_parser("baselines", help="compare LPPA against cloaking / Paillier")
+    baselines = sub.add_parser(
+        "baselines", help="compare LPPA against cloaking / Paillier"
+    )
+    add_metrics_flag(baselines)
 
     report = sub.add_parser("report", help="write the full markdown report")
     report.add_argument("--out", default="lppa_report.md")
     report.add_argument("--full", action="store_true")
     report.add_argument("--no-extensions", action="store_true")
     add_workers_flag(report)
+    add_metrics_flag(report)
 
     demo = sub.add_parser("demo", help="run one private auction round")
     demo.add_argument("--users", type=int, default=40)
@@ -86,6 +112,38 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--replace", type=float, default=0.3,
                       help="zero-replace probability 1-p0")
     demo.add_argument("--seed", type=int, default=42)
+    add_metrics_flag(demo)
+
+    metrics = sub.add_parser(
+        "metrics", help="inspect / validate / diff BENCH_*.json artifacts"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+
+    diff = metrics_sub.add_parser(
+        "diff", help="compare two artifacts and flag regressions"
+    )
+    diff.add_argument("baseline", help="baseline BENCH_*.json")
+    diff.add_argument("current", help="current BENCH_*.json")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative worsening that counts as a regression (default 0.2)",
+    )
+    diff.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for advisory CI gates)",
+    )
+
+    show = metrics_sub.add_parser("show", help="pretty-print one artifact")
+    show.add_argument("path", help="BENCH_*.json to display")
+
+    validate = metrics_sub.add_parser(
+        "validate", help="check an artifact against the schema"
+    )
+    validate.add_argument("path", help="BENCH_*.json to validate")
     return parser
 
 
@@ -256,7 +314,113 @@ def _cmd_report(args) -> int:
     return 0
 
 
-_COMMANDS = {
+def _load_artifact_or_fail(path: str) -> Optional[Dict[str, Any]]:
+    """Load + validate one artifact; on failure print why and return None."""
+    from repro import obs
+
+    try:
+        return obs.load_artifact(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_metrics(args) -> int:
+    from repro import obs
+
+    if args.metrics_command == "validate":
+        if _load_artifact_or_fail(args.path) is None:
+            return 2
+        print(f"{args.path}: valid (schema v{obs.SCHEMA_VERSION})")
+        return 0
+    if args.metrics_command == "show":
+        document = _load_artifact_or_fail(args.path)
+        if document is None:
+            return 2
+        print(f"artifact   {document['name']}")
+        print(f"schema     v{document['schema_version']}")
+        print(f"created    {document['created_at']}")
+        print(f"git sha    {document['git_sha']}")
+        if document.get("config"):
+            print("config:")
+            for key in sorted(document["config"]):
+                print(f"  {key} = {document['config'][key]!r}")
+        counters = document["metrics"]["counters"]
+        timers = document["metrics"]["timers"]
+        if counters:
+            print("counters:")
+            for key in sorted(counters):
+                print(f"  {key:<48} {counters[key]}")
+        if timers:
+            print("timers (mean seconds x count):")
+            for key in sorted(timers):
+                stat = timers[key]
+                mean = stat["seconds"] / stat["count"] if stat["count"] else 0.0
+                print(f"  {key:<48} {mean:.6f} x {stat['count']}")
+        return 0
+    # diff
+    baseline = _load_artifact_or_fail(args.baseline)
+    current = _load_artifact_or_fail(args.current)
+    if baseline is None or current is None:
+        return 2
+    kwargs: Dict[str, Any] = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    try:
+        report = obs.diff_artifacts(baseline, current, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    if report.has_regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+def _artifact_name(args) -> str:
+    """Canonical artifact name for a CLI run, e.g. ``figures-fig4``."""
+    name = str(args.command)
+    only = getattr(args, "only", None)
+    if only:
+        name = f"{name}-{only}"
+    return name
+
+
+def _scalar_config(args) -> Dict[str, Any]:
+    """The JSON-scalar view of the parsed arguments, for artifact config."""
+    config: Dict[str, Any] = {}
+    for key, value in vars(args).items():
+        if key in ("command", "metrics"):
+            continue
+        if value is None or isinstance(value, (bool, int, float, str)):
+            config[key] = value
+    return config
+
+
+def _run_with_metrics(handler: Callable[[Any], int], args) -> int:
+    """Run one command under a collecting registry; write the artifact.
+
+    The whole command is timed as ``cli.<command>``; the fixed crypto
+    calibration workload (:mod:`repro.obs.calibration`) runs afterwards so
+    every artifact carries comparable hot-path baselines even when the
+    command itself never touches a given primitive.
+    """
+    from repro import obs
+    from repro.obs.calibration import run_calibration
+
+    registry = obs.MetricsRegistry()
+    with obs.collecting(registry):
+        with obs.timer(f"cli.{args.command}"):
+            code = handler(args)
+        run_calibration()
+    written = obs.write_artifact(
+        args.metrics, _artifact_name(args), registry, config=_scalar_config(args)
+    )
+    print(f"metrics artifact written to {written}", file=sys.stderr)
+    return code
+
+
+_COMMANDS: Dict[str, Callable[[Any], int]] = {
     "figures": _cmd_figures,
     "report": _cmd_report,
     "baselines": _cmd_baselines,
@@ -264,13 +428,17 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
+    "metrics": _cmd_metrics,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    if getattr(args, "metrics", None) and args.command in _METRICS_COMMANDS:
+        return _run_with_metrics(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

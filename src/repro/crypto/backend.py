@@ -13,6 +13,10 @@ HMAC invocations.  The protocol layer therefore calls
 The two are bit-identical; the test suite asserts it over random inputs and
 runs the protocol under both backends.  Use :func:`use_backend` to switch
 temporarily.
+
+Every call is counted under the ``crypto.hmac`` metric when
+:mod:`repro.obs` is collecting (this function is the single choke point all
+masking flows through), at the cost of one ``is None`` test when it is not.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import hashlib
 import hmac as _stdlib_hmac
 from typing import Iterator
 
+from repro import obs
 from repro.crypto.hmac_impl import hmac_sha256 as _pure_hmac
 
 __all__ = ["hmac_digest", "get_backend", "set_backend", "use_backend"]
@@ -56,6 +61,7 @@ def use_backend(name: str) -> Iterator[None]:
 
 def hmac_digest(key: bytes, msg: bytes) -> bytes:
     """HMAC-SHA256 digest through the active backend."""
+    obs.count("crypto.hmac")
     if _backend == "stdlib":
         return _stdlib_hmac.new(key, msg, hashlib.sha256).digest()
     return _pure_hmac(key, msg)

@@ -31,6 +31,7 @@ from __future__ import annotations
 import bisect
 from typing import List
 
+from repro import obs
 from repro.crypto.backend import hmac_digest
 
 __all__ = ["OrderPreservingEncoder"]
@@ -69,12 +70,14 @@ class OrderPreservingEncoder:
 
     def encrypt(self, x: int) -> int:
         """The strictly monotone ciphertext of ``x``."""
+        obs.count("crypto.ope.encrypt")
         if not 0 <= x < self._domain:
             raise ValueError(f"{x} outside [0, {self._domain})")
         return self._table[x]
 
     def decrypt(self, ciphertext: int) -> int:
         """Key-holder inversion (binary search over the table)."""
+        obs.count("crypto.ope.decrypt")
         index = bisect.bisect_left(self._table, ciphertext)
         if index >= self._domain or self._table[index] != ciphertext:
             raise ValueError("not a valid ciphertext under this key")

@@ -23,6 +23,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.crypto.primes import generate_prime
 
 __all__ = ["PaillierPublicKey", "PaillierPrivateKey", "generate_paillier_keypair"]
@@ -49,6 +50,7 @@ class PaillierPublicKey:
 
     def encrypt(self, message: int, rng: random.Random) -> int:
         """``Enc(m; r)`` with a fresh unit ``r``."""
+        obs.count("crypto.paillier.encrypt")
         if not 0 <= message < self.n:
             raise ValueError(f"message {message} outside [0, n)")
         while True:
@@ -62,14 +64,17 @@ class PaillierPublicKey:
 
     def add(self, c1: int, c2: int) -> int:
         """Homomorphic addition: Dec(add(E(a), E(b))) = a + b mod n."""
+        obs.count("crypto.paillier.add")
         return (c1 * c2) % self.n_squared
 
     def add_constant(self, c: int, k: int) -> int:
         """Dec(add_constant(E(a), k)) = a + k mod n."""
+        obs.count("crypto.paillier.add")
         return (c * (1 + (k % self.n) * self.n)) % self.n_squared
 
     def multiply_constant(self, c: int, k: int) -> int:
         """Dec(multiply_constant(E(a), k)) = a * k mod n."""
+        obs.count("crypto.paillier.multiply")
         return pow(c, k % self.n, self.n_squared)
 
 
@@ -83,6 +88,7 @@ class PaillierPrivateKey:
 
     def decrypt(self, ciphertext: int) -> int:
         """Recover the plaintext of a Paillier ciphertext."""
+        obs.count("crypto.paillier.decrypt")
         n = self.public.n
         n2 = self.public.n_squared
         if not 0 <= ciphertext < n2:

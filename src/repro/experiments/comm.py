@@ -47,8 +47,10 @@ def theorem4_table(
         ttp, keyring, scale = TrustedThirdParty.setup(
             b"comm-cost", n_channels, bmax=config.bmax
         )
+        # Seed from the label-addressed integer stream; seeding from
+        # .random() would collapse the 2^256 label space to a 52-bit float.
         rng = random.Random(
-            spawn_rng(config.seed, "thm4", f"rng-{n_users}-{n_channels}").random()
+            spawn_rng(config.seed, "thm4", f"rng-{n_users}-{n_channels}").getrandbits(64)
         )
         submissions = [
             submit_bids_advanced(i, u.bids, keyring, scale, rng)[0]

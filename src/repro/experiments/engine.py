@@ -34,15 +34,24 @@ Scheduling and robustness:
 Every run produces a :class:`SweepReport` (mode, wall time, per-task
 timings, worker PIDs, fallback errors) delivered through the ``on_report``
 callback; the CLI and the benchmark harness print it.
+
+All timing reads the observability clock (:mod:`repro.obs.clock`), and when
+a :mod:`repro.obs` registry is collecting, each sweep also records its
+rollups there: a per-sweep wall timer (``engine.sweep.<name>``), a per-task
+timer whose mean is "seconds per trial" (``engine.task.<name>``) and a task
+counter (``engine.tasks``).  Rollups are recorded in the parent process, so
+they survive parallel runs even though worker-side per-op counters do not.
 """
 
 from __future__ import annotations
 
 import os
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.obs.clock import Stopwatch
 
 __all__ = [
     "WORKERS_ENV",
@@ -141,16 +150,12 @@ def _invoke(task: Tuple[Callable, int, object]):
     error surfaces there with its natural traceback.
     """
     func, index, spec = task
-    start = time.perf_counter()
+    watch = Stopwatch()
     try:
         value = func(spec)
     except Exception:
-        return (
-            _TaskFailure(index, traceback.format_exc()),
-            time.perf_counter() - start,
-            os.getpid(),
-        )
-    return value, time.perf_counter() - start, os.getpid()
+        return _TaskFailure(index, traceback.format_exc()), watch.elapsed(), os.getpid()
+    return value, watch.elapsed(), os.getpid()
 
 
 def _default_chunksize(n_tasks: int, workers: int) -> int:
@@ -167,9 +172,9 @@ def _run_serial(
 ) -> List:
     results = []
     for index, spec in enumerate(specs):
-        start = time.perf_counter()
+        watch = Stopwatch()
         results.append(func(spec))
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         report.timings.append(
             TaskTiming(index=index, seconds=elapsed, pid=os.getpid())
         )
@@ -249,7 +254,7 @@ def run_sweep(
     report = SweepReport(
         name=name, n_tasks=len(specs), workers=workers, chunksize=chunksize
     )
-    start = time.perf_counter()
+    watch = Stopwatch()
     results: Optional[List] = None
     if effective > 1:
         try:
@@ -268,8 +273,15 @@ def run_sweep(
     if results is None:
         results = _run_serial(func, specs, report, progress)
         report.mode = "serial" if not report.errors else "serial-fallback"
-    report.wall_seconds = time.perf_counter() - start
+    report.wall_seconds = watch.elapsed()
     report.task_seconds = sum(t.seconds for t in report.timings)
+    if obs.get_active() is not None and report.timings:
+        obs.record_seconds(f"engine.sweep.{name}", report.wall_seconds)
+        obs.record_seconds(
+            f"engine.task.{name}", report.task_seconds, len(report.timings)
+        )
+        obs.count("engine.tasks", report.n_tasks)
+        obs.count("engine.sweeps")
     if on_report is not None:
         on_report(report)
     return results

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Sequence, Tuple
 import collections
 
+from repro import obs
+
 __all__ = ["TtpSchedule", "ChargeQueue", "ChargingReport", "simulate_charging"]
 
 
@@ -137,20 +139,28 @@ def simulate_charging(
     latencies: List[float] = []
     windows_used = 0
     windows_total = 0
-    for window_time in schedule.windows_until(horizon):
-        while deposit_idx < len(deposits) and deposits[deposit_idx][0] <= window_time:
-            time, count = deposits[deposit_idx]
-            queue.deposit(time, count)
+    with obs.timer("ttp.charging_simulation"):
+        for window_time in schedule.windows_until(horizon):
+            while (
+                deposit_idx < len(deposits)
+                and deposits[deposit_idx][0] <= window_time
+            ):
+                time, count = deposits[deposit_idx]
+                queue.deposit(time, count)
+                deposit_idx += 1
+            served = queue.drain(window_time, schedule.capacity)
+            windows_total += 1
+            if served:
+                windows_used += 1
+                latencies.extend(
+                    window_time - deposited for deposited, _ in served
+                )
+        # Deposits after the final window never get served within the horizon.
+        while deposit_idx < len(deposits):
+            queue.deposit(*deposits[deposit_idx])
             deposit_idx += 1
-        served = queue.drain(window_time, schedule.capacity)
-        windows_total += 1
-        if served:
-            windows_used += 1
-            latencies.extend(window_time - deposited for deposited, _ in served)
-    # Deposits after the final window never get served within the horizon.
-    while deposit_idx < len(deposits):
-        queue.deposit(*deposits[deposit_idx])
-        deposit_idx += 1
+    obs.count("ttp.charge_requests", total)
+    obs.count("ttp.windows_simulated", windows_total)
 
     return ChargingReport(
         n_requests=total,

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Sequence, Tuple
 
+from repro import obs
 from repro.crypto.keys import KeyRing
 from repro.crypto.speck import Speck64128, ctr_encrypt
 from repro.lppa.messages import BidSubmission, MaskedBid
@@ -31,6 +32,7 @@ _PLAINTEXT_BYTES = 4
 
 def encrypt_bid_value(gc: bytes, value: int, rng: random.Random) -> bytes:
     """(nonce || CTR ciphertext) of a bid value under the TTP key ``gc``."""
+    obs.count("crypto.speck.encrypt")
     if value < 0 or value >= 1 << (8 * _PLAINTEXT_BYTES):
         raise ValueError(f"bid value {value} outside the 32-bit wire format")
     nonce = rng.getrandbits(32).to_bytes(4, "big")
@@ -40,6 +42,7 @@ def encrypt_bid_value(gc: bytes, value: int, rng: random.Random) -> bytes:
 
 def decrypt_bid_value(gc: bytes, blob: bytes) -> int:
     """Inverse of :func:`encrypt_bid_value` (TTP side)."""
+    obs.count("crypto.speck.decrypt")
     if len(blob) != 4 + _PLAINTEXT_BYTES:
         raise ValueError("malformed bid ciphertext")
     nonce, ct = blob[:4], blob[4:]

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.auction.allocation import greedy_allocate, greedy_allocate_validated
 from repro.auction.pricing import greedy_allocate_priced, second_price_charge
 from repro.auction.bidders import SecondaryUser
@@ -210,46 +211,41 @@ def run_fast_lppa(
         if len(per_user) != len(users):
             raise ValueError("need exactly one policy per user")
 
-    disclosures = tuple(
-        SubmissionDisclosure(
-            user_id=idx,
-            channels=tuple(
-                disguise_and_expand(
-                    user.bids, scale, user_rngs[idx], policy=per_user[idx]
-                )
-            ),
+    # The same four phase scopes as the full-crypto session, so a fastsim
+    # artifact and a session artifact line up key-for-key in `metrics diff`
+    # (fastsim records no byte counters — it has no wire objects).
+    with obs.phase("bid_submission"):
+        disclosures = tuple(
+            SubmissionDisclosure(
+                user_id=idx,
+                channels=tuple(
+                    disguise_and_expand(
+                        user.bids, scale, user_rngs[idx], policy=per_user[idx]
+                    )
+                ),
+            )
+            for idx, user in enumerate(users)
         )
-        for idx, user in enumerate(users)
-    )
+        obs.count("lppa.bid_submissions", len(disclosures))
 
-    if conflict is None:
-        conflict = build_conflict_graph([u.cell for u in users], two_lambda)
-
-    table = IntegerMaskedTable(
-        [[c.masked_expanded for c in d.channels] for d in disclosures]
-    )
-    rankings = table.rankings()
-    rejections = 0
+    with obs.phase("location_submission"):
+        if conflict is None:
+            conflict = build_conflict_graph([u.cell for u in users], two_lambda)
+        obs.count("lppa.location_submissions", len(users))
 
     def true_bid(bidder: int, channel: int) -> int:
         return disclosures[bidder].channels[channel].true_bid
 
-    wins = []
-    if pricing == "second":
-        sales = greedy_allocate_priced(table, conflict, alloc_rng)
-        for sale in sales:
-            valid = true_bid(sale.bidder, sale.channel) > 0
-            charge = second_price_charge(sale, true_bid) if valid else 0
-            wins.append(
-                WinRecord(
-                    bidder=sale.bidder,
-                    channel=sale.channel,
-                    charge=charge,
-                    valid=valid,
-                )
-            )
-    else:
-        if revalidate:
+    with obs.phase("psd_allocation"):
+        table = IntegerMaskedTable(
+            [[c.masked_expanded for c in d.channels] for d in disclosures]
+        )
+        rankings = table.rankings()
+        rejections = 0
+        sales = assignments = None
+        if pricing == "second":
+            sales = greedy_allocate_priced(table, conflict, alloc_rng)
+        elif revalidate:
             assignments, rejections = greedy_allocate_validated(
                 table,
                 conflict,
@@ -258,16 +254,34 @@ def run_fast_lppa(
             )
         else:
             assignments = greedy_allocate(table, conflict, alloc_rng)
-        for a in assignments:
-            valid = true_bid(a.bidder, a.channel) > 0
-            wins.append(
-                WinRecord(
-                    bidder=a.bidder,
-                    channel=a.channel,
-                    charge=true_bid(a.bidder, a.channel) if valid else 0,
-                    valid=valid,
+
+    with obs.phase("ttp_charging"):
+        wins = []
+        if pricing == "second":
+            for sale in sales:
+                valid = true_bid(sale.bidder, sale.channel) > 0
+                charge = second_price_charge(sale, true_bid) if valid else 0
+                wins.append(
+                    WinRecord(
+                        bidder=sale.bidder,
+                        channel=sale.channel,
+                        charge=charge,
+                        valid=valid,
+                    )
                 )
-            )
+        else:
+            for a in assignments:
+                valid = true_bid(a.bidder, a.channel) > 0
+                wins.append(
+                    WinRecord(
+                        bidder=a.bidder,
+                        channel=a.channel,
+                        charge=true_bid(a.bidder, a.channel) if valid else 0,
+                        valid=valid,
+                    )
+                )
+        obs.count("lppa.winners", len(wins))
+    obs.count("lppa.fast_rounds")
     return FastLppaResult(
         outcome=AuctionOutcome(n_users=len(users), wins=tuple(wins)),
         conflict_graph=conflict,

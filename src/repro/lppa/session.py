@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.auction.bidders import SecondaryUser
 from repro.auction.conflict import ConflictGraph
 from repro.auction.outcome import AuctionOutcome
@@ -121,44 +122,64 @@ def run_lppa_auction(
     ttp, keyring, scale = TrustedThirdParty.setup(
         seed, n_channels, bmax=bmax, rd=rd, cr=cr
     )
-
-    # --- Bidder side -----------------------------------------------------------
-    location_subs: List[LocationSubmission] = []
-    bid_subs: List[BidSubmission] = []
-    disclosures: List[SubmissionDisclosure] = []
-    for idx, user in enumerate(users):
-        location_subs.append(
-            submit_location(idx, user.cell, keyring.g0, grid, two_lambda)
-        )
-        submission, disclosure = submit_bids_advanced(
-            idx, user.bids, keyring, scale, user_rngs[idx], policy=policy
-        )
-        bid_subs.append(submission)
-        disclosures.append(disclosure)
-
-    # --- Auctioneer side ---------------------------------------------------------
     auctioneer = Auctioneer(n_channels)
-    conflict = auctioneer.receive_locations(location_subs)
-    auctioneer.receive_bids(bid_subs)
-    rankings = auctioneer.channel_rankings()
-    auctioneer.run_allocation(alloc_rng)
 
-    # --- TTP charging -------------------------------------------------------------
-    outcome = auctioneer.charge_winners(ttp, n_users=len(users))
+    # Phase metrics: wall time per protocol phase plus the byte counters
+    # Theorem 4 accounts for, recorded only while repro.obs is collecting.
+    # Splitting the bidder loop per phase is draw-order neutral: location
+    # submission consumes no randomness, so the bid submissions see the
+    # same RNG stream(s) as the previous interleaved loop.
+
+    # --- Location submission (bidders mask, auctioneer builds the graph) ---------
+    with obs.phase("location_submission"):
+        location_subs: List[LocationSubmission] = [
+            submit_location(idx, user.cell, keyring.g0, grid, two_lambda)
+            for idx, user in enumerate(users)
+        ]
+        conflict = auctioneer.receive_locations(location_subs)
+        location_bytes = sum(s.wire_bytes() for s in location_subs)
+        obs.count("lppa.location_submissions", len(location_subs))
+        obs.count("lppa.location_bytes", location_bytes)
+
+    # --- Bid submission ----------------------------------------------------------
+    with obs.phase("bid_submission"):
+        bid_subs: List[BidSubmission] = []
+        disclosures: List[SubmissionDisclosure] = []
+        for idx, user in enumerate(users):
+            submission, disclosure = submit_bids_advanced(
+                idx, user.bids, keyring, scale, user_rngs[idx], policy=policy
+            )
+            bid_subs.append(submission)
+            disclosures.append(disclosure)
+        auctioneer.receive_bids(bid_subs)
+        bid_bytes = sum(s.wire_bytes() for s in bid_subs)
+        obs.count("lppa.bid_submissions", len(bid_subs))
+        obs.count("lppa.bid_bytes", bid_bytes)
+
+    # --- PSD allocation ----------------------------------------------------------
+    with obs.phase("psd_allocation"):
+        rankings = auctioneer.channel_rankings()
+        auctioneer.run_allocation(alloc_rng)
+
+    # --- TTP charging ------------------------------------------------------------
+    with obs.phase("ttp_charging"):
+        outcome = auctioneer.charge_winners(ttp, n_users=len(users))
 
     # Actual serialized sizes through the wire codec (payload + framing);
     # encoding also exercises the round-trip invariants in production runs.
     framed = sum(
         len(encode_location(s)) for s in location_subs
     ) + sum(len(encode_bids(s)) for s in bid_subs)
+    obs.count("lppa.framed_bytes", framed)
+    obs.count("lppa.rounds")
 
     return LppaResult(
         outcome=outcome,
         conflict_graph=conflict,
         rankings=rankings,
         disclosures=tuple(disclosures),
-        location_bytes=sum(s.wire_bytes() for s in location_subs),
-        bid_bytes=sum(s.wire_bytes() for s in bid_subs),
+        location_bytes=location_bytes,
+        bid_bytes=bid_bytes,
         masked_set_bytes=sum(s.masked_set_bytes() for s in bid_subs),
         framed_bytes=framed,
     )

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro import obs
 from repro.crypto.keys import KeyRing, generate_keyring
 from repro.lppa.bids_advanced import BidScale
 from repro.lppa.bids_basic import decrypt_bid_value
@@ -91,6 +92,7 @@ class TrustedThirdParty:
 
     def process_charge(self, channel: int, masked_bid: MaskedBid) -> ChargeDecision:
         """Decrypt, de-expand, classify and (for valid bids) verify one winner."""
+        obs.count("ttp.charges")
         expanded = decrypt_bid_value(self._keyring.gc, masked_bid.ciphertext)
         if expanded > self._scale.emax:
             return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)
@@ -115,4 +117,6 @@ class TrustedThirdParty:
         self, requests: Sequence[Tuple[int, MaskedBid]]
     ) -> List[ChargeDecision]:
         """Batched charging: one TTP online period serves many winners."""
-        return [self.process_charge(ch, mb) for ch, mb in requests]
+        obs.count("ttp.batches")
+        with obs.timer("ttp.batch"):
+            return [self.process_charge(ch, mb) for ch, mb in requests]

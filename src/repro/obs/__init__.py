@@ -1,0 +1,164 @@
+"""``repro.obs`` — protocol observability: metrics, tracing, bench artifacts.
+
+The paper argues LPPA's practicality through per-phase cost (Theorem 4's
+communication bits, Fig. 5's computation overhead); this package makes
+those quantities first-class, machine-readable outputs of every run:
+
+* :mod:`repro.obs.registry` — the counter/timer store with nested phase
+  scopes;
+* :mod:`repro.obs.clock` — the single monotonic clock all timing reads;
+* :mod:`repro.obs.artifact` — schema-versioned ``BENCH_*.json`` files;
+* :mod:`repro.obs.diff` — artifact comparison with a regression threshold
+  (the ``repro metrics diff`` CLI and the ``bench-artifacts`` CI job);
+* :mod:`repro.obs.calibration` — a fixed crypto micro-workload giving
+  every artifact comparable hot-path baselines.
+
+This module is the *instrumentation surface*: the crypto, prefix, lppa and
+experiment layers call :func:`count`, :func:`timer` and :func:`phase` here.
+By default **nothing is collecting** and every call is a cheap early-out on
+a module global — the hot paths (one :func:`count` per HMAC invocation) pay
+one ``is None`` test.  Collection is opt-in::
+
+    from repro import obs
+
+    with obs.collecting() as registry:
+        run_lppa_auction(...)
+    print(registry.totals()["crypto.hmac"])
+
+Worker processes spawned by the experiment engine do not share the parent's
+registry; per-sweep rollups are recorded parent-side by the engine itself,
+so sweep metrics survive parallel runs while per-op counts are only
+complete in serial runs (the CLI's ``--metrics`` default).
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import ContextManager, Iterator, Optional, Type
+
+import contextlib
+
+from repro.obs.artifact import (
+    ARTIFACT_PREFIX,
+    SCHEMA_VERSION,
+    build_artifact,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.obs.diff import DEFAULT_THRESHOLD, DiffReport, diff_artifacts
+from repro.obs.registry import MetricsRegistry, TimerStat
+
+__all__ = [
+    "ARTIFACT_PREFIX",
+    "DEFAULT_THRESHOLD",
+    "SCHEMA_VERSION",
+    "DiffReport",
+    "MetricsRegistry",
+    "TimerStat",
+    "build_artifact",
+    "collecting",
+    "count",
+    "diff_artifacts",
+    "disable",
+    "enable",
+    "get_active",
+    "load_artifact",
+    "phase",
+    "record_seconds",
+    "timer",
+    "validate_artifact",
+    "write_artifact",
+]
+
+_active: Optional[MetricsRegistry] = None
+
+
+class _NullScope:
+    """Shared no-op context manager returned while collection is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        """No-op entry."""
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        """No-op exit."""
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def get_active() -> Optional[MetricsRegistry]:
+    """The registry currently collecting, or ``None`` when disabled."""
+    return _active
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) the active registry; a fresh one by default."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> Optional[MetricsRegistry]:
+    """Stop collecting; returns the registry that was active, if any."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextlib.contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable collection for a ``with`` block, restoring the prior state.
+
+    Yields the (possibly freshly created) registry so callers can snapshot
+    it afterwards.  Nesting is allowed; the inner block's registry simply
+    shadows the outer one for its duration.
+    """
+    global _active
+    previous = _active
+    installed = enable(registry)
+    try:
+        yield installed
+    finally:
+        _active = previous
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a counter on the active registry; no-op when disabled."""
+    registry = _active
+    if registry is not None:
+        registry.count(name, n)
+
+
+def record_seconds(name: str, seconds: float, count_: int = 1) -> None:
+    """Record pre-measured seconds on the active registry; no-op when disabled."""
+    registry = _active
+    if registry is not None:
+        registry.record_seconds(name, seconds, count_)
+
+
+def timer(name: str) -> ContextManager[object]:
+    """A timing context manager; a shared no-op object when disabled."""
+    registry = _active
+    if registry is None:
+        return _NULL_SCOPE
+    return registry.timer(name)
+
+
+def phase(name: str) -> ContextManager[object]:
+    """A phase-scope context manager; a shared no-op object when disabled."""
+    registry = _active
+    if registry is None:
+        return _NULL_SCOPE
+    return registry.phase(name)

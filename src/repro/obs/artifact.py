@@ -1,0 +1,180 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+One artifact captures one measured run: the metrics snapshot of a
+:class:`~repro.obs.registry.MetricsRegistry`, the configuration that
+produced it, the git commit it measured and a timestamp.  The schema is
+versioned so CI tooling can refuse artifacts it does not understand
+instead of mis-reading them.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "name": "<artifact name, e.g. 'micro_protocol'>",
+      "created_at": "<ISO-8601 UTC timestamp>",
+      "git_sha": "<commit hash or 'unknown'>",
+      "config": { ...flat JSON object describing the workload... },
+      "metrics": {
+        "counters": {"<phase.path>/<metric>": int, ...},
+        "timers":   {"<key>": {"seconds": float, "count": int}, ...},
+        "totals":   {"<metric>": int, ...}
+      }
+    }
+
+``repro metrics diff`` (:mod:`repro.obs.diff`) compares two such files;
+the ``bench-artifacts`` CI job uploads them and diffs against a committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_PREFIX",
+    "git_sha",
+    "build_artifact",
+    "write_artifact",
+    "load_artifact",
+    "validate_artifact",
+]
+
+#: Current artifact schema version; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+#: File-name prefix the benchmark suite and CI glob for.
+ARTIFACT_PREFIX = "BENCH_"
+
+
+def git_sha(repo_dir: Optional[Union[str, Path]] = None) -> str:
+    """The current commit hash, or ``"unknown"`` outside a usable git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir) if repo_dir is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def build_artifact(
+    name: str,
+    registry: MetricsRegistry,
+    *,
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the schema-versioned artifact document for one run."""
+    if not name:
+        raise ValueError("artifact name must be non-empty")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "git_sha": git_sha(),
+        "config": dict(config or {}),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_artifact(
+    path: Union[str, Path],
+    name: str,
+    registry: MetricsRegistry,
+    *,
+    config: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one artifact as pretty-printed JSON; returns the final path.
+
+    ``path`` may be a directory (existing, or spelled with a trailing
+    separator), in which case the file lands there under the canonical
+    ``BENCH_<name>.json`` name; any other path is used verbatim.
+    """
+    document = build_artifact(name, registry, config=config)
+    target = Path(path)
+    if target.is_dir() or str(path).endswith(("/", "\\")):
+        target = target / f"{ARTIFACT_PREFIX}{name}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate one artifact; raises ``ValueError`` when invalid."""
+    document = json.loads(Path(path).read_text())
+    errors = validate_artifact(document)
+    if errors:
+        raise ValueError(
+            f"{path} is not a valid BENCH artifact: " + "; ".join(errors)
+        )
+    return document
+
+
+def _type_error(field: str, expected: str, value: Any) -> str:
+    return f"field {field!r} must be {expected}, got {type(value).__name__}"
+
+
+def validate_artifact(document: Any) -> List[str]:
+    """All schema violations in ``document`` (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["artifact must be a JSON object"]
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, got {version!r}"
+        )
+    for field, kind in (("name", str), ("created_at", str), ("git_sha", str)):
+        value = document.get(field)
+        if not isinstance(value, kind) or not value:
+            errors.append(f"field {field!r} must be a non-empty string")
+    config = document.get("config")
+    if not isinstance(config, dict):
+        errors.append(_type_error("config", "an object", config))
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(_type_error("metrics", "an object", metrics))
+        return errors
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(_type_error("metrics.counters", "an object", counters))
+    else:
+        for key, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(
+                    f"counter {key!r} must be an integer, got {value!r}"
+                )
+    totals = metrics.get("totals")
+    if not isinstance(totals, dict):
+        errors.append(_type_error("metrics.totals", "an object", totals))
+    timers = metrics.get("timers")
+    if not isinstance(timers, dict):
+        errors.append(_type_error("metrics.timers", "an object", timers))
+    else:
+        for key, stat in timers.items():
+            if (
+                not isinstance(stat, dict)
+                or not isinstance(stat.get("seconds"), (int, float))
+                or isinstance(stat.get("seconds"), bool)
+                or stat.get("seconds", -1) < 0
+                or not isinstance(stat.get("count"), int)
+                or isinstance(stat.get("count"), bool)
+                or stat.get("count", 0) < 1
+            ):
+                errors.append(
+                    f"timer {key!r} must be "
+                    '{"seconds": float >= 0, "count": int >= 1}'
+                )
+    return errors

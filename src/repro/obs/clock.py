@@ -1,0 +1,50 @@
+"""The one clock every timing measurement in the reproduction reads.
+
+Before the observability layer existed, three modules called ``time.*``
+directly and each picked its own clock (``time.time`` in the report writer,
+``time.perf_counter`` in the engine).  Centralising the choice here means:
+
+* every wall-time number in a report, a :class:`~repro.experiments.engine.SweepReport`
+  or a ``BENCH_*.json`` artifact is measured the same way (monotonic,
+  highest available resolution, immune to NTP steps);
+* tests can reason about a single seam instead of chasing ad-hoc clocks.
+
+Nothing in this module is ever disabled — reading a clock is not a metric,
+it is how metrics (and plain diagnostics) get their numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "Stopwatch"]
+
+
+def monotonic() -> float:
+    """Seconds from a monotonic high-resolution clock (``perf_counter``)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Elapsed-seconds helper: created running, read with :meth:`elapsed`.
+
+    The pattern ``start = time.perf_counter(); ...; time.perf_counter() - start``
+    as an object, so call sites carry one name instead of two and always
+    subtract against the right clock.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return monotonic() - self._start
+
+    def restart(self) -> float:
+        """Return the elapsed seconds and reset the start point to now."""
+        now = monotonic()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

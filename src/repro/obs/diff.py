@@ -1,0 +1,168 @@
+"""Regression detection between two ``BENCH_*.json`` artifacts.
+
+``diff_artifacts`` compares a *baseline* artifact against a *current* one
+and classifies every shared metric:
+
+* **counters** (scoped keys) — a regression when the current value exceeds
+  the baseline by more than ``threshold`` (e.g. a refactor that doubles the
+  HMAC invocations of bid submission shows up here even if wall time hides
+  it on a fast machine);
+* **timers** — compared by *mean* seconds per invocation, so artifacts
+  measured over different trial counts stay comparable.  Means below
+  ``min_seconds`` are ignored: sub-100µs timers are noise on shared CI
+  runners.
+
+Keys present on only one side are reported as added/removed, never as
+regressions — new instrumentation must not fail CI retroactively.
+
+The CLI front-end is ``python -m repro metrics diff`` (warn-only in CI to
+start, per the rollout plan; drop ``--warn-only`` to make it gating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["DEFAULT_THRESHOLD", "MIN_TIMER_SECONDS", "Delta", "DiffReport", "diff_artifacts"]
+
+#: Relative increase beyond which a metric counts as regressed (20 %).
+DEFAULT_THRESHOLD = 0.2
+
+#: Timer means below this many seconds are treated as noise and skipped.
+MIN_TIMER_SECONDS = 1e-4
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric: baseline vs current and the relative change."""
+
+    key: str
+    kind: str  # "counter" | "timer-mean"
+    base: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """``current / base`` (infinity when the baseline is zero)."""
+        if self.base == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.base
+
+    @property
+    def change_pct(self) -> float:
+        """Relative change in percent (positive == current is larger)."""
+        return (self.ratio - 1.0) * 100.0
+
+    def describe(self) -> str:
+        """One aligned human-readable line for the diff table."""
+        if self.kind == "counter":
+            values = f"{int(self.base)} -> {int(self.current)}"
+        else:
+            values = f"{self.base * 1e3:.3f}ms -> {self.current * 1e3:.3f}ms"
+        return f"{self.kind:<10} {self.key:<48} {values}  ({self.change_pct:+.1f}%)"
+
+
+@dataclass
+class DiffReport:
+    """Everything one artifact comparison found."""
+
+    baseline_name: str
+    current_name: str
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+    regressions: List[Delta] = field(default_factory=list)
+    improvements: List[Delta] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def has_regressions(self) -> bool:
+        """True when at least one metric regressed beyond the threshold."""
+        return bool(self.regressions)
+
+    def format(self) -> str:
+        """The multi-line report ``repro metrics diff`` prints."""
+        lines = [
+            f"metrics diff: {self.baseline_name} (baseline) vs "
+            f"{self.current_name} (current), threshold {self.threshold:.0%}",
+            f"compared {len(self.deltas)} shared metrics: "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.improvements)} improved >= threshold",
+        ]
+        if self.regressions:
+            lines.append("REGRESSIONS:")
+            lines.extend(f"  {d.describe()}" for d in self.regressions)
+        if self.improvements:
+            lines.append("improvements:")
+            lines.extend(f"  {d.describe()}" for d in self.improvements)
+        if self.added:
+            lines.append(f"only in current ({len(self.added)}): "
+                         + ", ".join(sorted(self.added)[:8])
+                         + ("..." if len(self.added) > 8 else ""))
+        if self.removed:
+            lines.append(f"only in baseline ({len(self.removed)}): "
+                         + ", ".join(sorted(self.removed)[:8])
+                         + ("..." if len(self.removed) > 8 else ""))
+        if not self.regressions:
+            lines.append("no regressions beyond the threshold")
+        return "\n".join(lines)
+
+
+def _classify(report: DiffReport, delta: Delta) -> None:
+    report.deltas.append(delta)
+    if delta.ratio > 1.0 + report.threshold:
+        report.regressions.append(delta)
+    elif delta.ratio < 1.0 - report.threshold:
+        report.improvements.append(delta)
+
+
+def diff_artifacts(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = MIN_TIMER_SECONDS,
+) -> DiffReport:
+    """Compare two loaded artifacts; see the module docstring for the rules."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    report = DiffReport(
+        baseline_name=str(baseline.get("name", "?")),
+        current_name=str(current.get("name", "?")),
+        threshold=threshold,
+    )
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+
+    base_counters: Dict[str, int] = dict(base_metrics.get("counters", {}))
+    cur_counters: Dict[str, int] = dict(cur_metrics.get("counters", {}))
+    for key in sorted(base_counters.keys() & cur_counters.keys()):
+        _classify(
+            report,
+            Delta(
+                key=key,
+                kind="counter",
+                base=float(base_counters[key]),
+                current=float(cur_counters[key]),
+            ),
+        )
+
+    base_timers: Dict[str, Dict[str, float]] = dict(base_metrics.get("timers", {}))
+    cur_timers: Dict[str, Dict[str, float]] = dict(cur_metrics.get("timers", {}))
+    for key in sorted(base_timers.keys() & cur_timers.keys()):
+        base_stat, cur_stat = base_timers[key], cur_timers[key]
+        base_mean = base_stat["seconds"] / max(base_stat["count"], 1)
+        cur_mean = cur_stat["seconds"] / max(cur_stat["count"], 1)
+        if base_mean < min_seconds:
+            continue
+        _classify(
+            report,
+            Delta(key=key, kind="timer-mean", base=base_mean, current=cur_mean),
+        )
+
+    base_keys = base_counters.keys() | base_timers.keys()
+    cur_keys = cur_counters.keys() | cur_timers.keys()
+    report.added = sorted(cur_keys - base_keys)
+    report.removed = sorted(base_keys - cur_keys)
+    return report

@@ -1,0 +1,234 @@
+"""The metrics registry: counters, timers and phase scopes.
+
+One :class:`MetricsRegistry` holds everything a run records:
+
+* **counters** — monotonically increasing integers (HMAC invocations,
+  Paillier operations, masked-set digests, wire bytes, ...);
+* **timers** — accumulated wall seconds plus an invocation count, so a
+  timer's *mean* is meaningful ("seconds per trial");
+* **phase scopes** — a context-manager stack of names.  While a phase is
+  open, every counter and timer recorded lands under a scoped key
+  ``<phase.path>/<metric.name>``, and closing the phase records its own
+  wall time under ``phase/<phase.path>``.  That is how "HMAC calls during
+  bid submission" and "HMAC calls during TTP charging" stay separable.
+
+Naming convention: metric names use dots (``crypto.hmac``,
+``lppa.bid_bytes``); the single ``/`` separates the phase path from the
+name.  :meth:`MetricsRegistry.totals` folds the scoped counters back into
+per-metric totals by splitting on that ``/``.
+
+Registries are plain objects — create as many as you like.  The module-level
+convenience layer that the instrumented code calls (and that makes the whole
+subsystem a no-op when nothing is collecting) lives in :mod:`repro.obs`.
+
+Not thread-safe by design: the protocol and experiment code are
+single-threaded per process, and the parallel sweep engine's worker
+*processes* do not share the parent's registry (worker-side counts are not
+folded back; the engine records its rollups in the parent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Dict, List, Optional, Type
+
+from repro.obs.clock import Stopwatch
+
+__all__ = ["PHASE_TIMER_PREFIX", "TimerStat", "MetricsRegistry"]
+
+#: Timer-key prefix under which phase wall times are recorded.
+PHASE_TIMER_PREFIX = "phase"
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall seconds and invocation count of one timer key."""
+
+    seconds: float = 0.0
+    count: int = 0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        """Fold one measurement (or a pre-aggregated batch) into the stat."""
+        if seconds < 0:
+            raise ValueError("timer seconds must be non-negative")
+        if count < 1:
+            raise ValueError("timer count must be >= 1")
+        self.seconds += seconds
+        self.count += count
+
+    @property
+    def mean(self) -> float:
+        """Seconds per invocation."""
+        return self.seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready ``{"seconds": ..., "count": ...}`` form."""
+        return {"seconds": self.seconds, "count": self.count}
+
+
+class _TimerScope:
+    """Context manager recording its ``with`` block's wall time."""
+
+    __slots__ = ("_registry", "_name", "_watch")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._watch: Optional[Stopwatch] = None
+
+    def __enter__(self) -> "_TimerScope":
+        self._watch = Stopwatch()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        assert self._watch is not None, "timer scope exited before entry"
+        self._registry.record_seconds(self._name, self._watch.elapsed())
+
+
+class _PhaseScope:
+    """Context manager pushing a phase name and timing the whole phase.
+
+    The phase's wall time is recorded under ``phase/<path>`` using the
+    *parent* scope (the phase key identifies the nesting already).
+    """
+
+    __slots__ = ("_registry", "_name", "_watch", "_path")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._watch: Optional[Stopwatch] = None
+        self._path = ""
+
+    def __enter__(self) -> "_PhaseScope":
+        self._registry._push_phase(self._name)
+        self._path = self._registry.phase_path()
+        self._watch = Stopwatch()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        assert self._watch is not None, "phase scope exited before entry"
+        elapsed = self._watch.elapsed()
+        self._registry._pop_phase(self._name)
+        self._registry.record_raw_seconds(
+            f"{PHASE_TIMER_PREFIX}/{self._path}", elapsed
+        )
+
+
+class MetricsRegistry:
+    """Counter/timer store with a phase-scope stack.
+
+    All mutation goes through :meth:`count`, :meth:`record_seconds`,
+    :meth:`timer` and :meth:`phase`; :meth:`snapshot` returns the
+    JSON-ready view that artifacts embed.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, TimerStat] = {}
+        self._phases: List[str] = []
+
+    # -- phase scoping -----------------------------------------------------
+
+    def phase(self, name: str) -> _PhaseScope:
+        """Open a phase scope: ``with registry.phase("bid_submission"): ...``."""
+        self._check_name(name)
+        return _PhaseScope(self, name)
+
+    def phase_path(self) -> str:
+        """Dot-joined path of currently open phases (``""`` at top level)."""
+        return ".".join(self._phases)
+
+    def _push_phase(self, name: str) -> None:
+        self._phases.append(name)
+
+    def _pop_phase(self, name: str) -> None:
+        if not self._phases or self._phases[-1] != name:
+            raise RuntimeError(
+                f"phase stack corrupted: closing {name!r} "
+                f"but stack is {self._phases!r}"
+            )
+        self._phases.pop()
+
+    def _scoped(self, name: str) -> str:
+        path = self.phase_path()
+        return f"{path}/{name}" if path else name
+
+    # -- counters ----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` under the current phase scope."""
+        key = self._scoped(name)
+        self._counters[key] = self._counters.get(key, 0) + n
+
+    # -- timers ------------------------------------------------------------
+
+    def timer(self, name: str) -> _TimerScope:
+        """A context manager timing its block under the current phase scope."""
+        self._check_name(name)
+        return _TimerScope(self, name)
+
+    def record_seconds(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record externally measured seconds under the current phase scope."""
+        self.record_raw_seconds(self._scoped(name), seconds, count)
+
+    def record_raw_seconds(self, key: str, seconds: float, count: int = 1) -> None:
+        """Record seconds under an exact key, bypassing phase scoping."""
+        stat = self._timers.get(key)
+        if stat is None:
+            stat = self._timers[key] = TimerStat()
+        stat.add(seconds, count)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Scoped counter keys -> accumulated values (copy)."""
+        return dict(self._counters)
+
+    @property
+    def timers(self) -> Dict[str, TimerStat]:
+        """Scoped timer keys -> :class:`TimerStat` (shallow copy)."""
+        return dict(self._timers)
+
+    def totals(self) -> Dict[str, int]:
+        """Counters folded across phases: bare metric name -> total."""
+        rolled: Dict[str, int] = {}
+        for key, value in self._counters.items():
+            bare = key.rsplit("/", 1)[-1]
+            rolled[bare] = rolled.get(bare, 0) + value
+        return rolled
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: scoped counters, scoped timers, counter totals."""
+        return {
+            "counters": dict(self._counters),
+            "timers": {k: t.as_dict() for k, t in self._timers.items()},
+            "totals": self.totals(),
+        }
+
+    def reset(self) -> None:
+        """Drop every recorded metric (open phases survive)."""
+        self._counters.clear()
+        self._timers.clear()
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not name:
+            raise ValueError("metric/phase names must be non-empty")
+        if "/" in name:
+            raise ValueError(
+                f"metric/phase names must not contain '/' (got {name!r}); "
+                "'/' separates the phase path from the metric name"
+            )

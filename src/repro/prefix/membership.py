@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence
 
+from repro import obs
 from repro.crypto.backend import hmac_digest
 from repro.prefix.numericalize import numericalize, numericalized_to_bytes
 from repro.prefix.prefixes import Prefix, prefix_family
@@ -96,10 +97,13 @@ def mask_prefixes(
     conservative hardening — it never changes protocol results because a
     family and the ranges it is tested against always share a domain.
     """
-    return MaskedSet(
+    masked = MaskedSet(
         frozenset(_mask_one(key, p, domain, digest_bytes) for p in prefixes),
         digest_bytes=digest_bytes,
     )
+    obs.count("prefix.masked_sets")
+    obs.count("prefix.masked_digests", len(masked))
+    return masked
 
 
 def mask_value(
@@ -144,6 +148,8 @@ def mask_range(
             rng = fresh_rng()
         while len(digests) < ceiling:
             digests.add(rng.getrandbits(8 * digest_bytes).to_bytes(digest_bytes, "big"))
+    obs.count("prefix.masked_sets")
+    obs.count("prefix.masked_digests", len(digests))
     return MaskedSet(frozenset(digests), digest_bytes=digest_bytes)
 
 
@@ -154,6 +160,7 @@ def is_member(masked_family: MaskedSet, masked_range: MaskedSet) -> bool:
     ``H(G(x))`` intersects ``H(Q([a, b]))`` iff ``x`` lies in ``[a, b]``
     (up to the negligible filler-collision probability noted above).
     """
+    obs.count("prefix.membership_checks")
     return masked_family.intersects(masked_range)
 
 
@@ -170,8 +177,9 @@ def find_maxima(
     """
     if len(families) != len(tail_ranges):
         raise ValueError("families and tail_ranges must align")
+    obs.count("prefix.find_maxima")
     return [
         i
         for i, family in enumerate(families)
-        if all(family.intersects(rng_set) for rng_set in tail_ranges)
+        if all(is_member(family, rng_set) for rng_set in tail_ranges)
     ]

@@ -32,3 +32,36 @@ def test_cost_scales_linearly_with_users():
     rows = theorem4_table(TINY, sweep=((4, 3), (8, 3)))
     # as_row rounds to 0.1 kbit, so allow that much slack on the doubling.
     assert abs(rows[1]["measured_kbits"] - 2 * rows[0]["measured_kbits"]) <= 0.2
+
+
+def test_table_is_pinned():
+    """Regression pin for the label-addressed RNG seeding fix.
+
+    The bid RNG is now seeded from ``spawn_rng(...).getrandbits(64)``
+    (the full integer stream) rather than ``.random()`` (a 52-bit float,
+    which quietly collapsed the label space).  Padded masked-set sizes are
+    deterministic, so the measured byte counts must stay exactly here.
+    """
+    rows = theorem4_table(TINY, sweep=((4, 3), (8, 3)))
+    assert rows == [
+        {
+            "N": 4,
+            "k": 3,
+            "w": 11,
+            "predicted_kbits": 49.2,
+            "measured_kbits": 49.2,
+            "total_kbits": 50.0,
+            "error": 0.0,
+            "location_kbits": 11.8,
+        },
+        {
+            "N": 8,
+            "k": 3,
+            "w": 11,
+            "predicted_kbits": 98.3,
+            "measured_kbits": 98.3,
+            "total_kbits": 100.1,
+            "error": 0.0,
+            "location_kbits": 22.8,
+        },
+    ]

@@ -1,0 +1,89 @@
+"""Artifact regression detection (``repro metrics diff``)."""
+
+import pytest
+
+from repro.obs.artifact import build_artifact
+from repro.obs.diff import MIN_TIMER_SECONDS, diff_artifacts
+from repro.obs.registry import MetricsRegistry
+
+
+def _artifact(name, *, hmac=1000, mean_ms=10.0, extra=None):
+    registry = MetricsRegistry()
+    registry.count("crypto.hmac", hmac)
+    registry.record_seconds("mask", mean_ms / 1e3 * 50, 50)
+    if extra:
+        registry.count(extra)
+    return build_artifact(name, registry)
+
+
+def test_injected_timer_regression_detected_at_default_threshold():
+    baseline = _artifact("base", mean_ms=10.0)
+    current = _artifact("cur", mean_ms=13.0)  # +30% mean
+    report = diff_artifacts(baseline, current)
+    assert report.has_regressions
+    keys = [d.key for d in report.regressions]
+    assert keys == ["mask"]
+    assert report.regressions[0].kind == "timer-mean"
+    assert report.regressions[0].change_pct == pytest.approx(30.0)
+
+
+def test_same_regression_passes_a_looser_threshold():
+    baseline = _artifact("base", mean_ms=10.0)
+    current = _artifact("cur", mean_ms=13.0)
+    report = diff_artifacts(baseline, current, threshold=0.5)
+    assert not report.has_regressions
+
+
+def test_counter_regression_detected():
+    report = diff_artifacts(
+        _artifact("base", hmac=1000), _artifact("cur", hmac=1300)
+    )
+    assert [d.key for d in report.regressions] == ["crypto.hmac"]
+    assert report.regressions[0].kind == "counter"
+
+
+def test_improvements_are_not_regressions():
+    report = diff_artifacts(
+        _artifact("base", hmac=1000, mean_ms=10.0),
+        _artifact("cur", hmac=500, mean_ms=5.0),
+    )
+    assert not report.has_regressions
+    assert {d.key for d in report.improvements} == {"crypto.hmac", "mask"}
+
+
+def test_added_and_removed_keys_never_regress():
+    report = diff_artifacts(
+        _artifact("base", extra="only.in.base"),
+        _artifact("cur", extra="only.in.current"),
+    )
+    assert not report.has_regressions
+    assert report.added == ["only.in.current"]
+    assert report.removed == ["only.in.base"]
+
+
+def test_sub_noise_floor_timers_are_skipped():
+    fast = MIN_TIMER_SECONDS / 10
+    base = MetricsRegistry()
+    base.record_seconds("tiny", fast)
+    cur = MetricsRegistry()
+    cur.record_seconds("tiny", fast * 100)  # huge relative, absolute noise
+    report = diff_artifacts(
+        build_artifact("base", base), build_artifact("cur", cur)
+    )
+    assert report.deltas == []
+    assert not report.has_regressions
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        diff_artifacts(_artifact("a"), _artifact("b"), threshold=0)
+
+
+def test_format_mentions_regressions():
+    report = diff_artifacts(
+        _artifact("base", hmac=100), _artifact("cur", hmac=200)
+    )
+    text = report.format()
+    assert "REGRESSIONS" in text
+    assert "crypto.hmac" in text
+    assert "+100.0%" in text

@@ -1,0 +1,143 @@
+"""The metrics registry: counters, timers, phase scoping, enable/disable."""
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry, TimerStat
+
+
+def test_counters_accumulate():
+    registry = MetricsRegistry()
+    registry.count("crypto.hmac")
+    registry.count("crypto.hmac", 4)
+    assert registry.counters == {"crypto.hmac": 5}
+
+
+def test_nested_phases_scope_counters_and_timers():
+    registry = MetricsRegistry()
+    with registry.phase("a"):
+        registry.count("ops")
+        with registry.phase("b"):
+            registry.count("ops", 2)
+            registry.record_seconds("step", 0.5)
+    registry.count("ops", 10)
+
+    assert registry.counters == {"a/ops": 1, "a.b/ops": 2, "ops": 10}
+    timers = registry.timers
+    assert timers["a.b/step"].seconds == 0.5
+    # Closing a phase records its wall time under phase/<path>.
+    assert "phase/a" in timers and "phase/a.b" in timers
+    assert timers["phase/a"].seconds >= timers["phase/a.b"].seconds
+
+
+def test_totals_fold_scopes():
+    registry = MetricsRegistry()
+    with registry.phase("x"):
+        registry.count("ops", 3)
+    with registry.phase("y"):
+        registry.count("ops", 4)
+    registry.count("ops", 1)
+    assert registry.totals()["ops"] == 8
+
+
+def test_timer_context_manager_measures():
+    registry = MetricsRegistry()
+    with registry.timer("work"):
+        pass
+    stat = registry.timers["work"]
+    assert stat.count == 1
+    assert stat.seconds >= 0.0
+
+
+def test_phase_stack_misuse_detected():
+    registry = MetricsRegistry()
+    scope = registry.phase("p")
+    scope.__enter__()
+    registry._push_phase("q")
+    with pytest.raises(RuntimeError):
+        scope.__exit__(None, None, None)
+
+
+def test_names_must_not_contain_slash():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.timer("a/b")
+    with pytest.raises(ValueError):
+        registry.phase("a/b")
+    with pytest.raises(ValueError):
+        registry.phase("")
+
+
+def test_timer_stat_validates():
+    stat = TimerStat()
+    with pytest.raises(ValueError):
+        stat.add(-1.0)
+    with pytest.raises(ValueError):
+        stat.add(1.0, 0)
+    stat.add(2.0, 4)
+    assert stat.mean == 0.5
+
+
+def test_module_layer_is_noop_when_disabled():
+    assert obs.get_active() is None
+    obs.count("never.recorded", 100)
+    with obs.timer("never.timed"):
+        pass
+    with obs.phase("never.phased"):
+        obs.count("inner", 1)
+    assert obs.get_active() is None
+
+
+def test_disabled_timer_and_phase_share_the_null_scope():
+    assert obs.timer("a") is obs.timer("b") is obs.phase("c")
+
+
+def test_collecting_installs_and_restores():
+    outer = MetricsRegistry()
+    with obs.collecting(outer) as registry:
+        assert registry is outer
+        assert obs.get_active() is outer
+        obs.count("seen")
+        inner = MetricsRegistry()
+        with obs.collecting(inner):
+            assert obs.get_active() is inner
+            obs.count("seen")
+        assert obs.get_active() is outer
+    assert obs.get_active() is None
+    assert outer.counters == {"seen": 1}
+    assert inner.counters == {"seen": 1}
+
+
+def test_collecting_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with obs.collecting():
+            raise RuntimeError("boom")
+    assert obs.get_active() is None
+
+
+def test_enable_disable_roundtrip():
+    registry = obs.enable()
+    try:
+        assert obs.get_active() is registry
+    finally:
+        assert obs.disable() is registry
+    assert obs.get_active() is None
+
+
+def test_reset_clears_metrics_but_not_phase_stack():
+    registry = MetricsRegistry()
+    with registry.phase("p"):
+        registry.count("ops")
+        registry.reset()
+        registry.count("ops")
+        assert registry.counters == {"p/ops": 1}
+
+
+def test_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.count("ops", 2)
+    registry.record_seconds("work", 1.0, 2)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"ops": 2}
+    assert snap["timers"] == {"work": {"seconds": 1.0, "count": 2}}
+    assert snap["totals"] == {"ops": 2}

@@ -1,5 +1,7 @@
 """The command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,7 +57,7 @@ def test_theorems_command(capsys):
         assert heading in out
 
 
-def test_figures_only_fig4(capsys, monkeypatch):
+def _shrink_smoke(monkeypatch):
     # Keep it fast: shrink the smoke preset for this invocation.
     import repro.experiments as exp
     from repro.experiments.config import ExperimentConfig
@@ -67,7 +69,94 @@ def test_figures_only_fig4(capsys, monkeypatch):
         bpm_max_cells=100, two_lambda=6, bmax=127, seed="cli-test",
     )
     monkeypatch.setattr(exp, "SMOKE", tiny)
+
+
+def test_figures_only_fig4(capsys, monkeypatch):
+    _shrink_smoke(monkeypatch)
     assert main(["figures", "--only", "fig4"]) == 0
     out = capsys.readouterr().out
     assert "Fig 4(a)(b)" in out and "Fig 4(c)" in out
     assert "Fig 5" not in out
+
+
+def test_figures_metrics_writes_valid_artifact(capsys, monkeypatch, tmp_path):
+    from repro import obs
+
+    _shrink_smoke(monkeypatch)
+    target = tmp_path / "out.json"
+    assert main(["figures", "--only", "fig4", "--metrics", str(target)]) == 0
+    assert "metrics artifact written" in capsys.readouterr().err
+    document = obs.load_artifact(target)
+    assert document["name"] == "figures-fig4"
+    assert document["config"]["only"] == "fig4"
+    # The attack sweeps never touch HMAC; the appended calibration does,
+    # so every artifact still carries the crypto hot-path baselines.
+    assert document["metrics"]["totals"]["crypto.hmac"] > 0
+    timers = document["metrics"]["timers"]
+    assert "cli.figures" in timers
+    assert "phase/calibration" in timers
+    # Collection is torn down once the command finishes.
+    assert obs.get_active() is None
+
+
+def test_demo_metrics_records_protocol_phases(capsys, tmp_path):
+    from repro import obs
+
+    target = tmp_path / "bench"
+    target.mkdir()
+    assert main(
+        ["demo", "--users", "8", "--channels", "5", "--seed", "1",
+         "--metrics", f"{target}/"]
+    ) == 0
+    document = obs.load_artifact(target / "BENCH_demo.json")
+    timers = document["metrics"]["timers"]
+    for phase in ("location_submission", "bid_submission",
+                  "psd_allocation", "ttp_charging"):
+        assert f"phase/{phase}" in timers, phase
+    assert document["metrics"]["totals"]["lppa.bid_submissions"] == 8
+
+
+def _write_artifact(path, *, hmac, mean_seconds):
+    from repro.obs.artifact import build_artifact
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.count("crypto.hmac", hmac)
+    registry.record_seconds("mask", mean_seconds * 10, 10)
+    path.write_text(json.dumps(build_artifact(path.stem, registry)))
+    return path
+
+
+def test_metrics_diff_exit_codes(capsys, tmp_path):
+    base = _write_artifact(tmp_path / "base.json", hmac=100, mean_seconds=0.01)
+    worse = _write_artifact(tmp_path / "worse.json", hmac=200, mean_seconds=0.02)
+
+    assert main(["metrics", "diff", str(base), str(base)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "diff", str(base), str(worse)]) == 1
+    assert "REGRESSIONS" in capsys.readouterr().out
+    # --warn-only reports but does not fail; a loose threshold passes.
+    assert main(["metrics", "diff", str(base), str(worse), "--warn-only"]) == 0
+    assert main(
+        ["metrics", "diff", str(base), str(worse), "--threshold", "2.0"]
+    ) == 0
+
+
+def test_metrics_show_and_validate(capsys, tmp_path):
+    artifact = _write_artifact(tmp_path / "one.json", hmac=7, mean_seconds=0.01)
+    assert main(["metrics", "show", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "crypto.hmac" in out and "7" in out
+    assert main(["metrics", "validate", str(artifact)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_metrics_commands_reject_bad_artifacts(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    missing = tmp_path / "missing.json"
+    assert main(["metrics", "validate", str(bad)]) == 2
+    assert main(["metrics", "show", str(missing)]) == 2
+    good = _write_artifact(tmp_path / "good.json", hmac=1, mean_seconds=0.01)
+    assert main(["metrics", "diff", str(good), str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
