@@ -163,3 +163,46 @@ def test_bench_codec_roundtrip(benchmark):
     )
     result = benchmark(lambda: decode_bids(encode_bids(sub)))
     assert result == sub
+
+
+def test_bench_trace_artifact(small_db_for_bench, bench_artifact):
+    """Flight-recorder profile of the full crypto round, as a diffable artifact.
+
+    Records per-phase event counts and total wire bytes into counters — all
+    deterministic for a fixed seed — so CI can diff
+    ``BENCH_micro_protocol_trace.json`` against the committed baseline and
+    catch silent changes in what the protocol emits (an extra message, a
+    byte of framing, a lost span) even when wall time hides them.
+    """
+    from repro import obs
+    from repro.obs import trace
+
+    database, users = small_db_for_bench
+    with obs.tracing() as recorder:
+        run_lppa_auction(
+            users,
+            database.coverage.grid,
+            two_lambda=6,
+            bmax=127,
+            rng=random.Random(4),
+        )
+    summary = recorder.summary()
+    registry = obs.MetricsRegistry()
+    for event_type, count in summary["by_type"].items():
+        registry.count(f"trace.events.{event_type}", count)
+    for kind, count in summary["messages_by_kind"].items():
+        registry.count(f"trace.messages.{kind}", count)
+    for kind, payload in summary["payload_bytes_by_kind"].items():
+        registry.count(f"trace.payload_bytes.{kind}", payload)
+    registry.count("trace.wire_bytes.total", summary["wire_size_total"])
+    registry.count("trace.rounds", summary["rounds"])
+    registry.count("trace.dropped", recorder.dropped)
+
+    assert registry.counters["trace.messages.bid_submission"] == len(users)
+    assert registry.counters["trace.dropped"] == 0
+    assert trace.get_active() is None
+    bench_artifact(
+        "micro_protocol_trace",
+        registry,
+        config={"users": len(users), "channels": 10, "area": 3, "bmax": 127},
+    )

@@ -17,11 +17,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.theorems import theorem4_bits
 from repro.lppa.bids_advanced import BidScale
 from repro.lppa.messages import BidSubmission, LocationSubmission
 
-__all__ = ["CommCostReport", "measure_bid_cost", "measure_location_cost"]
+__all__ = [
+    "CommCostReport",
+    "predicted_bid_bits",
+    "measure_bid_cost",
+    "measure_location_cost",
+]
+
+
+def predicted_bid_bits(
+    n_users: int, n_channels: int, width: int, digest_bytes: int
+) -> int:
+    """Theorem 4's prediction for one round's masked bid material, in bits.
+
+    ``h`` in the theorem is digest bits per prefix element; our digests are
+    fixed ``digest_bytes`` blobs covering a ``width + 1``-bit element, so
+    ``h = 8 * digest_bytes / (width + 1)`` and the product
+    ``h * k * N * (3w - 1) * (w + 1)`` collapses algebraically to
+    ``8 * digest_bytes * k * N * (3w - 1)`` — an exact integer, which is why
+    auditors can demand a bit-for-bit match.  Evaluated in integer
+    arithmetic here (going through the float ``h`` would reintroduce
+    rounding for widths where ``w + 1`` is not a power of two).
+    """
+    return 8 * digest_bytes * n_channels * n_users * (3 * width - 1)
 
 
 @dataclass(frozen=True)
@@ -66,13 +87,12 @@ def measure_bid_cost(
     n_channels = submissions[0].n_channels
     digest_bytes = submissions[0].channel_bids[0].family.digest_bytes
     width = scale.width
-    h = 8.0 * digest_bytes / (width + 1)
     return CommCostReport(
         n_users=n_users,
         n_channels=n_channels,
         width=width,
         digest_bytes=digest_bytes,
-        predicted_bits=theorem4_bits(n_users, n_channels, width, h),
+        predicted_bits=predicted_bid_bits(n_users, n_channels, width, digest_bytes),
         measured_masked_bits=sum(s.masked_set_bytes() for s in submissions) * 8,
         measured_total_bits=sum(s.wire_bytes() for s in submissions) * 8,
     )

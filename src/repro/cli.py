@@ -10,18 +10,23 @@ Gives the whole reproduction a zero-code driving surface:
 * ``baselines`` — LPPA vs cloaking / Paillier / OPE comparisons;
 * ``report``    — every experiment, one markdown file;
 * ``demo``      — one quick private auction round with a result summary;
-* ``metrics``   — inspect, validate and diff ``BENCH_*.json`` artifacts.
+* ``metrics``   — inspect, validate and diff ``BENCH_*.json`` artifacts;
+* ``trace``     — the protocol flight recorder: record, inspect, audit and
+  export ``TRACE_*.jsonl`` event streams.
 
 Every experiment command additionally accepts ``--metrics PATH``: the run
 executes with a :mod:`repro.obs` registry collecting, the fixed crypto
 calibration workload is appended so artifacts are comparable across runs,
 and a schema-versioned benchmark artifact is written to PATH (see
-``docs/OBSERVABILITY.md``).
+``docs/OBSERVABILITY.md``).  ``--trace PATH`` mirrors that UX for the
+flight recorder: the run executes with :mod:`repro.obs.trace` recording
+and the event stream is written as JSONL to PATH.  The two flags compose.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import random
 import sys
 from typing import Any, Callable, Dict, List, Optional
@@ -65,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="collect obs metrics for this run and write a BENCH_*.json "
             "artifact to PATH (a directory gets the canonical file name)",
+        )
+        command_parser.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="record the protocol flight recorder for this run and write "
+            "the event stream as TRACE_*.jsonl to PATH (a directory gets "
+            "the canonical file name); composes with --metrics",
         )
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -144,6 +157,61 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check an artifact against the schema"
     )
     validate.add_argument("path", help="BENCH_*.json to validate")
+
+    trace = sub.add_parser(
+        "trace", help="record / inspect / audit protocol flight-recorder traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run", help="run full-crypto auction rounds and record a trace"
+    )
+    trace_run.add_argument("--users", type=int, default=12)
+    trace_run.add_argument("--channels", type=int, default=6)
+    trace_run.add_argument("--area", type=int, default=3, choices=(1, 2, 3, 4))
+    trace_run.add_argument(
+        "--grid", type=int, default=20, metavar="N",
+        help="use an NxN cell lattice (cell size scales to keep 75 km)",
+    )
+    trace_run.add_argument("--rounds", type=int, default=2)
+    trace_run.add_argument("--seed", type=int, default=42)
+    trace_run.add_argument("--replace", type=float, default=0.3,
+                           help="zero-replace probability 1-p0")
+    trace_run.add_argument("--out", default="TRACE_run.jsonl", metavar="PATH")
+
+    trace_show = trace_sub.add_parser("show", help="summarize one trace")
+    trace_show.add_argument("path", help="TRACE_*.jsonl to display")
+
+    trace_validate = trace_sub.add_parser(
+        "validate", help="check a trace against the event schema"
+    )
+    trace_validate.add_argument("path", help="TRACE_*.jsonl to validate")
+
+    trace_audit = trace_sub.add_parser(
+        "audit",
+        help="replay a trace through the comm-cost (Theorem 4) and privacy "
+        "(BCM) auditors",
+    )
+    trace_audit.add_argument("path", help="TRACE_*.jsonl to audit")
+    trace_audit.add_argument(
+        "--fractions", default="0.25,0.5", metavar="F1,F2,...",
+        help="top-fraction cuts for the ranking-based BCM attack",
+    )
+    trace_audit.add_argument(
+        "--no-privacy", action="store_true",
+        help="skip the privacy auditor (e.g. for traces without run metadata)",
+    )
+    trace_audit.add_argument(
+        "--no-comm", action="store_true",
+        help="skip the communication-cost auditor",
+    )
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a trace to Chrome trace-event format (Perfetto)"
+    )
+    trace_export.add_argument("path", help="TRACE_*.jsonl to convert")
+    trace_export.add_argument("--out", default=None, metavar="PATH",
+                              help="output .json (default: input with .chrome.json)")
     return parser
 
 
@@ -377,6 +445,241 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _load_trace_or_fail(path: str):
+    """Load + validate one trace; on failure print why and return None."""
+    from repro.obs import trace as trace_mod
+
+    try:
+        return trace_mod.load_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace_run(args) -> int:
+    from repro import obs
+    from repro.geo.datasets import make_database
+    from repro.geo.grid import GridSpec
+    from repro.auction import generate_users
+    from repro.lppa import UniformReplacePolicy, run_lppa_auction
+
+    grid = GridSpec(rows=args.grid, cols=args.grid, cell_km=75.0 / args.grid)
+    database = make_database(args.area, n_channels=args.channels, grid=grid)
+    users = generate_users(database, args.users, random.Random(args.seed))
+    recorder = obs.TraceRecorder()
+    with obs.tracing(recorder):
+        # The auditors rebuild the (public) spectrum database from this
+        # record; everything in it is public knowledge in the threat model.
+        recorder.meta(
+            "run_meta",
+            vis="public",
+            area=args.area,
+            n_channels=args.channels,
+            grid_rows=args.grid,
+            grid_cols=args.grid,
+            cell_km=grid.cell_km,
+            db_seed="lppa-repro",
+            n_users=args.users,
+            rounds=args.rounds,
+            seed=args.seed,
+            replace=args.replace,
+        )
+        for round_idx in range(args.rounds):
+            result = run_lppa_auction(
+                users,
+                grid,
+                two_lambda=6,
+                bmax=127,
+                policy=UniformReplacePolicy(args.replace),
+                entropy=f"trace-run:{args.seed}:{round_idx}",
+            )
+            print(
+                f"round {round_idx}: {len(result.outcome.wins)} winners, "
+                f"{result.framed_bytes} wire bytes"
+            )
+    target = recorder.write_jsonl(args.out)
+    print(f"trace written to {target} ({len(recorder)} events, "
+          f"{recorder.dropped} dropped)")
+    return 0
+
+
+def _cmd_trace_show(args) -> int:
+    loaded = _load_trace_or_fail(args.path)
+    if loaded is None:
+        return 2
+    header, events = loaded
+    print(f"trace      {args.path}")
+    print(f"schema     v{header['schema_version']}")
+    print(f"events     {header['event_count']} "
+          f"(dropped {header['dropped']}, capacity {header['capacity']})")
+    by_type: Dict[str, int] = {}
+    by_kind: Dict[str, int] = {}
+    by_path: Dict[str, int] = {}
+    rounds = set()
+    wire_total = 0
+    payload_total = 0
+    for record in events:
+        by_type[record["type"]] = by_type.get(record["type"], 0) + 1
+        if record.get("round") is not None:
+            rounds.add(record["round"])
+        if record["type"] == "message":
+            by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+            wire_total += record.get("wire_size") or 0
+            payload_total += record.get("payload_bytes") or 0
+        elif record["type"] == "span":
+            by_path[record["path"]] = by_path.get(record["path"], 0) + 1
+    print(f"rounds     {len(rounds)}")
+    print("events by type:")
+    for key in sorted(by_type):
+        print(f"  {key:<24} {by_type[key]}")
+    if by_kind:
+        print("messages by kind:")
+        for key in sorted(by_kind):
+            print(f"  {key:<24} {by_kind[key]}")
+        print(f"wire bytes {wire_total} (payload {payload_total})")
+    if by_path:
+        print("spans by path:")
+        for key in sorted(by_path):
+            print(f"  {key:<24} {by_path[key]}")
+    return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+    if _load_trace_or_fail(args.path) is None:
+        return 2
+    print(f"{args.path}: valid (trace schema v{TRACE_SCHEMA_VERSION})")
+    return 0
+
+
+def _cmd_trace_audit(args) -> int:
+    from repro.analysis.trace_audit import (
+        TraceAuditError,
+        audit_comm_cost,
+        audit_privacy,
+    )
+
+    loaded = _load_trace_or_fail(args.path)
+    if loaded is None:
+        return 2
+    _, events = loaded
+    failed = False
+
+    if not args.no_comm:
+        try:
+            comm = audit_comm_cost(events, strict=False)
+        except TraceAuditError as exc:
+            print(f"comm-cost audit: ERROR: {exc}", file=sys.stderr)
+            return 2
+        for row in comm.rounds:
+            cells = row.as_row()
+            print("comm-cost round {round}: N={N} k={k} w={w} "
+                  "predicted {predicted_kbits} kbit, measured "
+                  "{measured_kbits} kbit, exact={exact}".format(**cells))
+        if comm.passed:
+            print(f"comm-cost audit: PASS "
+                  f"({comm.messages_checked} messages checked, "
+                  f"{len(comm.rounds)} rounds exact against Theorem 4)")
+        else:
+            failed = True
+            print(f"comm-cost audit: FAIL ({len(comm.errors)} divergences)",
+                  file=sys.stderr)
+            for error in comm.errors:
+                print(f"  {error}", file=sys.stderr)
+
+    if not args.no_privacy:
+        database = _database_from_trace(events)
+        if database is None:
+            print(
+                "privacy audit: SKIP (no run_meta record in the trace; "
+                "record with `repro trace run` to enable it)",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                fractions = tuple(
+                    float(f) for f in str(args.fractions).split(",") if f
+                )
+                privacy = audit_privacy(events, database, fractions=fractions)
+            except (TraceAuditError, ValueError) as exc:
+                print(f"privacy audit: ERROR: {exc}", file=sys.stderr)
+                return 2
+            n_cells = database.coverage.grid.n_cells
+            for row in privacy.rounds:
+                print(
+                    f"privacy round {row.round} top-{row.fraction:.0%}: "
+                    f"mean candidate area {row.mean_cells:.1f} cells "
+                    f"({row.mean_cells / n_cells:.1%} of the grid), "
+                    f"min {row.min_cells}, max {row.max_cells}, "
+                    f"empty {row.empty_results}/{row.n_users}"
+                )
+            print(f"privacy audit: PASS ({privacy.n_events_consumed} "
+                  "adversary-visible events consumed)")
+
+    return 1 if failed else 0
+
+
+def _database_from_trace(events):
+    """Rebuild the public spectrum database a trace was recorded against."""
+    from repro.geo.datasets import make_database
+    from repro.geo.grid import GridSpec
+
+    for record in events:
+        if record.get("type") == "meta" and record.get("name") == "run_meta":
+            meta = record.get("args") or {}
+            try:
+                grid = GridSpec(
+                    rows=int(meta["grid_rows"]),
+                    cols=int(meta["grid_cols"]),
+                    cell_km=float(meta["cell_km"]),
+                )
+                return make_database(
+                    int(meta["area"]),
+                    n_channels=int(meta["n_channels"]),
+                    grid=grid,
+                    seed=str(meta.get("db_seed", "lppa-repro")),
+                )
+            except (KeyError, TypeError, ValueError):
+                return None
+    return None
+
+
+def _cmd_trace_export(args) -> int:
+    import json
+
+    from repro.obs.trace import chrome_trace
+
+    loaded = _load_trace_or_fail(args.path)
+    if loaded is None:
+        return 2
+    _, events = loaded
+    out = args.out
+    if out is None:
+        base = args.path
+        if base.endswith(".jsonl"):
+            base = base[: -len(".jsonl")]
+        out = base + ".chrome.json"
+    document = chrome_trace(events)
+    with open(out, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print(f"chrome trace written to {out} "
+          f"({len(document['traceEvents'])} trace events); load it in "
+          "https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    return {
+        "run": _cmd_trace_run,
+        "show": _cmd_trace_show,
+        "validate": _cmd_trace_validate,
+        "audit": _cmd_trace_audit,
+        "export": _cmd_trace_export,
+    }[args.trace_command](args)
+
+
 def _artifact_name(args) -> str:
     """Canonical artifact name for a CLI run, e.g. ``figures-fig4``."""
     name = str(args.command)
@@ -390,7 +693,7 @@ def _scalar_config(args) -> Dict[str, Any]:
     """The JSON-scalar view of the parsed arguments, for artifact config."""
     config: Dict[str, Any] = {}
     for key, value in vars(args).items():
-        if key in ("command", "metrics"):
+        if key in ("command", "metrics", "trace"):
             continue
         if value is None or isinstance(value, (bool, int, float, str)):
             config[key] = value
@@ -420,6 +723,28 @@ def _run_with_metrics(handler: Callable[[Any], int], args) -> int:
     return code
 
 
+def _run_with_trace(handler: Callable[[Any], int], args) -> int:
+    """Run one command with the flight recorder on; write the JSONL trace."""
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs.trace import TRACE_FILE_PREFIX
+
+    recorder = obs.TraceRecorder()
+    with obs.tracing(recorder):
+        code = handler(args)
+    target = Path(args.trace)
+    if target.is_dir() or str(args.trace).endswith(("/", "\\")):
+        target = target / f"{TRACE_FILE_PREFIX}{_artifact_name(args)}.jsonl"
+    written = recorder.write_jsonl(target)
+    print(
+        f"trace written to {written} ({len(recorder)} events, "
+        f"{recorder.dropped} dropped)",
+        file=sys.stderr,
+    )
+    return code
+
+
 _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "figures": _cmd_figures,
     "report": _cmd_report,
@@ -429,6 +754,7 @@ _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
     "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
 }
 
 
@@ -436,7 +762,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
-    if getattr(args, "metrics", None) and args.command in _METRICS_COMMANDS:
+    if args.command in _METRICS_COMMANDS and getattr(args, "trace", None):
+        handler = functools.partial(_run_with_trace, handler)
+    if args.command in _METRICS_COMMANDS and getattr(args, "metrics", None):
         return _run_with_metrics(handler, args)
     return handler(args)
 

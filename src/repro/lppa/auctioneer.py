@@ -17,6 +17,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.auction.allocation import Assignment, greedy_allocate
+from repro.obs import trace
 from repro.auction.conflict import ConflictGraph
 from repro.auction.outcome import AuctionOutcome, WinRecord
 from repro.lppa.location import build_private_conflict_graph
@@ -60,6 +61,14 @@ class Auctioneer:
     ) -> ConflictGraph:
         """PPBS location phase: masked membership tests -> conflict graph."""
         self._conflict = build_private_conflict_graph(submissions)
+        tr = trace.get_active()
+        if tr is not None:
+            tr.instant(
+                "conflict_graph",
+                vis="auctioneer",
+                n_users=self._conflict.n_users,
+                n_edges=self._conflict.n_edges,
+            )
         return self._conflict
 
     def receive_bids(self, submissions: Sequence[BidSubmission]) -> None:
@@ -76,7 +85,12 @@ class Auctioneer:
         """The curious view: per-channel bid order (equivalence classes)."""
         if self._table is None:
             raise RuntimeError("bid submissions not received yet")
-        return self._table.rankings()
+        rankings = self._table.rankings()
+        tr = trace.get_active()
+        if tr is not None:
+            for channel, classes in enumerate(rankings):
+                tr.ranking(channel, classes)
+        return rankings
 
     def run_allocation(self, rng: random.Random) -> List[Assignment]:
         """PSD allocation: Algorithm 3 over the masked table."""
@@ -91,6 +105,12 @@ class Auctioneer:
             (a.channel, self._table.masked_bid(a.bidder, a.channel))
             for a in assignments
         ]
+        tr = trace.get_active()
+        if tr is not None:
+            for a in assignments:
+                tr.instant(
+                    "assignment", vis="auctioneer", bidder=a.bidder, channel=a.channel
+                )
         return list(assignments)
 
     def charge_winners(self, ttp: TrustedThirdParty, n_users: int) -> AuctionOutcome:

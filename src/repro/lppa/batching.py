@@ -25,6 +25,7 @@ from typing import Deque, Dict, List, Sequence, Tuple
 import collections
 
 from repro import obs
+from repro.obs import trace
 
 __all__ = ["TtpSchedule", "ChargeQueue", "ChargingReport", "simulate_charging"]
 
@@ -139,6 +140,7 @@ def simulate_charging(
     latencies: List[float] = []
     windows_used = 0
     windows_total = 0
+    tr = trace.get_active()
     with obs.timer("ttp.charging_simulation"):
         for window_time in schedule.windows_until(horizon):
             while (
@@ -155,12 +157,29 @@ def simulate_charging(
                 latencies.extend(
                     window_time - deposited for deposited, _ in served
                 )
+                if tr is not None:
+                    tr.instant(
+                        "ttp_window",
+                        vis="ttp",
+                        sim_time=window_time,
+                        served=len(served),
+                        backlog=len(queue),
+                    )
         # Deposits after the final window never get served within the horizon.
         while deposit_idx < len(deposits):
             queue.deposit(*deposits[deposit_idx])
             deposit_idx += 1
     obs.count("ttp.charge_requests", total)
     obs.count("ttp.windows_simulated", windows_total)
+    if tr is not None:
+        tr.instant(
+            "ttp_charging_summary",
+            vis="ttp",
+            requests=total,
+            served=len(latencies),
+            windows_used=windows_used,
+            windows_total=windows_total,
+        )
 
     return ChargingReport(
         n_requests=total,

@@ -157,10 +157,11 @@ def decode_bids(data: bytes) -> BidSubmission:
 
 
 def framing_overhead(message) -> int:
-    """Bytes the codec adds on top of ``wire_bytes()`` payload accounting."""
-    if isinstance(message, LocationSubmission):
-        return 1 + 4 * 3  # tag + four set headers (user id counted in payload)
-    if isinstance(message, BidSubmission):
-        # tag + channel count + per channel: two set headers + ct length.
-        return 1 + 2 + message.n_channels * (2 * 3 + 2)
+    """Bytes the codec adds on top of ``wire_bytes()`` payload accounting.
+
+    Delegates to the messages' own ``wire_size()`` accounting so there is a
+    single source of truth for framing arithmetic.
+    """
+    if isinstance(message, (LocationSubmission, BidSubmission, MaskedBid)):
+        return message.wire_size() - message.wire_bytes()
     raise TypeError(f"unsupported message type {type(message)!r}")

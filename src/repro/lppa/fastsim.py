@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
+from repro.obs import trace
 from repro.auction.allocation import greedy_allocate, greedy_allocate_validated
 from repro.auction.pricing import greedy_allocate_priced, second_price_charge
 from repro.auction.bidders import SecondaryUser
@@ -213,7 +214,21 @@ def run_fast_lppa(
 
     # The same four phase scopes as the full-crypto session, so a fastsim
     # artifact and a session artifact line up key-for-key in `metrics diff`
-    # (fastsim records no byte counters — it has no wire objects).
+    # (fastsim records no byte counters — it has no wire objects).  The
+    # flight recorder likewise gets the same round/ranking/assignment events
+    # as the session, minus the wire messages the simulator never builds.
+    tr = trace.get_active()
+    if tr is not None:
+        tr.round_begin()
+        tr.meta(
+            "auction_announcement",
+            vis="public",
+            n_users=len(users),
+            n_channels=n_channels,
+            bmax=bmax,
+            two_lambda=two_lambda,
+            fastsim=True,
+        )
     with obs.phase("bid_submission"):
         disclosures = tuple(
             SubmissionDisclosure(
@@ -241,6 +256,9 @@ def run_fast_lppa(
             [[c.masked_expanded for c in d.channels] for d in disclosures]
         )
         rankings = table.rankings()
+        if tr is not None:
+            for channel, classes in enumerate(rankings):
+                tr.ranking(channel, classes)
         rejections = 0
         sales = assignments = None
         if pricing == "second":
@@ -280,8 +298,18 @@ def run_fast_lppa(
                         valid=valid,
                     )
                 )
+        if tr is not None:
+            for record in wins:
+                tr.instant(
+                    "assignment",
+                    vis="auctioneer",
+                    bidder=record.bidder,
+                    channel=record.channel,
+                )
         obs.count("lppa.winners", len(wins))
     obs.count("lppa.fast_rounds")
+    if tr is not None:
+        tr.round_end(winners=len(wins))
     return FastLppaResult(
         outcome=AuctionOutcome(n_users=len(users), wins=tuple(wins)),
         conflict_graph=conflict,

@@ -7,6 +7,17 @@ travel as fixed-length byte strings; ciphertexts as (nonce || ct) blobs.
 
 The auctioneer sees *only* these structures — never a
 :class:`~repro.crypto.keys.KeyRing`, never a plaintext bid or coordinate.
+
+Two size accountings coexist deliberately:
+
+* ``wire_bytes()`` — *payload only* (digests, ciphertexts, user ids):
+  what Theorem 4 models;
+* ``wire_size()`` — the **exact serialized size** the codec in
+  :mod:`repro.lppa.codec` produces, framing (tags, counts, length
+  prefixes) included.  The flight recorder records this per message, and
+  ``tests/lppa/test_messages.py`` pins each ``wire_size()`` to
+  ``len(encode_*(message))`` so the accounting cannot drift from the
+  encoder.
 """
 
 from __future__ import annotations
@@ -20,6 +31,18 @@ __all__ = ["LocationSubmission", "MaskedBid", "BidSubmission"]
 
 #: Bytes used to carry a user/pseudonym identifier on the wire.
 USER_ID_BYTES = 4
+
+#: Codec framing per masked set: ``digest_bytes: u8 | count: u16``.
+SET_HEADER_BYTES = 3
+
+#: One-byte message tag (``'L'`` / ``'B'``).
+TAG_BYTES = 1
+
+#: ``n_channels: u16`` in a bid submission.
+CHANNEL_COUNT_BYTES = 2
+
+#: ``ct_len: u16`` length prefix per ciphertext.
+CIPHERTEXT_LEN_BYTES = 2
 
 
 @dataclass(frozen=True)
@@ -44,6 +67,10 @@ class LocationSubmission:
             s.wire_bytes()
             for s in (self.x_family, self.x_range, self.y_family, self.y_range)
         )
+
+    def wire_size(self) -> int:
+        """Exact codec output size: payload plus tag and four set headers."""
+        return self.wire_bytes() + TAG_BYTES + 4 * SET_HEADER_BYTES
 
 
 @dataclass(frozen=True)
@@ -70,6 +97,11 @@ class MaskedBid:
         """Serialized size in bytes (masked sets + ciphertext)."""
         return self.family.wire_bytes() + self.tail.wire_bytes() + len(self.ciphertext)
 
+    def wire_size(self) -> int:
+        """Exact on-wire size within a bid submission: two set headers plus
+        the ciphertext length prefix on top of the payload."""
+        return self.wire_bytes() + 2 * SET_HEADER_BYTES + CIPHERTEXT_LEN_BYTES
+
 
 @dataclass(frozen=True)
 class BidSubmission:
@@ -89,6 +121,16 @@ class BidSubmission:
     def wire_bytes(self) -> int:
         """Total serialized size in bytes across all channels."""
         return USER_ID_BYTES + sum(mb.wire_bytes() for mb in self.channel_bids)
+
+    def wire_size(self) -> int:
+        """Exact codec output size: tag, channel count, then per-channel
+        framed :meth:`MaskedBid.wire_size` blocks."""
+        return (
+            TAG_BYTES
+            + USER_ID_BYTES
+            + CHANNEL_COUNT_BYTES
+            + sum(mb.wire_size() for mb in self.channel_bids)
+        )
 
     def masked_set_bytes(self) -> int:
         """Size of the prefix material alone (what Theorem 4 models)."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import trace
 from repro.auction.bidders import SecondaryUser
 from repro.auction.conflict import ConflictGraph
 from repro.auction.outcome import AuctionOutcome
@@ -129,6 +130,37 @@ def run_lppa_auction(
     # Splitting the bidder loop per phase is draw-order neutral: location
     # submission consumes no randomness, so the bid submissions see the
     # same RNG stream(s) as the previous interleaved loop.
+    #
+    # The flight recorder (repro.obs.trace) additionally gets one event per
+    # wire message; every emission sits behind a `tr is not None` guard so
+    # the disabled path stays a single comparison.
+    tr = trace.get_active()
+    if tr is not None:
+        tr.round_begin()
+        # rd/cr/width are hidden from the auctioneer (only bidders and the
+        # TTP hold them); the announcement is what everyone sees.
+        tr.meta(
+            "protocol_setup",
+            vis="ttp",
+            n_users=len(users),
+            n_channels=n_channels,
+            bmax=bmax,
+            rd=rd,
+            cr=cr,
+            width=scale.width,
+            emax=scale.emax,
+            two_lambda=two_lambda,
+        )
+        tr.meta(
+            "auction_announcement",
+            vis="public",
+            n_users=len(users),
+            n_channels=n_channels,
+            bmax=bmax,
+            two_lambda=two_lambda,
+            grid_rows=grid.rows,
+            grid_cols=grid.cols,
+        )
 
     # --- Location submission (bidders mask, auctioneer builds the graph) ---------
     with obs.phase("location_submission"):
@@ -136,6 +168,15 @@ def run_lppa_auction(
             submit_location(idx, user.cell, keyring.g0, grid, two_lambda)
             for idx, user in enumerate(users)
         ]
+        if tr is not None:
+            for sub in location_subs:
+                tr.message(
+                    "location_submission",
+                    su=sub.user_id,
+                    payload_bytes=sub.wire_bytes(),
+                    wire_size=sub.wire_size(),
+                    digest_bytes=sub.x_family.digest_bytes,
+                )
         conflict = auctioneer.receive_locations(location_subs)
         location_bytes = sum(s.wire_bytes() for s in location_subs)
         obs.count("lppa.location_submissions", len(location_subs))
@@ -151,6 +192,17 @@ def run_lppa_auction(
             )
             bid_subs.append(submission)
             disclosures.append(disclosure)
+        if tr is not None:
+            for sub in bid_subs:
+                tr.message(
+                    "bid_submission",
+                    su=sub.user_id,
+                    payload_bytes=sub.wire_bytes(),
+                    wire_size=sub.wire_size(),
+                    masked_set_bytes=sub.masked_set_bytes(),
+                    n_channels=sub.n_channels,
+                    digest_bytes=sub.channel_bids[0].family.digest_bytes,
+                )
         auctioneer.receive_bids(bid_subs)
         bid_bytes = sum(s.wire_bytes() for s in bid_subs)
         obs.count("lppa.bid_submissions", len(bid_subs))
@@ -172,6 +224,12 @@ def run_lppa_auction(
     ) + sum(len(encode_bids(s)) for s in bid_subs)
     obs.count("lppa.framed_bytes", framed)
     obs.count("lppa.rounds")
+    if tr is not None:
+        tr.round_end(
+            winners=len(outcome.wins),
+            framed_bytes=framed,
+            payload_bytes=location_bytes + bid_bytes,
+        )
 
     return LppaResult(
         outcome=outcome,

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro import obs
+from repro.obs import trace
 from repro.crypto.keys import KeyRing, generate_keyring
 from repro.lppa.bids_advanced import BidScale
 from repro.lppa.bids_basic import decrypt_bid_value
@@ -34,6 +35,11 @@ from repro.prefix.membership import mask_value
 __all__ = ["ChargeStatus", "ChargeDecision", "TrustedThirdParty"]
 
 _BID_DOMAIN = b"lppa/bid/adv"
+
+#: A charge request carries the channel id (u16) plus the winner's framed
+#: masked bid; the decision going back is status (u8) + charge (u32).
+CHANNEL_ID_BYTES = 2
+CHARGE_DECISION_BYTES = 5
 
 
 class ChargeStatus(enum.Enum):
@@ -93,6 +99,30 @@ class TrustedThirdParty:
     def process_charge(self, channel: int, masked_bid: MaskedBid) -> ChargeDecision:
         """Decrypt, de-expand, classify and (for valid bids) verify one winner."""
         obs.count("ttp.charges")
+        tr = trace.get_active()
+        if tr is not None:
+            # The auctioneer originates (and therefore observes) the request;
+            # bidder identity is deliberately absent — the TTP charges a
+            # ciphertext, not a user.
+            tr.message(
+                "charge_request",
+                channel=channel,
+                payload_bytes=CHANNEL_ID_BYTES + masked_bid.wire_bytes(),
+                wire_size=CHANNEL_ID_BYTES + masked_bid.wire_size(),
+            )
+        decision = self._decide(channel, masked_bid)
+        if tr is not None:
+            tr.message(
+                "charge_decision",
+                channel=channel,
+                payload_bytes=CHARGE_DECISION_BYTES,
+                wire_size=CHARGE_DECISION_BYTES,
+                status=decision.status.value,
+                charge=decision.charge,
+            )
+        return decision
+
+    def _decide(self, channel: int, masked_bid: MaskedBid) -> ChargeDecision:
         expanded = decrypt_bid_value(self._keyring.gc, masked_bid.ciphertext)
         if expanded > self._scale.emax:
             return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)

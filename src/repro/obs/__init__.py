@@ -29,12 +29,18 @@ Worker processes spawned by the experiment engine do not share the parent's
 registry; per-sweep rollups are recorded parent-side by the engine itself,
 so sweep metrics survive parallel runs while per-op counts are only
 complete in serial runs (the CLI's ``--metrics`` default).
+
+Tracing (:mod:`repro.obs.trace`, the protocol flight recorder) composes
+under the same context: ``collecting(trace=True)`` installs a trace
+recorder alongside the registry, and :func:`phase` then opens a metrics
+phase scope *and* a trace span together, so aggregate timings and
+per-event records share one set of phase names.
 """
 
 from __future__ import annotations
 
 from types import TracebackType
-from typing import ContextManager, Iterator, Optional, Type
+from typing import ContextManager, Iterator, Optional, Type, Union
 
 import contextlib
 
@@ -48,14 +54,21 @@ from repro.obs.artifact import (
 )
 from repro.obs.diff import DEFAULT_THRESHOLD, DiffReport, diff_artifacts
 from repro.obs.registry import MetricsRegistry, TimerStat
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceRecorder
+from repro.obs import trace  # re-export: instrumented code calls obs.trace.message(...)
+
+# ``collecting``'s keyword argument shadows the module name in its scope.
+_trace_module = trace
 
 __all__ = [
     "ARTIFACT_PREFIX",
     "DEFAULT_THRESHOLD",
     "SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
     "DiffReport",
     "MetricsRegistry",
     "TimerStat",
+    "TraceRecorder",
     "build_artifact",
     "collecting",
     "count",
@@ -67,6 +80,8 @@ __all__ = [
     "phase",
     "record_seconds",
     "timer",
+    "trace",
+    "tracing",
     "validate_artifact",
     "write_artifact",
 ]
@@ -118,20 +133,42 @@ def disable() -> Optional[MetricsRegistry]:
 @contextlib.contextmanager
 def collecting(
     registry: Optional[MetricsRegistry] = None,
+    *,
+    trace: "Optional[Union[bool, TraceRecorder]]" = None,
 ) -> Iterator[MetricsRegistry]:
     """Enable collection for a ``with`` block, restoring the prior state.
 
     Yields the (possibly freshly created) registry so callers can snapshot
     it afterwards.  Nesting is allowed; the inner block's registry simply
     shadows the outer one for its duration.
+
+    ``trace`` optionally installs the flight recorder for the same block:
+    pass ``True`` for a fresh :class:`TraceRecorder`, or an existing
+    recorder instance.  Retrieve it afterwards via the recorder you passed
+    (or :func:`repro.obs.trace.get_active` inside the block).
     """
     global _active
     previous = _active
     installed = enable(registry)
     try:
-        yield installed
+        if trace is None or trace is False:
+            yield installed
+        else:
+            recorder = None if trace is True else trace
+            with _trace_module.recording(recorder):
+                yield installed
     finally:
         _active = previous
+
+
+def tracing(
+    recorder: Optional[TraceRecorder] = None,
+) -> "ContextManager[TraceRecorder]":
+    """Enable the flight recorder alone (no metrics registry) for a block.
+
+    Convenience re-export of :func:`repro.obs.trace.recording`.
+    """
+    return _trace_module.recording(recorder)
 
 
 def count(name: str, n: int = 1) -> None:
@@ -156,9 +193,48 @@ def timer(name: str) -> ContextManager[object]:
     return registry.timer(name)
 
 
+class _CombinedPhaseScope:
+    """Enters a metrics phase scope and a trace span together.
+
+    Keeps the two layers' phase names aligned: aggregate wall time lands
+    under ``phase/<path>`` in the registry while the flight recorder gets
+    one ``span`` record for the same interval.
+    """
+
+    __slots__ = ("_scopes",)
+
+    def __init__(self, *scopes: ContextManager[object]) -> None:
+        self._scopes = scopes
+
+    def __enter__(self) -> "_CombinedPhaseScope":
+        for scope in self._scopes:
+            scope.__enter__()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        for scope in reversed(self._scopes):
+            scope.__exit__(exc_type, exc, tb)
+
+
 def phase(name: str) -> ContextManager[object]:
-    """A phase-scope context manager; a shared no-op object when disabled."""
+    """A phase-scope context manager; a shared no-op object when disabled.
+
+    With only the registry active this is a metrics phase scope; with the
+    flight recorder also active the same ``with`` block additionally emits
+    one trace ``span`` under the same name.
+    """
     registry = _active
-    if registry is None:
+    recorder = _trace_module.get_active()
+    if registry is None and recorder is None:
         return _NULL_SCOPE
-    return registry.phase(name)
+    if recorder is None:
+        assert registry is not None
+        return registry.phase(name)
+    if registry is None:
+        return recorder.span(name)
+    return _CombinedPhaseScope(registry.phase(name), recorder.span(name))

@@ -83,12 +83,25 @@ class DiffReport:
 
     def format(self) -> str:
         """The multi-line report ``repro metrics diff`` prints."""
+        summary = (
+            f"compared {len(self.deltas)} shared metrics: "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.improvements)} improved >= threshold"
+        )
+        if self.regressions:
+            # The summary line is what CI logs and humans grep first — it
+            # must name the offending keys, not just count them.
+            shown = [d.key for d in self.regressions[:6]]
+            summary += (
+                " (regressed: "
+                + ", ".join(shown)
+                + (", ..." if len(self.regressions) > 6 else "")
+                + ")"
+            )
         lines = [
             f"metrics diff: {self.baseline_name} (baseline) vs "
             f"{self.current_name} (current), threshold {self.threshold:.0%}",
-            f"compared {len(self.deltas)} shared metrics: "
-            f"{len(self.regressions)} regressed, "
-            f"{len(self.improvements)} improved >= threshold",
+            summary,
         ]
         if self.regressions:
             lines.append("REGRESSIONS:")

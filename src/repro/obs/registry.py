@@ -96,17 +96,30 @@ class _PhaseScope:
 
     The phase's wall time is recorded under ``phase/<path>`` using the
     *parent* scope (the phase key identifies the nesting already).
+
+    A phase opened directly inside a phase of the *same name* is
+    reentrant: the inner scope neither pushes the stack nor records time.
+    Its interval is wholly contained in the outer one, so recording both
+    ``phase/a`` and ``phase/a.a`` would double-count the same wall-clock
+    seconds in any per-name rollup.  Sibling same-name phases (close, then
+    reopen) are *not* reentrant — their intervals are disjoint, and each
+    records into the shared key.
     """
 
-    __slots__ = ("_registry", "_name", "_watch", "_path")
+    __slots__ = ("_registry", "_name", "_watch", "_path", "_reentrant")
 
     def __init__(self, registry: "MetricsRegistry", name: str) -> None:
         self._registry = registry
         self._name = name
         self._watch: Optional[Stopwatch] = None
         self._path = ""
+        self._reentrant = False
 
     def __enter__(self) -> "_PhaseScope":
+        phases = self._registry._phases
+        if phases and phases[-1] == self._name:
+            self._reentrant = True
+            return self
         self._registry._push_phase(self._name)
         self._path = self._registry.phase_path()
         self._watch = Stopwatch()
@@ -118,6 +131,8 @@ class _PhaseScope:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> None:
+        if self._reentrant:
+            return
         assert self._watch is not None, "phase scope exited before entry"
         elapsed = self._watch.elapsed()
         self._registry._pop_phase(self._name)

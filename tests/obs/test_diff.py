@@ -87,3 +87,31 @@ def test_format_mentions_regressions():
     assert "REGRESSIONS" in text
     assert "crypto.hmac" in text
     assert "+100.0%" in text
+
+
+def test_summary_line_names_regressed_keys():
+    report = diff_artifacts(
+        _artifact("base", hmac=100, mean_ms=10.0),
+        _artifact("cur", hmac=300, mean_ms=30.0),
+    )
+    summary = next(
+        line for line in report.format().splitlines() if "regressed" in line
+    )
+    assert "crypto.hmac" in summary and "mask" in summary
+
+
+def test_summary_line_truncates_long_regression_lists():
+    registry_base = MetricsRegistry()
+    registry_cur = MetricsRegistry()
+    for i in range(9):
+        registry_base.count(f"key{i}", 10)
+        registry_cur.count(f"key{i}", 100)
+    report = diff_artifacts(
+        build_artifact("base", registry_base), build_artifact("cur", registry_cur)
+    )
+    summary = next(
+        line for line in report.format().splitlines() if "regressed" in line
+    )
+    assert "key0" in summary and "key5" in summary
+    assert "key7" not in summary
+    assert "..." in summary

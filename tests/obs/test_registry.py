@@ -30,6 +30,50 @@ def test_nested_phases_scope_counters_and_timers():
     assert timers["phase/a"].seconds >= timers["phase/a.b"].seconds
 
 
+def test_sibling_same_name_phases_each_record_wall_time():
+    """Two *sibling* phases with the same name are disjoint intervals: both
+    must record into the shared ``phase/<name>`` key (the regression the
+    nested-reentrancy fix must not introduce)."""
+    registry = MetricsRegistry()
+    with registry.phase("p"):
+        registry.count("ops")
+    with registry.phase("p"):
+        registry.count("ops")
+    stat = registry.timers["phase/p"]
+    assert stat.count == 2
+    assert registry.counters == {"p/ops": 2}
+
+
+def test_nested_same_name_phase_does_not_double_count():
+    """A phase opened inside a phase of the same name covers a sub-interval
+    of wall time already being measured; recording it again would make any
+    per-name rollup double-count.  The inner scope must be a reentrant
+    no-op: no ``phase/p.p`` key, one recording, counters still under ``p``."""
+    registry = MetricsRegistry()
+    with registry.phase("p"):
+        registry.count("ops")
+        with registry.phase("p"):
+            registry.count("ops", 2)
+        registry.count("ops", 4)
+    timers = registry.timers
+    assert "phase/p.p" not in timers
+    assert timers["phase/p"].count == 1
+    assert registry.counters == {"p/ops": 7}
+
+
+def test_nested_same_name_phase_deeper_level_still_scopes():
+    """Reentrancy only collapses *directly* nested same-name scopes; a same
+    name reappearing deeper in the stack is a genuine new scope."""
+    registry = MetricsRegistry()
+    with registry.phase("a"):
+        with registry.phase("b"):
+            with registry.phase("a"):
+                registry.count("ops")
+    timers = registry.timers
+    assert "phase/a.b.a" in timers
+    assert registry.counters == {"a.b.a/ops": 1}
+
+
 def test_totals_fold_scopes():
     registry = MetricsRegistry()
     with registry.phase("x"):

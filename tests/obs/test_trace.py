@@ -1,0 +1,279 @@
+"""The flight recorder: ring buffer, spans, exports, schema validation."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    adversary_view,
+    chrome_trace,
+    load_trace,
+    validate_trace,
+)
+
+
+def test_events_carry_seq_ts_round_vis():
+    recorder = TraceRecorder()
+    recorder.instant("first")
+    recorder.round_begin()
+    recorder.instant("second")
+    events = recorder.events()
+    assert [e["seq"] for e in events] == [0, 1, 2]
+    assert all(e["ts"] >= 0 for e in events)
+    assert events[0]["round"] is None
+    assert events[2]["round"] == 0
+    assert all(e["vis"] == "public" for e in events)
+
+
+def test_round_attribution_opens_and_closes():
+    recorder = TraceRecorder()
+    assert recorder.current_round is None
+    assert recorder.round_begin() == 0
+    recorder.instant("inside")
+    recorder.round_end()
+    recorder.instant("outside")
+    assert recorder.round_begin() == 1
+    events = recorder.events()
+    by_name = {
+        e.get("name"): e["round"] for e in events if e["type"] == "instant"
+    }
+    assert by_name["inside"] == 0
+    assert by_name["outside"] is None
+
+
+def test_span_nesting_paths_and_parents():
+    recorder = TraceRecorder()
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            pass
+    inner, outer = recorder.events()  # inner closes (and records) first
+    assert inner["path"] == "outer.inner" and inner["parent"] == "outer"
+    assert outer["path"] == "outer" and outer["parent"] is None
+    assert inner["dur"] <= outer["dur"]
+    assert inner["ts"] >= outer["ts"]
+
+
+def test_span_stack_misuse_detected():
+    recorder = TraceRecorder()
+    scope = recorder.span("a")
+    scope.__enter__()
+    recorder._span_stack.append("b")
+    with pytest.raises(RuntimeError):
+        scope.__exit__(None, None, None)
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    recorder = TraceRecorder(capacity=3)
+    for i in range(5):
+        recorder.instant(f"e{i}")
+    assert len(recorder) == 3
+    assert recorder.dropped == 2
+    names = [e["name"] for e in recorder.events()]
+    assert names == ["e2", "e3", "e4"]
+    assert recorder.header()["dropped"] == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_message_kind_and_vis_validation():
+    recorder = TraceRecorder()
+    with pytest.raises(ValueError):
+        recorder.message("no_such_kind")
+    with pytest.raises(ValueError):
+        recorder.instant("x", vis="martian")
+    with pytest.raises(ValueError):
+        recorder.instant("")
+    with pytest.raises(ValueError):
+        recorder.ranking(-1, [])
+
+
+def test_wire_totals_and_summary():
+    recorder = TraceRecorder()
+    recorder.message("location_submission", su=0, payload_bytes=100, wire_size=113)
+    recorder.message("bid_submission", su=0, payload_bytes=200, wire_size=220)
+    recorder.message("bid_submission", su=1, payload_bytes=200, wire_size=220)
+    with recorder.span("phase_x"):
+        pass
+    summary = recorder.summary()
+    assert summary["payload_bytes_by_kind"] == {
+        "location_submission": 100,
+        "bid_submission": 400,
+    }
+    assert summary["wire_size_total"] == 553
+    assert summary["messages_by_kind"] == {
+        "location_submission": 1,
+        "bid_submission": 2,
+    }
+    assert summary["spans_by_path"] == {"phase_x": 1}
+
+
+def test_jsonl_round_trip(tmp_path):
+    recorder = TraceRecorder()
+    recorder.meta("run_meta", args_value=1)
+    recorder.round_begin()
+    recorder.message("bid_submission", su=3, payload_bytes=10, wire_size=12)
+    recorder.ranking(0, [[1, 2], [0]])
+    with recorder.span("phase"):
+        pass
+    path = recorder.write_jsonl(tmp_path / "TRACE_t.jsonl")
+    header, events = load_trace(path)
+    assert header["schema_version"] == TRACE_SCHEMA_VERSION
+    assert header["event_count"] == len(events) == len(recorder)
+    assert events[2]["kind"] == "bid_submission"
+    assert events[3]["classes"] == [[1, 2], [0]]
+
+
+def test_write_jsonl_into_directory(tmp_path):
+    recorder = TraceRecorder()
+    recorder.instant("x")
+    path = recorder.write_jsonl(tmp_path)
+    assert path.name == "TRACE_trace.jsonl"
+    assert path.exists()
+
+
+def test_validate_trace_flags_violations():
+    recorder = TraceRecorder()
+    recorder.instant("ok")
+    records = [json.loads(line) for line in recorder.jsonl_lines()]
+    assert validate_trace(records) == []
+
+    assert validate_trace([]) != []
+    # Wrong schema version.
+    bad_header = dict(records[0], schema_version=99)
+    assert any(
+        "schema_version" in e for e in validate_trace([bad_header] + records[1:])
+    )
+    # Unknown event type, bad seq order, bad vis.
+    bad = [
+        records[0],
+        dict(records[1], type="mystery"),
+        dict(records[1], seq=5),
+        dict(records[1], seq=5),
+        dict(records[1], seq=6, vis="nope"),
+    ]
+    errors = validate_trace(bad)
+    assert any("unknown event type" in e for e in errors)
+    assert any("seq must increase" in e for e in errors)
+    assert any("vis must be one of" in e for e in errors)
+
+
+def test_load_trace_rejects_invalid(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+    path.write_text('{"type": "instant"}\n')
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_chrome_export_shapes(tmp_path):
+    recorder = TraceRecorder()
+    recorder.round_begin()
+    with recorder.span("bid_submission"):
+        recorder.message("bid_submission", su=1, payload_bytes=50, wire_size=58)
+        recorder.message("bid_submission", su=2, payload_bytes=50, wire_size=58)
+    recorder.ranking(0, [[2], [1]])
+    document = chrome_trace(recorder.events())
+    events = document["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert "X" in phases and "i" in phases and "C" in phases
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["name"] == "bid_submission"
+    assert span["dur"] >= 0
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters[-1]["args"]["bytes"] == 116
+    path = recorder.write_chrome(tmp_path / "t.chrome.json")
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_adversary_view_filters_su_and_ttp_events():
+    recorder = TraceRecorder()
+    recorder.meta("auction_announcement", vis="public", n_users=3)
+    recorder.meta("protocol_setup", vis="ttp", rd=4)
+    recorder.message("bid_submission", su=0, vis="auctioneer")
+    recorder.instant("ttp_window", vis="ttp")
+    recorder.instant("user_secret", vis="su")
+    visible = adversary_view(recorder.events())
+    assert {e.get("name", e.get("kind")) for e in visible} == {
+        "auction_announcement",
+        "bid_submission",
+    }
+
+
+def test_module_layer_is_noop_when_disabled():
+    assert trace.get_active() is None
+    trace.message("bid_submission", su=1)
+    trace.instant("never")
+    trace.meta("never", args={})
+    trace.ranking(0, [[1]])
+    assert trace.round_begin() is None
+    trace.round_end()
+    with trace.span("never"):
+        pass
+    assert trace.get_active() is None
+
+
+def test_disabled_span_is_the_shared_null_scope():
+    assert trace.span("a") is trace.span("b")
+
+
+def test_recording_installs_and_restores():
+    outer = TraceRecorder()
+    with trace.recording(outer) as recorder:
+        assert recorder is outer
+        assert trace.get_active() is outer
+        trace.instant("seen")
+        with trace.recording() as inner:
+            assert trace.get_active() is inner
+            trace.instant("seen")
+        assert trace.get_active() is outer
+    assert trace.get_active() is None
+    assert len(outer) == 1
+    assert len(inner) == 1
+
+
+def test_recording_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with trace.recording():
+            raise RuntimeError("boom")
+    assert trace.get_active() is None
+
+
+def test_collecting_with_trace_installs_both():
+    with obs.collecting(trace=True) as registry:
+        recorder = trace.get_active()
+        assert recorder is not None
+        with obs.phase("p"):
+            obs.count("ops")
+            trace.message("bid_submission", su=0)
+    assert trace.get_active() is None
+    assert obs.get_active() is None
+    assert registry.counters == {"p/ops": 1}
+    types = [e["type"] for e in recorder.events()]
+    assert types.count("span") == 1 and types.count("message") == 1
+    span = next(e for e in recorder.events() if e["type"] == "span")
+    assert span["name"] == "p"
+
+
+def test_collecting_with_existing_recorder():
+    mine = TraceRecorder()
+    with obs.collecting(trace=mine):
+        trace.instant("hello")
+    assert len(mine) == 1
+
+
+def test_phase_with_trace_only():
+    with obs.tracing() as recorder:
+        assert obs.get_active() is None
+        with obs.phase("solo"):
+            pass
+    spans = [e for e in recorder.events() if e["type"] == "span"]
+    assert [s["name"] for s in spans] == ["solo"]

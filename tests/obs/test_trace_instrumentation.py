@@ -1,0 +1,122 @@
+"""Tracing must observe the protocol, never perturb it.
+
+Acceptance criteria for the flight recorder: identical auction results with
+tracing on vs off (differential, on both the full-crypto session and the
+integer fastsim), and a zero-overhead no-op path when disabled.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.geo.datasets import make_database
+from repro.geo.grid import GridSpec
+from repro.lppa.fastsim import run_fast_lppa
+from repro.lppa.session import run_lppa_auction
+from repro.auction.bidders import generate_users
+from repro.obs import trace
+
+GRID = GridSpec(rows=20, cols=20, cell_km=3.75)
+
+
+@pytest.fixture(scope="module")
+def users():
+    database = make_database(4, n_channels=5, grid=GRID)
+    return generate_users(database, 10, random.Random(7))
+
+
+def _outcome_key(result):
+    return (
+        sorted((w.bidder, w.channel, w.charge, w.valid) for w in result.outcome.wins),
+        result.rankings,
+        sorted(result.conflict_graph.edges),
+    )
+
+
+def test_session_outcome_unchanged_by_tracing(users):
+    entropy = "trace-differential:0"
+    plain = run_lppa_auction(
+        users, GRID, two_lambda=6, bmax=127, entropy=entropy
+    )
+    with obs.tracing() as recorder:
+        traced = run_lppa_auction(
+            users, GRID, two_lambda=6, bmax=127, entropy=entropy
+        )
+    assert _outcome_key(traced) == _outcome_key(plain)
+    assert traced.framed_bytes == plain.framed_bytes
+    # And the recorder actually saw the round.
+    summary = recorder.summary()
+    assert summary["messages_by_kind"]["location_submission"] == len(users)
+    assert summary["messages_by_kind"]["bid_submission"] == len(users)
+    assert summary["rounds"] == 1
+
+
+def test_fastsim_outcome_unchanged_by_tracing(users):
+    entropy = "trace-differential:fast"
+    plain = run_fast_lppa(users, two_lambda=6, bmax=127, entropy=entropy)
+    with obs.tracing() as recorder:
+        traced = run_fast_lppa(users, two_lambda=6, bmax=127, entropy=entropy)
+    assert _outcome_key(traced) == _outcome_key(plain)
+    events = recorder.events()
+    assert any(e["type"] == "ranking" for e in events)
+    # Fastsim never serializes, so it must not fabricate wire messages.
+    assert not any(e["type"] == "message" for e in events)
+
+
+def test_traced_wire_sizes_sum_to_framed_bytes(users):
+    """Per-message accounting must reproduce the session's own framed total
+    exactly — the invariant the comm auditor builds on."""
+    with obs.tracing() as recorder:
+        result = run_lppa_auction(
+            users, GRID, two_lambda=6, bmax=127, entropy="trace-wire:0"
+        )
+    framed = sum(
+        e["wire_size"]
+        for e in recorder.events()
+        if e["type"] == "message"
+        and e["kind"] in ("location_submission", "bid_submission")
+    )
+    payload = sum(
+        e["payload_bytes"]
+        for e in recorder.events()
+        if e["type"] == "message"
+        and e["kind"] in ("location_submission", "bid_submission")
+    )
+    assert framed == result.framed_bytes
+    assert payload == result.total_bytes
+
+
+def test_disabled_path_emits_nothing(users):
+    assert trace.get_active() is None
+    result = run_lppa_auction(
+        users, GRID, two_lambda=6, bmax=127, entropy="trace-off:0"
+    )
+    assert result.outcome.wins is not None
+    assert trace.get_active() is None
+
+
+def test_disabled_emission_helpers_are_cheap():
+    """The no-op layer must early-out without building event dicts: the call
+    sites guard on ``get_active()`` and the module helpers bail on ``None``
+    before touching any argument."""
+    assert trace.get_active() is None
+    for _ in range(1000):
+        trace.message("bid_submission", su=0, payload_bytes=1, wire_size=2)
+        trace.instant("x", value=1)
+    # Still nothing installed, nothing recorded anywhere to flush.
+    assert trace.get_active() is None
+
+
+def test_metrics_and_trace_compose_on_a_session(users):
+    with obs.collecting(trace=True) as registry:
+        recorder = trace.get_active()
+        run_lppa_auction(
+            users, GRID, two_lambda=6, bmax=127, entropy="trace-compose:0"
+        )
+    assert any(key.startswith("phase/") for key in registry.timers)
+    span_names = {
+        e["name"] for e in recorder.events() if e["type"] == "span"
+    }
+    # The session's obs.phase() names appear as trace spans too.
+    assert any(name in span_names for name in ("location_submission", "bid_submission"))

@@ -160,3 +160,116 @@ def test_metrics_commands_reject_bad_artifacts(capsys, tmp_path):
     good = _write_artifact(tmp_path / "good.json", hmac=1, mean_seconds=0.01)
     assert main(["metrics", "diff", str(good), str(bad)]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_metrics_diff_summary_names_regressed_keys(capsys, tmp_path):
+    """The exit-1 summary line must say *which* keys regressed, not just
+    how many — it is what CI logs surface first."""
+    base = _write_artifact(tmp_path / "base.json", hmac=100, mean_seconds=0.01)
+    worse = _write_artifact(tmp_path / "worse.json", hmac=300, mean_seconds=0.03)
+    assert main(["metrics", "diff", str(base), str(worse)]) == 1
+    out = capsys.readouterr().out
+    summary = next(line for line in out.splitlines() if "regressed" in line)
+    assert "crypto.hmac" in summary
+    assert "mask" in summary
+
+
+def _record_trace(tmp_path, capsys, **overrides):
+    out = tmp_path / "TRACE_cli.jsonl"
+    argv = ["trace", "run", "--users", "8", "--channels", "4",
+            "--grid", "10", "--rounds", "1", "--seed", "5",
+            "--out", str(out)]
+    for key, value in overrides.items():
+        argv.extend([f"--{key}", str(value)])
+    assert main(argv) == 0
+    capsys.readouterr()
+    return out
+
+
+def test_trace_run_show_validate(capsys, tmp_path):
+    trace_path = _record_trace(tmp_path, capsys)
+    assert trace_path.exists()
+
+    assert main(["trace", "show", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "events by type" in out
+    assert "bid_submission" in out
+    assert "wire bytes" in out
+
+    assert main(["trace", "validate", str(trace_path)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_trace_audit_passes_on_recorded_run(capsys, tmp_path):
+    trace_path = _record_trace(tmp_path, capsys)
+    assert main(["trace", "audit", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "comm-cost audit: PASS" in out
+    assert "exact=True" in out
+    assert "privacy audit: PASS" in out
+    assert "mean candidate area" in out
+
+
+def test_trace_audit_fails_on_tampered_trace(capsys, tmp_path):
+    trace_path = _record_trace(tmp_path, capsys)
+    lines = trace_path.read_text().splitlines()
+    doctored = []
+    for line in lines:
+        record = json.loads(line)
+        if record.get("kind") == "bid_submission":
+            record["wire_size"] += 3
+        doctored.append(json.dumps(record))
+    trace_path.write_text("\n".join(doctored) + "\n")
+    assert main(["trace", "audit", str(trace_path), "--no-privacy"]) == 1
+    assert "comm-cost audit: FAIL" in capsys.readouterr().err
+
+
+def test_trace_export_chrome(capsys, tmp_path):
+    trace_path = _record_trace(tmp_path, capsys)
+    out = tmp_path / "out.chrome.json"
+    assert main(["trace", "export", str(trace_path), "--out", str(out)]) == 0
+    document = json.loads(out.read_text())
+    assert document["traceEvents"]
+    assert "chrome trace written" in capsys.readouterr().out
+
+
+def test_trace_commands_reject_bad_files(capsys, tmp_path):
+    missing = tmp_path / "missing.jsonl"
+    assert main(["trace", "show", str(missing)]) == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "instant"}\n')
+    assert main(["trace", "validate", str(bad)]) == 2
+    assert main(["trace", "audit", str(bad)]) == 2
+    capsys.readouterr()
+
+
+def test_demo_with_trace_flag(capsys, tmp_path):
+    from repro.obs.trace import load_trace
+
+    target = tmp_path / "traces"
+    target.mkdir()
+    assert main(
+        ["demo", "--users", "8", "--channels", "5", "--seed", "1",
+         "--trace", f"{target}/"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "trace written to" in err
+    header, events = load_trace(target / "TRACE_demo.jsonl")
+    assert header["event_count"] == len(events)
+    kinds = {e.get("kind") for e in events if e["type"] == "message"}
+    assert "location_submission" in kinds and "bid_submission" in kinds
+
+
+def test_demo_trace_and_metrics_compose(capsys, tmp_path):
+    from repro import obs
+
+    target = tmp_path / "both"
+    target.mkdir()
+    assert main(
+        ["demo", "--users", "8", "--channels", "5", "--seed", "1",
+         "--metrics", f"{target}/", "--trace", f"{target}/"]
+    ) == 0
+    assert (target / "BENCH_demo.json").exists()
+    assert (target / "TRACE_demo.jsonl").exists()
+    document = obs.load_artifact(target / "BENCH_demo.json")
+    assert "phase/bid_submission" in document["metrics"]["timers"]
