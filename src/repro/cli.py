@@ -36,7 +36,16 @@ from repro import __version__
 __all__ = ["main", "build_parser"]
 
 #: Commands that accept ``--metrics`` (everything that runs protocol code).
-_METRICS_COMMANDS = ("figures", "theorems", "ablations", "baselines", "report", "demo")
+_METRICS_COMMANDS = (
+    "figures",
+    "theorems",
+    "ablations",
+    "baselines",
+    "report",
+    "demo",
+    "serve",
+    "loadgen",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +135,70 @@ def build_parser() -> argparse.ArgumentParser:
                       help="zero-replace probability 1-p0")
     demo.add_argument("--seed", type=int, default=42)
     add_metrics_flag(demo)
+
+    def add_net_flags(command_parser) -> None:
+        """Parameters a serve/loadgen pair must agree on for the runs to be
+        the same auction (seed -> keys, entropy, population)."""
+        command_parser.add_argument("--users", type=int, default=8)
+        command_parser.add_argument("--channels", type=int, default=6)
+        command_parser.add_argument("--rounds", type=int, default=3)
+        command_parser.add_argument("--seed", type=int, default=1)
+        command_parser.add_argument(
+            "--area", type=int, default=4, choices=(1, 2, 3, 4)
+        )
+        command_parser.add_argument(
+            "--grid", type=int, default=20, metavar="N",
+            help="use an NxN cell lattice (cell size scales to keep 75 km)",
+        )
+        command_parser.add_argument(
+            "--ttp-period", type=int, default=None, metavar="T",
+            help="run the TTP periodically-online (window every T time units) "
+            "instead of always-on",
+        )
+        command_parser.add_argument(
+            "--ttp-capacity", type=int, default=None, metavar="C",
+            help="charge requests served per TTP window (default: --users)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the auctioneer as a TCP server (pair with loadgen)"
+    )
+    add_net_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--location-deadline", type=float, default=10.0,
+                       metavar="SEC", help="location-phase deadline")
+    serve.add_argument("--bid-deadline", type=float, default=10.0,
+                       metavar="SEC", help="bid-phase deadline")
+    serve.add_argument("--join-timeout", type=float, default=60.0,
+                       metavar="SEC",
+                       help="how long to wait for all --users SUs to register")
+    add_metrics_flag(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive concurrent SU clients against an auctioneer server",
+    )
+    add_net_flags(loadgen)
+    loadgen.add_argument("--replace", type=float, default=0.0,
+                         help="zero-replace probability 1-p0")
+    loadgen.add_argument(
+        "--transport", choices=("memory", "tcp"), default="memory",
+        help="self-hosted server transport (ignored with --connect)",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=0)
+    loadgen.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="dial a running `repro serve` instead of self-hosting "
+        "(the two sides must share --seed/--users/--channels/--area/--grid)",
+    )
+    loadgen.add_argument(
+        "--check-equivalence", action="store_true",
+        help="re-run every round in-process and demand bit-identical results",
+    )
+    add_metrics_flag(loadgen)
 
     metrics = sub.add_parser(
         "metrics", help="inspect / validate / diff BENCH_*.json artifacts"
@@ -680,6 +753,110 @@ def _cmd_trace(args) -> int:
     }[args.trace_command](args)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.geo.grid import GridSpec
+    from repro.lppa.batching import TtpSchedule
+    from repro.lppa.ttp import TrustedThirdParty
+    from repro.net import (
+        AuctioneerServer,
+        RoundAborted,
+        ServerConfig,
+        TcpTransport,
+        TtpService,
+    )
+    from repro.net.loadgen import protocol_seed, round_entropy
+
+    grid = GridSpec(rows=args.grid, cols=args.grid, cell_km=75.0 / args.grid)
+    config = ServerConfig(
+        n_users=args.users,
+        n_channels=args.channels,
+        grid=grid,
+        two_lambda=6,
+        bmax=127,
+        seed=protocol_seed(args.seed),
+        location_deadline=args.location_deadline,
+        bid_deadline=args.bid_deadline,
+    )
+
+    async def _serve() -> int:
+        ttp_service = None
+        if args.ttp_period is not None:
+            ttp, _, _ = TrustedThirdParty.setup(
+                config.seed, args.channels, bmax=config.bmax
+            )
+            schedule = TtpSchedule(
+                period=args.ttp_period,
+                capacity=args.ttp_capacity or args.users,
+            )
+            ttp_service = TtpService(ttp, schedule)
+            await ttp_service.start()
+        server = AuctioneerServer(
+            config, TcpTransport(args.host, args.port), ttp_service=ttp_service
+        )
+        await server.start()
+        print(f"serving on {server.address}", flush=True)
+        try:
+            await server.wait_for_clients(args.users, timeout=args.join_timeout)
+            for round_index in range(args.rounds):
+                report = await server.run_round(
+                    round_entropy(args.seed, round_index)
+                )
+                print(
+                    f"round {round_index}: "
+                    f"{len(report.result.outcome.wins)} winners, "
+                    f"{len(report.participants)} participants, "
+                    f"{report.latency_s * 1e3:.1f} ms",
+                    flush=True,
+                )
+        except (RoundAborted, asyncio.TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            await server.stop()
+            if ttp_service is not None:
+                await ttp_service.stop()
+        print(
+            f"served {args.rounds} rounds, "
+            f"{server.wire.total_bytes} wire bytes",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.net.loadgen import EquivalenceFailure, LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        n_users=args.users,
+        n_channels=args.channels,
+        rounds=args.rounds,
+        seed=args.seed,
+        area=args.area,
+        grid_n=args.grid,
+        replace=args.replace,
+        transport=args.transport,
+        host=args.host,
+        port=args.port,
+        connect=args.connect,
+        check_equivalence=args.check_equivalence,
+        ttp_period=args.ttp_period,
+        ttp_capacity=args.ttp_capacity,
+    )
+    try:
+        report = asyncio.run(run_loadgen(config))
+    except EquivalenceFailure as exc:
+        print(f"equivalence FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(report.format())
+    return 0
+
+
 def _artifact_name(args) -> str:
     """Canonical artifact name for a CLI run, e.g. ``figures-fig4``."""
     name = str(args.command)
@@ -753,6 +930,8 @@ _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "ablations": _cmd_ablations,
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
 }

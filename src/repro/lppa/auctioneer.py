@@ -113,8 +113,21 @@ class Auctioneer:
                 )
         return list(assignments)
 
-    def charge_winners(self, ttp: TrustedThirdParty, n_users: int) -> AuctionOutcome:
-        """PSD charging: one batched TTP round, then assemble the outcome.
+    def charge_material(self) -> List[Tuple[int, MaskedBid]]:
+        """The winner ciphertexts queued for the TTP, in assignment order.
+
+        This is the request half of the charging exchange; callers that
+        reach the TTP over a transport (the network runtime's
+        :class:`~repro.net.ttp_service.TtpService`) send exactly this and
+        feed the decisions back through :meth:`assemble_outcome`.
+        """
+        if self._assignments is None:
+            raise RuntimeError("allocation has not been run yet")
+        return list(self._charge_material)
+
+    def assemble_outcome(self, decisions, n_users: int) -> AuctionOutcome:
+        """Combine TTP decisions (aligned with :meth:`charge_material`) into
+        the round outcome.
 
         Invalid winners (disguised zeros) keep their allocation slot — their
         neighbours were already blocked during allocation — but pay nothing
@@ -124,7 +137,11 @@ class Auctioneer:
         """
         if self._assignments is None:
             raise RuntimeError("allocation has not been run yet")
-        decisions = ttp.process_batch(self._charge_material)
+        if len(decisions) != len(self._assignments):
+            raise ValueError(
+                f"{len(decisions)} decisions for {len(self._assignments)} "
+                "assignments"
+            )
         wins = []
         for assignment, decision in zip(self._assignments, decisions):
             if decision.status is ChargeStatus.CHEATING:
@@ -141,3 +158,8 @@ class Auctioneer:
                 )
             )
         return AuctionOutcome(n_users=n_users, wins=tuple(wins))
+
+    def charge_winners(self, ttp: TrustedThirdParty, n_users: int) -> AuctionOutcome:
+        """PSD charging: one batched TTP round, then assemble the outcome."""
+        decisions = ttp.process_batch(self.charge_material())
+        return self.assemble_outcome(decisions, n_users)

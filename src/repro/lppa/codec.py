@@ -60,6 +60,11 @@ def decode_masked_set(data: bytes, offset: int = 0) -> Tuple[MaskedSet, int]:
     if len(data) < offset + 3:
         raise CodecError("truncated masked-set header")
     digest_bytes, count = struct.unpack_from(">BH", data, offset)
+    if digest_bytes < 4:
+        # Zero-length digests would let any count pass the length
+        # arithmetic for free, and MaskedSet refuses truncation below
+        # 4 bytes as unsafe — reject both on the wire.
+        raise CodecError(f"digest_bytes {digest_bytes} below the 4-byte minimum")
     offset += 3
     end = offset + digest_bytes * count
     if len(data) < end:
@@ -101,13 +106,20 @@ def decode_location(data: bytes) -> LocationSubmission:
         sets.append(masked)
     if offset != len(data):
         raise CodecError("trailing bytes after location submission")
-    return LocationSubmission(
-        user_id=user_id,
-        x_family=sets[0],
-        x_range=sets[1],
-        y_family=sets[2],
-        y_range=sets[3],
-    )
+    try:
+        return LocationSubmission(
+            user_id=user_id,
+            x_family=sets[0],
+            x_range=sets[1],
+            y_family=sets[2],
+            y_range=sets[3],
+        )
+    except CodecError:
+        raise
+    except ValueError as exc:
+        # Wire-valid but semantically impossible (message invariants); a
+        # decoder must reject it, not leak a constructor error.
+        raise CodecError(f"invalid location submission: {exc}") from exc
 
 
 def encode_bids(submission: BidSubmission) -> bytes:
@@ -148,12 +160,21 @@ def decode_bids(data: bytes) -> BidSubmission:
             raise CodecError("truncated ciphertext")
         ciphertext = data[offset : offset + ct_len]
         offset += ct_len
-        channel_bids.append(
-            MaskedBid(family=family, tail=tail, ciphertext=ciphertext)
-        )
+        try:
+            masked_bid = MaskedBid(family=family, tail=tail, ciphertext=ciphertext)
+        except CodecError:
+            raise
+        except ValueError as exc:
+            raise CodecError(f"invalid masked bid: {exc}") from exc
+        channel_bids.append(masked_bid)
     if offset != len(data):
         raise CodecError("trailing bytes after bid submission")
-    return BidSubmission(user_id=user_id, channel_bids=tuple(channel_bids))
+    try:
+        return BidSubmission(user_id=user_id, channel_bids=tuple(channel_bids))
+    except CodecError:
+        raise
+    except ValueError as exc:
+        raise CodecError(f"invalid bid submission: {exc}") from exc
 
 
 def framing_overhead(message) -> int:

@@ -1,0 +1,97 @@
+"""repro.net — the LPPA protocol over real transports.
+
+The in-process session (:func:`repro.lppa.session.run_lppa_auction`) calls
+every role as a function; this package runs the same round as an actual
+message exchange: an asyncio auctioneer server with an explicit phase
+state machine and deadlines, SU clients with timeout/retry, a
+periodically-online TTP service, and a versioned frame envelope over the
+:mod:`repro.lppa.codec` wire format — all behind one transport interface
+with in-memory and TCP implementations.  With entropy-labelled rounds the
+networked result is bit-identical to the session's (pinned by the
+differential tests in ``tests/net/``).
+"""
+
+from repro.net.frames import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameType,
+    decode_frame,
+    encode_frame,
+    pack_json,
+    read_frame,
+    unpack_json,
+    write_frame,
+)
+from repro.net.transport import (
+    Connection,
+    MemoryTransport,
+    TcpTransport,
+    Transport,
+    TransportClosed,
+    memory_pair,
+)
+from repro.net.ttp_service import TtpService, TtpServiceStats
+from repro.net.server import (
+    AuctioneerServer,
+    NetRoundReport,
+    RoundAborted,
+    RoundPhase,
+    ServerConfig,
+    WireStats,
+)
+from repro.net.client import (
+    ClientRound,
+    ProtocolError,
+    RetryPolicy,
+    ServerGoodbye,
+    SUClient,
+)
+from repro.net.loadgen import (
+    EquivalenceFailure,
+    LoadgenConfig,
+    LoadgenReport,
+    build_population,
+    protocol_seed,
+    round_entropy,
+    run_loadgen,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "FrameType",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "pack_json",
+    "unpack_json",
+    "Connection",
+    "Transport",
+    "TransportClosed",
+    "MemoryTransport",
+    "TcpTransport",
+    "memory_pair",
+    "TtpService",
+    "TtpServiceStats",
+    "AuctioneerServer",
+    "ServerConfig",
+    "NetRoundReport",
+    "RoundAborted",
+    "RoundPhase",
+    "WireStats",
+    "SUClient",
+    "ClientRound",
+    "RetryPolicy",
+    "ProtocolError",
+    "ServerGoodbye",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "EquivalenceFailure",
+    "build_population",
+    "protocol_seed",
+    "round_entropy",
+    "run_loadgen",
+]

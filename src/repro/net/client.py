@@ -1,0 +1,286 @@
+"""The secondary-user endpoint of the network runtime.
+
+An :class:`SUClient` owns exactly what the paper gives an SU: its identity,
+its private cell and bids (a :class:`~repro.auction.bidders.SecondaryUser`),
+and the key material the TTP distributed out of band.  Everything it sends
+is the masked material of the protocol — the server never sees a plaintext
+cell or bid value.
+
+Determinism contract: the round's entropy label arrives in the ROUND_BEGIN
+frame and the client draws its masking randomness from
+``spawn_rng(entropy, "bidder", str(su_id))`` — the exact per-bidder stream
+:func:`repro.lppa.fastsim.derive_round_rngs` hands the in-process session.
+That, plus dense ids under full participation, is why a networked round is
+bit-identical to :func:`~repro.lppa.session.run_lppa_auction`.
+
+Fault handling: connects retry with exponential backoff and jitter
+(:class:`RetryPolicy`), every read is bounded by ``frame_timeout``, and an
+ERROR frame from the server surfaces as :class:`ProtocolError` with the
+server's error code — never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.auction.bidders import SecondaryUser
+from repro.crypto.keys import KeyRing
+from repro.geo.grid import GridSpec
+from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+from repro.lppa.codec import encode_bids, encode_location
+from repro.lppa.location import submit_location
+from repro.lppa.policies import KeepZeroPolicy, ZeroDisguisePolicy
+from repro.net.frames import (
+    FRAME_HEADER_BYTES,
+    FrameType,
+    pack_json,
+    read_frame,
+    unpack_json,
+    write_frame,
+)
+from repro.net.transport import Connection, Transport, TransportClosed
+from repro.obs.clock import monotonic
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "RetryPolicy",
+    "ProtocolError",
+    "ServerGoodbye",
+    "ClientRound",
+    "SUClient",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for connection attempts."""
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay <= 0 or self.multiplier < 1 or self.max_delay <= 0:
+            raise ValueError("backoff parameters must be positive (multiplier >= 1)")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to sleep after failed attempt number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * rng.random()
+        return raw
+
+
+class ProtocolError(RuntimeError):
+    """The server answered with an ERROR frame."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class ServerGoodbye(Exception):
+    """The server sent BYE: no more rounds are coming."""
+
+
+@dataclass(frozen=True)
+class ClientRound:
+    """One round as this SU experienced it."""
+
+    round_index: int
+    result: Dict[str, Any]
+    latency_s: float
+
+
+class SUClient:
+    """One SU: connects, follows the round state machine, records latency."""
+
+    def __init__(
+        self,
+        su_id: int,
+        user: SecondaryUser,
+        keyring: KeyRing,
+        scale: BidScale,
+        grid: GridSpec,
+        two_lambda: int,
+        transport: Transport,
+        *,
+        policy: Optional[ZeroDisguisePolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        frame_timeout: float = 30.0,
+    ) -> None:
+        self._su_id = su_id
+        self._user = user
+        self._keyring = keyring
+        self._scale = scale
+        self._grid = grid
+        self._two_lambda = two_lambda
+        self._transport = transport
+        self._policy = policy if policy is not None else KeepZeroPolicy()
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._frame_timeout = frame_timeout
+        self._conn: Optional[Connection] = None
+        self._announcement: Optional[Dict[str, Any]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.connect_attempts = 0
+
+    @property
+    def su_id(self) -> int:
+        return self._su_id
+
+    @property
+    def announcement(self) -> Optional[Dict[str, Any]]:
+        """The WELCOME document, once connected."""
+        return self._announcement
+
+    # -- connection management ----------------------------------------------
+
+    async def connect(self) -> Dict[str, Any]:
+        """Dial the server (with backoff) and register; returns the
+        auction announcement from the WELCOME frame."""
+        backoff_rng = random.Random(f"su-backoff:{self._su_id}")
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._retry.max_attempts):
+            self.connect_attempts += 1
+            try:
+                conn = await self._transport.connect()
+                try:
+                    await self._write(conn, FrameType.HELLO,
+                                      pack_json({"su": self._su_id}))
+                    ftype, payload = await self._read(conn)
+                except BaseException:
+                    conn.close()
+                    raise
+                if ftype is FrameType.ERROR:
+                    doc = unpack_json(payload)
+                    conn.close()
+                    raise ProtocolError(
+                        str(doc.get("code", "?")), str(doc.get("detail", ""))
+                    )
+                if ftype is not FrameType.WELCOME:
+                    conn.close()
+                    raise ProtocolError(
+                        "bad-welcome", f"expected WELCOME, got {ftype}"
+                    )
+                self._conn = conn
+                self._announcement = unpack_json(payload)
+                return self._announcement
+            except ProtocolError:
+                raise  # the server answered; retrying won't change its mind
+            except (
+                TransportClosed,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ) as exc:
+                last_error = exc
+                obs.count("net.client.connect_retries")
+                if attempt + 1 < self._retry.max_attempts:
+                    await asyncio.sleep(self._retry.delay(attempt, backoff_rng))
+        raise TransportClosed(
+            f"su {self._su_id}: server unreachable after "
+            f"{self._retry.max_attempts} attempts"
+        ) from last_error
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- the round, from the SU's side --------------------------------------
+
+    async def run_round(self) -> ClientRound:
+        """Participate in the next round; blocks until RESULT (or raises
+        :class:`ProtocolError` / :class:`ServerGoodbye`)."""
+        conn = self._require_conn()
+        round_index, entropy = await self._await_round_begin(conn)
+        t0 = monotonic()
+        # The per-bidder stream of the derive_round_rngs contract: masking
+        # randomness is a function of (round entropy, this SU's id) only.
+        rng = spawn_rng(entropy, "bidder", str(self._su_id))
+
+        location = submit_location(
+            self._su_id, self._user.cell, self._keyring.g0,
+            self._grid, self._two_lambda,
+        )
+        await self._write(conn, FrameType.LOCATION, encode_location(location))
+
+        ftype, payload = await self._read(conn)
+        if ftype is not FrameType.BID_REQUEST:
+            self._unexpected(ftype, payload, expected="BID_REQUEST")
+        bids, _disclosure = submit_bids_advanced(
+            self._su_id, self._user.bids, self._keyring, self._scale, rng,
+            policy=self._policy,
+        )
+        await self._write(conn, FrameType.BIDS, encode_bids(bids))
+
+        ftype, payload = await self._read(conn)
+        if ftype is not FrameType.RESULT:
+            self._unexpected(ftype, payload, expected="RESULT")
+        result = unpack_json(payload)
+        latency = monotonic() - t0
+        obs.count("net.client.rounds")
+        return ClientRound(
+            round_index=round_index, result=result, latency_s=latency
+        )
+
+    async def run(self, n_rounds: int) -> List[ClientRound]:
+        """Connect if needed, play ``n_rounds`` rounds, close."""
+        if self._conn is None:
+            await self.connect()
+        rounds: List[ClientRound] = []
+        try:
+            for _ in range(n_rounds):
+                rounds.append(await self.run_round())
+        except ServerGoodbye:
+            pass
+        finally:
+            self.close()
+        return rounds
+
+    async def _await_round_begin(self, conn: Connection) -> Tuple[int, str]:
+        ftype, payload = await self._read(conn)
+        if ftype is not FrameType.ROUND_BEGIN:
+            self._unexpected(ftype, payload, expected="ROUND_BEGIN")
+        doc = unpack_json(payload)
+        return int(doc["round"]), str(doc["entropy"])
+
+    def _unexpected(self, ftype: FrameType, payload: bytes, *, expected: str):
+        if ftype is FrameType.BYE:
+            raise ServerGoodbye
+        if ftype is FrameType.ERROR:
+            doc = unpack_json(payload)
+            raise ProtocolError(
+                str(doc.get("code", "?")), str(doc.get("detail", ""))
+            )
+        raise ProtocolError("unexpected-frame", f"expected {expected}, got {ftype}")
+
+    # -- framed I/O with timeouts and byte accounting ------------------------
+
+    def _require_conn(self) -> Connection:
+        if self._conn is None:
+            raise RuntimeError(f"su {self._su_id} is not connected")
+        return self._conn
+
+    async def _read(self, conn: Connection) -> Tuple[FrameType, bytes]:
+        ftype, payload = await asyncio.wait_for(
+            read_frame(conn, strict=True), self._frame_timeout
+        )
+        self.bytes_received += FRAME_HEADER_BYTES + len(payload)
+        return ftype, payload
+
+    async def _write(self, conn: Connection, ftype: FrameType, payload: bytes) -> None:
+        self.bytes_sent += await write_frame(conn, ftype, payload)

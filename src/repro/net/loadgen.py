@@ -1,0 +1,407 @@
+"""Load generation and differential checking for the network runtime.
+
+``repro loadgen`` drives N concurrent :class:`~repro.net.client.SUClient`
+coroutines against an :class:`~repro.net.server.AuctioneerServer` — either
+one it hosts itself (memory or TCP transport) or a remote ``repro serve``
+process (``--connect``) — and reports throughput (rounds/sec), p50/p95
+round latency and exact bytes on the wire.
+
+Determinism ties the whole thing together: the protocol seed and the
+per-round entropy labels are pure functions of the loadgen seed, and the
+SU population is regenerated from the same
+``make_database``/``generate_users`` recipe the CLI uses everywhere else.
+``check_equivalence=True`` therefore re-runs every round through the
+in-process :func:`~repro.lppa.session.run_lppa_auction` and demands a
+bit-identical :class:`~repro.lppa.session.LppaResult` (self-hosted mode)
+or an identical RESULT wire summary (connect mode, where the keyring is
+re-derived locally from the shared seed — the paper's out-of-band key
+distribution).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.auction.bidders import SecondaryUser, generate_users
+from repro.geo.datasets import make_database
+from repro.geo.grid import GridSpec
+from repro.lppa.batching import TtpSchedule
+from repro.lppa.policies import KeepZeroPolicy, UniformReplacePolicy
+from repro.lppa.session import LppaResult, run_lppa_auction
+from repro.lppa.ttp import TrustedThirdParty
+from repro.net.client import RetryPolicy, SUClient
+from repro.net.server import AuctioneerServer, NetRoundReport, ServerConfig
+from repro.net.transport import MemoryTransport, TcpTransport, Transport
+from repro.net.ttp_service import TtpService
+from repro.obs.clock import monotonic
+
+__all__ = [
+    "LoadgenConfig",
+    "LoadgenReport",
+    "EquivalenceFailure",
+    "build_population",
+    "protocol_seed",
+    "round_entropy",
+    "run_loadgen",
+]
+
+#: Compared field-by-field between the networked and in-process results.
+_RESULT_FIELDS = (
+    "outcome",
+    "conflict_graph",
+    "rankings",
+    "location_bytes",
+    "bid_bytes",
+    "masked_set_bytes",
+    "framed_bytes",
+)
+
+
+class EquivalenceFailure(AssertionError):
+    """A networked round diverged from the in-process session."""
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything one loadgen run needs; all defaults are CI-sized."""
+
+    n_users: int = 8
+    n_channels: int = 6
+    rounds: int = 3
+    seed: int = 1
+    area: int = 4
+    grid_n: int = 20
+    two_lambda: int = 6
+    bmax: int = 127
+    replace: float = 0.0
+    transport: str = "memory"  # "memory" | "tcp"
+    host: str = "127.0.0.1"
+    port: int = 0
+    connect: Optional[str] = None  # "host:port" -> dial a running server
+    check_equivalence: bool = False
+    location_deadline: float = 10.0
+    bid_deadline: float = 10.0
+    ttp_period: Optional[int] = None
+    ttp_capacity: Optional[int] = None
+    frame_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("memory", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+
+
+@dataclass
+class LoadgenReport:
+    """What one loadgen run measured."""
+
+    address: str
+    n_users: int
+    rounds_completed: int
+    elapsed_s: float
+    latencies_s: List[float] = field(default_factory=list)
+    wire_bytes: int = 0
+    round_summaries: List[Dict[str, Any]] = field(default_factory=list)
+    stragglers: int = 0
+    equivalence_checked: int = 0
+
+    @property
+    def rounds_per_sec(self) -> float:
+        return self.rounds_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return _percentile(self.latencies_s, 0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return _percentile(self.latencies_s, 0.95)
+
+    def format(self) -> str:
+        """The human-readable report the ``repro loadgen`` CLI prints."""
+        lines = [
+            f"loadgen: {self.n_users} SUs x {self.rounds_completed} rounds "
+            f"against {self.address}",
+            f"  throughput   {self.rounds_per_sec:.2f} rounds/sec "
+            f"({self.elapsed_s:.3f}s total)",
+            f"  latency      p50 {self.p50_latency_s * 1e3:.2f} ms, "
+            f"p95 {self.p95_latency_s * 1e3:.2f} ms",
+            f"  wire         {self.wire_bytes} bytes",
+            f"  stragglers   {self.stragglers}",
+        ]
+        if self.equivalence_checked:
+            lines.append(
+                f"  equivalence  OK ({self.equivalence_checked} rounds "
+                "bit-identical to the in-process session)"
+            )
+        for summary in self.round_summaries:
+            lines.append(
+                f"  round {summary['round']}: {summary['winners']} winners, "
+                f"revenue {summary['revenue']}, "
+                f"{summary['framed_bytes']} framed bytes"
+            )
+        return "\n".join(lines)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def protocol_seed(seed: int) -> bytes:
+    """TTP setup seed as a function of the loadgen seed (shared by the
+    server and a ``--connect`` client fleet deriving keys locally)."""
+    return f"net:{seed}".encode()
+
+
+def round_entropy(seed: int, round_index: int) -> str:
+    """The entropy label of round ``round_index`` under loadgen ``seed``."""
+    return f"net-loadgen:{seed}:{round_index}"
+
+
+def build_population(
+    config: LoadgenConfig,
+) -> Tuple[GridSpec, List[SecondaryUser]]:
+    """The CLI's standard population recipe, keyed only by the config."""
+    grid = GridSpec(
+        rows=config.grid_n, cols=config.grid_n, cell_km=75.0 / config.grid_n
+    )
+    database = make_database(config.area, n_channels=config.n_channels, grid=grid)
+    users = generate_users(database, config.n_users, random.Random(config.seed))
+    return grid, users
+
+
+def _policy(config: LoadgenConfig):
+    if config.replace > 0:
+        return UniformReplacePolicy(config.replace)
+    return KeepZeroPolicy()
+
+
+def _session_result(
+    config: LoadgenConfig,
+    users: Sequence[SecondaryUser],
+    grid: GridSpec,
+    round_index: int,
+) -> LppaResult:
+    return run_lppa_auction(
+        users,
+        grid,
+        two_lambda=config.two_lambda,
+        bmax=config.bmax,
+        seed=protocol_seed(config.seed),
+        policy=_policy(config),
+        entropy=round_entropy(config.seed, round_index),
+    )
+
+
+def check_result_equivalence(net: LppaResult, session: LppaResult) -> None:
+    """Field-by-field comparison; raises :class:`EquivalenceFailure`.
+
+    ``disclosures`` is exempt: it is SU-private material that never crosses
+    the wire, so the networked result legitimately carries an empty tuple.
+    """
+    for name in _RESULT_FIELDS:
+        net_value = getattr(net, name)
+        session_value = getattr(session, name)
+        if net_value != session_value:
+            raise EquivalenceFailure(
+                f"networked round diverged from the session on {name}: "
+                f"{net_value!r} != {session_value!r}"
+            )
+
+
+def _check_wire_summary(
+    doc: Dict[str, Any], session: LppaResult, round_index: int
+) -> None:
+    """Connect-mode equivalence: the RESULT frame against the local session."""
+    expected = {
+        "wins": [
+            {"su": w.bidder, "channel": w.channel, "charge": w.charge,
+             "valid": w.valid}
+            for w in session.outcome.wins
+        ],
+        "revenue": session.outcome.sum_of_winning_bids(),
+        "location_bytes": session.location_bytes,
+        "bid_bytes": session.bid_bytes,
+        "masked_set_bytes": session.masked_set_bytes,
+        "framed_bytes": session.framed_bytes,
+    }
+    for key, want in expected.items():
+        got = doc.get(key)
+        if got != want:
+            raise EquivalenceFailure(
+                f"round {round_index}: RESULT {key} diverged: "
+                f"{got!r} != {want!r}"
+            )
+
+
+async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Run the configured load against a server; see the module docstring."""
+    grid, users = build_population(config)
+    if config.connect is not None:
+        return await _run_connect(config, grid, users)
+    return await _run_self_hosted(config, grid, users)
+
+
+def _make_clients(
+    config: LoadgenConfig,
+    grid: GridSpec,
+    users: Sequence[SecondaryUser],
+    keyring,
+    scale,
+    transport: Transport,
+) -> List[SUClient]:
+    return [
+        SUClient(
+            su_id,
+            user,
+            keyring,
+            scale,
+            grid,
+            config.two_lambda,
+            transport,
+            policy=_policy(config),
+            retry=RetryPolicy(),
+            frame_timeout=config.frame_timeout,
+        )
+        for su_id, user in enumerate(users)
+    ]
+
+
+async def _run_self_hosted(
+    config: LoadgenConfig,
+    grid: GridSpec,
+    users: Sequence[SecondaryUser],
+) -> LoadgenReport:
+    transport: Transport
+    if config.transport == "tcp":
+        transport = TcpTransport(config.host, config.port)
+    else:
+        transport = MemoryTransport()
+    server_config = ServerConfig(
+        n_users=config.n_users,
+        n_channels=config.n_channels,
+        grid=grid,
+        two_lambda=config.two_lambda,
+        bmax=config.bmax,
+        seed=protocol_seed(config.seed),
+        location_deadline=config.location_deadline,
+        bid_deadline=config.bid_deadline,
+    )
+    ttp_service: Optional[TtpService] = None
+    if config.ttp_period is not None:
+        ttp, _, _ = TrustedThirdParty.setup(
+            server_config.seed, config.n_channels, bmax=config.bmax
+        )
+        schedule = TtpSchedule(
+            period=config.ttp_period,
+            capacity=config.ttp_capacity or config.n_users,
+        )
+        ttp_service = TtpService(ttp, schedule)
+        await ttp_service.start()
+    server = AuctioneerServer(server_config, transport, ttp_service=ttp_service)
+    await server.start()
+    clients = _make_clients(
+        config, grid, users, server.keyring, server.scale, transport
+    )
+    try:
+        client_tasks = [
+            asyncio.ensure_future(c.run(config.rounds)) for c in clients
+        ]
+        await server.wait_for_clients(config.n_users, timeout=30.0)
+        t0 = monotonic()
+        reports: List[NetRoundReport] = []
+        for round_index in range(config.rounds):
+            reports.append(
+                await server.run_round(round_entropy(config.seed, round_index))
+            )
+        elapsed = monotonic() - t0
+        await asyncio.gather(*client_tasks)
+    finally:
+        await server.stop()
+        if ttp_service is not None:
+            await ttp_service.stop()
+
+    report = LoadgenReport(
+        address=server.address,
+        n_users=config.n_users,
+        rounds_completed=len(reports),
+        elapsed_s=elapsed,
+        latencies_s=[r.latency_s for r in reports],
+        wire_bytes=server.wire.total_bytes,
+        stragglers=sum(len(r.stragglers) for r in reports),
+    )
+    for r in reports:
+        report.round_summaries.append(
+            {
+                "round": r.round_index,
+                "winners": len(r.result.outcome.wins),
+                "revenue": r.result.outcome.sum_of_winning_bids(),
+                "framed_bytes": r.result.framed_bytes,
+            }
+        )
+        if config.check_equivalence:
+            session = _session_result(config, users, grid, r.round_index)
+            check_result_equivalence(r.result, session)
+            report.equivalence_checked += 1
+    return report
+
+
+async def _run_connect(
+    config: LoadgenConfig,
+    grid: GridSpec,
+    users: Sequence[SecondaryUser],
+) -> LoadgenReport:
+    host, _, port_text = config.connect.rpartition(":")  # type: ignore[union-attr]
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--connect wants host:port, got {config.connect!r}")
+    transport = TcpTransport(host, int(port_text))
+    # Out-of-band key distribution: the TTP setup is deterministic in the
+    # shared seed, so the fleet derives the same ring the server holds.
+    _, keyring, scale = TrustedThirdParty.setup(
+        protocol_seed(config.seed), config.n_channels, bmax=config.bmax
+    )
+    clients = _make_clients(config, grid, users, keyring, scale, transport)
+    t0 = monotonic()
+    rounds_per_client = await asyncio.gather(
+        *(c.run(config.rounds) for c in clients)
+    )
+    elapsed = monotonic() - t0
+
+    by_round: Dict[int, Dict[str, Any]] = {}
+    latencies: List[float] = []
+    for rounds in rounds_per_client:
+        for record in rounds:
+            latencies.append(record.latency_s)
+            by_round.setdefault(record.round_index, record.result)
+    report = LoadgenReport(
+        address=f"{host}:{port_text}",
+        n_users=config.n_users,
+        rounds_completed=len(by_round),
+        elapsed_s=elapsed,
+        latencies_s=latencies,
+        wire_bytes=sum(c.bytes_sent + c.bytes_received for c in clients),
+        stragglers=0,
+    )
+    for round_index in sorted(by_round):
+        doc = by_round[round_index]
+        report.round_summaries.append(
+            {
+                "round": round_index,
+                "winners": len(doc.get("wins", [])),
+                "revenue": doc.get("revenue", 0),
+                "framed_bytes": doc.get("framed_bytes", 0),
+            }
+        )
+        if config.check_equivalence:
+            session = _session_result(config, users, grid, round_index)
+            _check_wire_summary(doc, session, round_index)
+            report.equivalence_checked += 1
+    return report

@@ -103,3 +103,71 @@ def test_masked_set_roundtrip_random(x, low, seed):
     for masked in (family, cover):
         decoded, _ = decode_masked_set(encode_masked_set(masked))
         assert decoded == masked
+
+
+# --- hardening regressions: wire-valid headers with impossible bodies ---------
+
+
+def test_zero_digest_bytes_with_nonzero_count_rejected():
+    # digest_bytes=0 makes every "digest" the empty string: the declared
+    # count can never be satisfied by distinct digests, and the length
+    # arithmetic (0 * count) would otherwise accept any count for free.
+    import struct
+
+    blob = struct.pack(">BH", 0, 5)
+    with pytest.raises(CodecError):
+        decode_masked_set(blob)
+
+
+def test_unsafe_digest_truncation_rejected_on_the_wire():
+    # MaskedSet refuses digest_bytes < 4; the decoder must reject those
+    # headers itself (CodecError, not the constructor's ValueError).
+    import struct
+
+    for digest_bytes in (0, 1, 3):
+        blob = struct.pack(">BH", digest_bytes, 0)
+        with pytest.raises(CodecError):
+            decode_masked_set(blob)
+
+
+def test_zero_digest_count_rejected_inside_location():
+    import struct
+
+    # 'L' + user_id, then a poisoned first masked set.
+    blob = b"L" + struct.pack(">I", 7) + struct.pack(">BH", 0, 9)
+    with pytest.raises(CodecError):
+        decode_location(blob)
+
+
+def test_short_ciphertext_rejected_as_codec_error():
+    # Wire-valid framing, but the ciphertext violates the message invariant
+    # (4-byte nonce + payload): the decoder must answer CodecError, not leak
+    # the dataclass constructor's ValueError.
+    import struct
+
+    masked = mask_value(b"k", 3, 8, digest_bytes=12)
+    set_blob = encode_masked_set(masked)
+    blob = (
+        b"B"
+        + struct.pack(">IH", 1, 1)
+        + set_blob
+        + set_blob
+        + struct.pack(">H", 2)
+        + b"xx"
+    )
+    with pytest.raises(CodecError):
+        decode_bids(blob)
+
+
+def test_zero_channel_bid_submission_rejected_as_codec_error():
+    import struct
+
+    blob = b"B" + struct.pack(">IH", 1, 0)
+    with pytest.raises(CodecError):
+        decode_bids(blob)
+
+
+def test_bids_trailing_bytes_rejected():
+    blob = encode_bids(_bid_submission())
+    with pytest.raises(CodecError):
+        decode_bids(blob + b"\x00")

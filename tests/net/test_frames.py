@@ -1,0 +1,149 @@
+"""Frame envelope: round-trips, strict-mode rejections, stream I/O."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.lppa.codec import CodecError
+from repro.net.frames import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameType,
+    decode_frame,
+    encode_frame,
+    pack_json,
+    read_frame,
+    unpack_json,
+    write_frame,
+)
+from repro.net.transport import memory_pair
+
+
+def test_roundtrip_every_frame_type():
+    for ftype in FrameType:
+        payload = bytes([int(ftype)]) * 17
+        blob = encode_frame(ftype, payload)
+        assert len(blob) == FRAME_HEADER_BYTES + len(payload)
+        decoded_type, decoded_payload = decode_frame(blob, strict=True)
+        assert decoded_type is ftype
+        assert decoded_payload == payload
+
+
+def test_empty_payload_roundtrip():
+    blob = encode_frame(FrameType.BYE)
+    assert decode_frame(blob, strict=True) == (FrameType.BYE, b"")
+
+
+def test_unknown_type_strict_only():
+    blob = encode_frame(99, b"x")
+    # Lenient mode returns the raw integer (forward compatibility)...
+    ftype, payload = decode_frame(blob)
+    assert ftype == 99 and payload == b"x"
+    # ...strict mode (the server's) rejects it.
+    with pytest.raises(CodecError):
+        decode_frame(blob, strict=True)
+
+
+def test_wrong_version_rejected():
+    blob = bytearray(encode_frame(FrameType.HELLO, b"{}"))
+    blob[0] = PROTOCOL_VERSION + 1
+    with pytest.raises(CodecError):
+        decode_frame(bytes(blob))
+
+
+def test_truncated_header_and_payload_rejected():
+    blob = encode_frame(FrameType.LOCATION, b"payload")
+    for cut in range(len(blob)):
+        with pytest.raises(CodecError):
+            decode_frame(blob[:cut], strict=True)
+    with pytest.raises(CodecError):
+        decode_frame(blob[:4])  # inside the header even lenient rejects
+
+
+def test_trailing_garbage_strict_only():
+    blob = encode_frame(FrameType.RESULT, b"ok")
+    assert decode_frame(blob + b"junk")[1] == b"ok"
+    with pytest.raises(CodecError):
+        decode_frame(blob + b"junk", strict=True)
+
+
+def test_oversize_announcement_rejected_without_reading_payload():
+    header = struct.pack(">BBI", PROTOCOL_VERSION, int(FrameType.BIDS),
+                         MAX_FRAME_BYTES + 1)
+    with pytest.raises(CodecError):
+        decode_frame(header)
+
+
+def test_encode_rejects_oversize_and_bad_type():
+    with pytest.raises(CodecError):
+        encode_frame(FrameType.BIDS, b"x" * (MAX_FRAME_BYTES + 1))
+    with pytest.raises(CodecError):
+        encode_frame(300, b"")
+    with pytest.raises(CodecError):
+        encode_frame(-1, b"")
+
+
+def test_json_helpers():
+    doc = {"su": 3, "entropy": "net:1:0"}
+    assert unpack_json(pack_json(doc)) == doc
+    with pytest.raises(CodecError):
+        unpack_json(b"{not json")
+    with pytest.raises(CodecError):
+        unpack_json(b"[1,2,3]")  # must be an object
+    with pytest.raises(CodecError):
+        unpack_json(b"\xff\xfe")
+
+
+def test_stream_roundtrip_and_strict_typing():
+    async def scenario():
+        client, server = memory_pair()
+        n = await write_frame(client, FrameType.HELLO, pack_json({"su": 1}))
+        assert n == FRAME_HEADER_BYTES + len(pack_json({"su": 1}))
+        ftype, payload = await read_frame(server, strict=True)
+        assert ftype is FrameType.HELLO
+        assert unpack_json(payload) == {"su": 1}
+
+    asyncio.run(scenario())
+
+
+def test_stream_read_rejects_oversize_before_payload():
+    async def scenario():
+        client, server = memory_pair()
+        # A hostile header announcing a huge payload: the reader must raise
+        # from the header alone, without waiting for (or buffering) 2 MiB.
+        header = struct.pack(
+            ">BBI", PROTOCOL_VERSION, int(FrameType.BIDS), 2 * MAX_FRAME_BYTES
+        )
+        await client.write(header)
+        with pytest.raises(CodecError):
+            await asyncio.wait_for(read_frame(server), timeout=2.0)
+
+    asyncio.run(scenario())
+
+
+def test_stream_read_rejects_unknown_type_in_strict_mode():
+    async def scenario():
+        client, server = memory_pair()
+        await client.write(encode_frame(42, b"zz"))
+        with pytest.raises(CodecError):
+            await read_frame(server, strict=True)
+        # Lenient read on a fresh pair passes the raw type through.
+        client2, server2 = memory_pair()
+        await client2.write(encode_frame(42, b"zz"))
+        assert await read_frame(server2) == (42, b"zz")
+
+    asyncio.run(scenario())
+
+
+def test_stream_eof_mid_frame_is_a_transport_error():
+    async def scenario():
+        client, server = memory_pair()
+        blob = encode_frame(FrameType.LOCATION, b"half a payload")
+        await client.write(blob[:9])
+        client.close()
+        with pytest.raises(asyncio.IncompleteReadError):
+            await read_frame(server)
+
+    asyncio.run(scenario())

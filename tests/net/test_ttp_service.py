@@ -1,0 +1,145 @@
+"""The periodically-online TTP service: decisions, windows, duty cycle."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.lppa.batching import TtpSchedule
+from repro.lppa.bids_advanced import submit_bids_advanced
+from repro.lppa.ttp import TrustedThirdParty
+from repro.net.ttp_service import TtpService
+
+N_CHANNELS = 4
+SEED = b"ttp-service-test"
+
+
+def _charge_requests(n_requests, seed=0):
+    """Winner-style (channel, MaskedBid) pairs the TTP can decrypt."""
+    ttp, keyring, scale = TrustedThirdParty.setup(SEED, N_CHANNELS, bmax=30)
+    rng = random.Random(seed)
+    requests = []
+    user = 0
+    while len(requests) < n_requests:
+        bids = [rng.randint(0, 30) for _ in range(N_CHANNELS)]
+        submission, _ = submit_bids_advanced(user, bids, keyring, scale, rng)
+        for channel in range(N_CHANNELS):
+            if len(requests) < n_requests:
+                requests.append((channel, submission.channel_bids[channel]))
+        user += 1
+    return ttp, requests
+
+
+def _reference_decisions(requests):
+    """What a plain (always-online) TTP decides for the same ciphertexts."""
+    ttp, _, _ = TrustedThirdParty.setup(SEED, N_CHANNELS, bmax=30)
+    return ttp.process_batch(requests)
+
+
+def test_always_on_service_matches_process_batch():
+    ttp, requests = _charge_requests(7)
+    expected = _reference_decisions(requests)
+
+    async def scenario():
+        service = TtpService(ttp)
+        await service.start()
+        try:
+            return await asyncio.wait_for(service.charge_batch(requests), 5.0)
+        finally:
+            await service.stop()
+
+    decisions = asyncio.run(scenario())
+    assert decisions == expected
+
+
+def test_scheduled_windows_respect_capacity():
+    ttp, requests = _charge_requests(7)
+    expected = _reference_decisions(requests)
+
+    async def scenario():
+        service = TtpService(
+            ttp, TtpSchedule(period=1, capacity=2), time_scale=0.001
+        )
+        await service.start()
+        try:
+            decisions = await asyncio.wait_for(service.charge_batch(requests), 10.0)
+        finally:
+            await service.stop()
+        return decisions, service.stats()
+
+    decisions, stats = asyncio.run(scenario())
+    assert decisions == expected
+    # 7 requests at <= 2 per window: at least 4 windows did work.
+    assert stats.requests_served == 7
+    assert stats.windows_used >= 4
+    assert 0.0 < stats.duty_cycle <= 1.0
+
+
+def test_concurrent_batches_are_fifo_and_independent():
+    ttp, requests = _charge_requests(6)
+    expected = _reference_decisions(requests)
+    first, second = requests[:4], requests[4:]
+
+    async def scenario():
+        service = TtpService(
+            ttp, TtpSchedule(period=1, capacity=3), time_scale=0.001
+        )
+        await service.start()
+        try:
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    service.charge_batch(first), service.charge_batch(second)
+                ),
+                10.0,
+            )
+        finally:
+            await service.stop()
+
+    decisions_a, decisions_b = asyncio.run(scenario())
+    assert decisions_a + decisions_b == expected
+
+
+def test_stop_drains_backlog_before_going_offline():
+    ttp, requests = _charge_requests(5)
+    expected = _reference_decisions(requests)
+
+    async def scenario():
+        service = TtpService(ttp)
+        await service.start()
+        pending = asyncio.ensure_future(service.charge_batch(requests))
+        await asyncio.sleep(0)  # let the batch enqueue before stopping
+        await service.stop()
+        return await asyncio.wait_for(pending, 5.0)
+
+    assert asyncio.run(scenario()) == expected
+
+
+def test_empty_batch_resolves_immediately():
+    ttp, _ = _charge_requests(1)
+
+    async def scenario():
+        service = TtpService(ttp)
+        await service.start()
+        try:
+            return await service.charge_batch([])
+        finally:
+            await service.stop()
+
+    assert asyncio.run(scenario()) == []
+
+
+def test_charge_batch_requires_running_service():
+    ttp, requests = _charge_requests(1)
+
+    async def scenario():
+        service = TtpService(ttp)
+        with pytest.raises(RuntimeError):
+            await service.charge_batch(requests)
+
+    asyncio.run(scenario())
+
+
+def test_time_scale_must_be_positive():
+    ttp, _ = _charge_requests(1)
+    with pytest.raises(ValueError):
+        TtpService(ttp, time_scale=0.0)
