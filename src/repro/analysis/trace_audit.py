@@ -29,7 +29,7 @@ modules already are.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.analysis.comm_cost import predicted_bid_bits
 from repro.attacks.against_lppa import lppa_bcm_attack

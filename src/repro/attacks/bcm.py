@@ -13,7 +13,7 @@ hundred — the paper's headline leak.
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable
 
 import numpy as np
 

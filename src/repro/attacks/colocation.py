@@ -20,7 +20,7 @@ is that anchors must be *physically deployed* radios.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

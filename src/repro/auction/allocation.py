@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, List, Tuple
 
 from repro.auction.conflict import ConflictGraph
 from repro.auction.table import BidTable

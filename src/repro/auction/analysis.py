@@ -12,7 +12,7 @@ for anything heavier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence
 
 from repro.auction.conflict import ConflictGraph
 

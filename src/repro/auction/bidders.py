@@ -16,7 +16,7 @@ very low quality can legitimately produce a zero bid.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Set, Tuple
 
 from repro.geo.database import GeoLocationDatabase

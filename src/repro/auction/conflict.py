@@ -13,8 +13,8 @@ for exactness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Set, Tuple
 
 from repro.geo.grid import Cell
 

@@ -17,8 +17,8 @@ paper's 95 % -> 73 % performance degradation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = ["WinRecord", "AuctionOutcome"]
 

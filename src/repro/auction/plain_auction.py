@@ -14,7 +14,7 @@ roles in the reproduction:
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.auction.allocation import greedy_allocate
 from repro.auction.bidders import SecondaryUser

@@ -9,7 +9,7 @@ selects the full-scale runs used for EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 __all__ = ["ExperimentConfig", "default_config", "SMOKE", "FULL"]

@@ -7,7 +7,7 @@ harness can print the same series the paper plots.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 __all__ = ["format_table"]
 

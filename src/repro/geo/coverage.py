@@ -26,7 +26,6 @@ from repro.geo.grid import Cell, GridSpec
 from repro.geo.propagation import PRACTICAL_THRESHOLD_DBM, PropagationModel
 from repro.geo.terrain import shadowing_field
 from repro.geo.transmitters import Transmitter
-from repro.utils.rng import numpy_rng, spawn_rng
 
 __all__ = ["ChannelCoverage", "CoverageMap", "build_channel_coverage"]
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import List, Set
 
 from repro.geo.coverage import QUALITY_SCALE_DB
 from repro.geo.database import GeoLocationDatabase

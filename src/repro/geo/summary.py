@@ -8,7 +8,7 @@ maps so the claims are auditable artifacts, not prose.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ example and so the leak analyses can be demonstrated in tests.
 from __future__ import annotations
 
 import random
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro import obs
 from repro.crypto.keys import KeyRing

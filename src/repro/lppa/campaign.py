@@ -19,8 +19,8 @@ equivalent; see DESIGN.md) — one campaign is typically dozens of rounds.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.auction.bidders import SecondaryUser, rebid_users
 from repro.auction.conflict import ConflictGraph, build_conflict_graph

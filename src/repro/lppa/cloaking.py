@@ -21,7 +21,6 @@ implement the baseline; ``experiments.cloaking_baseline`` prices it.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.auction.bidders import SecondaryUser

@@ -14,30 +14,36 @@ functionally determined by those values.
 Anything that measures the cryptography itself (communication cost,
 protocol latency, TTP verification) uses the full path in
 :mod:`repro.lppa.session` instead.
+
+:func:`run_fast_lppa` is a thin wrapper over the round core
+(:mod:`repro.lppa.round`) with the plain (integer) value backend; the
+:class:`~repro.lppa.round.tables.IntegerMaskedTable` and
+:class:`~repro.lppa.round.results.FastLppaResult` it historically defined
+are re-exported from their new homes, and ``derive_round_rngs`` — now in
+:mod:`repro.lppa.entropy` — is re-exported with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+import warnings
+from typing import Any, Optional, Sequence, Union
 
-from repro import obs
 from repro.obs import trace
-from repro.auction.allocation import greedy_allocate, greedy_allocate_validated
-from repro.auction.pricing import greedy_allocate_priced, second_price_charge
 from repro.auction.bidders import SecondaryUser
-from repro.auction.conflict import ConflictGraph, build_conflict_graph
-from repro.auction.outcome import AuctionOutcome, WinRecord
-from repro.auction.table import BidTable
-from repro.lppa.bids_advanced import (
-    BidScale,
-    ChannelDisclosure,
-    SubmissionDisclosure,
-    disguise_and_expand,
-)
+from repro.auction.conflict import ConflictGraph
+from repro.lppa import entropy as _entropy
 from repro.lppa.policies import ZeroDisguisePolicy
-from repro.utils.rng import Seed, fresh_rng, spawn_rng
+from repro.lppa.round import (
+    IN_PROCESS_DRIVER,
+    PLAIN_BACKEND,
+    FastLppaResult,
+    IntegerMaskedTable,
+    RoundState,
+    execute_round,
+)
+from repro.utils.rng import Seed, fresh_rng
 
 __all__ = [
     "IntegerMaskedTable",
@@ -47,104 +53,20 @@ __all__ = [
 ]
 
 
-def derive_round_rngs(
-    entropy: Seed, n_users: int
-) -> Tuple[List[random.Random], random.Random]:
-    """Per-user bidder RNGs plus the allocation RNG for one auction round.
-
-    This derivation is the *shared* seeding contract of the fast simulator
-    and the full-crypto session: user ``i``'s disguise/expansion draws come
-    from the stream labelled ``("bidder", str(i))`` and the allocation's
-    channel/tie choices from ``("alloc",)``.  Because both paths call
-    :func:`repro.lppa.bids_advanced.disguise_and_expand` *first* on the
-    per-user stream, the same ``entropy`` makes them commit to identical
-    masked values — the differential-equivalence tests assert the
-    consequences (identical rankings, allocations and charges).
-    """
-    user_rngs = [spawn_rng(entropy, "bidder", str(i)) for i in range(n_users)]
-    return user_rngs, spawn_rng(entropy, "alloc")
-
-
-class IntegerMaskedTable(BidTable):
-    """What the masked table *is*, numerically: every cell holds a value.
-
-    Unlike :class:`~repro.auction.table.PlainBidTable`, zeros (spread or
-    disguised) are genuine entries — the auctioneer cannot tell them apart,
-    which is the entire point of the advanced scheme.
-    """
-
-    def __init__(self, values: Sequence[Sequence[int]]) -> None:
-        if not values:
-            raise ValueError("bid table needs at least one row")
-        widths = {len(row) for row in values}
-        if len(widths) != 1:
-            raise ValueError("all rows must cover the same channels")
-        self._n_channels = widths.pop()
-        if self._n_channels < 1:
-            raise ValueError("bid table needs at least one channel")
-        self._values = [list(map(int, row)) for row in values]
-        self._n_users = len(values)
-        self._live: List[Set[int]] = [
-            set(range(self._n_users)) for _ in range(self._n_channels)
-        ]
-
-    @property
-    def n_channels(self) -> int:
-        return self._n_channels
-
-    def has_entries(self) -> bool:
-        return any(self._live)
-
-    def channel_bidders(self, channel: int) -> Set[int]:
-        self._check_channel(channel)
-        return set(self._live[channel])
-
-    def max_bidders(self, channel: int) -> List[int]:
-        self._check_channel(channel)
-        live = self._live[channel]
-        if not live:
-            raise ValueError(f"channel {channel} has no remaining bids")
-        best = max(self._values[b][channel] for b in live)
-        return sorted(b for b in live if self._values[b][channel] == best)
-
-    def remove_row(self, bidder: int) -> None:
-        for live in self._live:
-            live.discard(bidder)
-
-    def remove_entry(self, bidder: int, channel: int) -> None:
-        self._check_channel(channel)
-        self._live[channel].discard(bidder)
-
-    def ranking(self, channel: int) -> List[List[int]]:
-        """Equivalence-class ranking, identical in shape to the masked table's."""
-        self._check_channel(channel)
-        by_value: Dict[int, List[int]] = {}
-        for bidder in range(self._n_users):
-            by_value.setdefault(self._values[bidder][channel], []).append(bidder)
-        return [by_value[v] for v in sorted(by_value, reverse=True)]
-
-    def rankings(self) -> List[List[List[int]]]:
-        """All channels' rankings (the attacker's full view)."""
-        return [self.ranking(ch) for ch in range(self._n_channels)]
-
-    def _check_channel(self, channel: int) -> None:
-        if not 0 <= channel < self._n_channels:
-            raise IndexError(f"channel {channel} outside 0..{self._n_channels - 1}")
-
-
-@dataclass(frozen=True)
-class FastLppaResult:
-    """Same shape as :class:`~repro.lppa.session.LppaResult`, minus wire sizes.
-
-    ``ttp_rejections`` counts invalid-winner notifications consumed during
-    allocation; it is zero unless the round ran with ``revalidate=True``.
-    """
-
-    outcome: AuctionOutcome
-    conflict_graph: ConflictGraph
-    rankings: List[List[List[int]]]
-    disclosures: Tuple[SubmissionDisclosure, ...]
-    ttp_rejections: int = 0
+def __getattr__(name: str) -> Any:
+    # ``derive_round_rngs`` moved to repro.lppa.entropy so the round core,
+    # the wrappers and the network client can share it without cycles.
+    # Importing it from here keeps working but warns.
+    if name == "derive_round_rngs":
+        warnings.warn(
+            "repro.lppa.fastsim.derive_round_rngs moved to "
+            "repro.lppa.entropy.derive_round_rngs; this re-export will be "
+            "removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _entropy.derive_round_rngs
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_fast_lppa(
@@ -168,10 +90,10 @@ def run_fast_lppa(
     *true* offset value lies in the zero band ``[0, rd]`` is invalid.
 
     ``entropy`` opts into the label-addressed seeding of
-    :func:`derive_round_rngs` (overriding ``rng``): every user draws from
-    its own stream, so the round's results match a full-crypto
-    :func:`repro.lppa.session.run_lppa_auction` run with the same
-    ``entropy`` and do not depend on how other randomness consumers
+    :func:`repro.lppa.entropy.derive_round_rngs` (overriding ``rng``):
+    every user draws from its own stream, so the round's results match a
+    full-crypto :func:`repro.lppa.session.run_lppa_auction` run with the
+    same ``entropy`` and do not depend on how other randomness consumers
     interleave.  With neither ``rng`` nor ``entropy`` the round is
     non-deterministic via a fork-safe fresh RNG.
 
@@ -195,13 +117,12 @@ def run_fast_lppa(
     if any(u.n_channels != n_channels for u in users):
         raise ValueError("all users must bid over the same channel set")
     if entropy is not None:
-        user_rngs, alloc_rng = derive_round_rngs(entropy, len(users))
+        user_rngs, alloc_rng = _entropy.derive_round_rngs(entropy, len(users))
     else:
         if rng is None:
             rng = fresh_rng()
         user_rngs = [rng] * len(users)
         alloc_rng = rng
-    scale = BidScale(bmax=bmax, rd=rd, cr=cr)
 
     # §IV.C.3: "the zero-replace probabilities are selected independently
     # by each user" — accept one shared policy or one per user.
@@ -212,108 +133,24 @@ def run_fast_lppa(
         if len(per_user) != len(users):
             raise ValueError("need exactly one policy per user")
 
-    # The same four phase scopes as the full-crypto session, so a fastsim
-    # artifact and a session artifact line up key-for-key in `metrics diff`
-    # (fastsim records no byte counters — it has no wire objects).  The
-    # flight recorder likewise gets the same round/ranking/assignment events
-    # as the session, minus the wire messages the simulator never builds.
-    tr = trace.get_active()
-    if tr is not None:
-        tr.round_begin()
-        tr.meta(
-            "auction_announcement",
-            vis="public",
-            n_users=len(users),
-            n_channels=n_channels,
-            bmax=bmax,
-            two_lambda=two_lambda,
-            fastsim=True,
-        )
-    with obs.phase("bid_submission"):
-        disclosures = tuple(
-            SubmissionDisclosure(
-                user_id=idx,
-                channels=tuple(
-                    disguise_and_expand(
-                        user.bids, scale, user_rngs[idx], policy=per_user[idx]
-                    )
-                ),
-            )
-            for idx, user in enumerate(users)
-        )
-        obs.count("lppa.bid_submissions", len(disclosures))
-
-    with obs.phase("location_submission"):
-        if conflict is None:
-            conflict = build_conflict_graph([u.cell for u in users], two_lambda)
-        obs.count("lppa.location_submissions", len(users))
-
-    def true_bid(bidder: int, channel: int) -> int:
-        return disclosures[bidder].channels[channel].true_bid
-
-    with obs.phase("psd_allocation"):
-        table = IntegerMaskedTable(
-            [[c.masked_expanded for c in d.channels] for d in disclosures]
-        )
-        rankings = table.rankings()
-        if tr is not None:
-            for channel, classes in enumerate(rankings):
-                tr.ranking(channel, classes)
-        rejections = 0
-        sales = assignments = None
-        if pricing == "second":
-            sales = greedy_allocate_priced(table, conflict, alloc_rng)
-        elif revalidate:
-            assignments, rejections = greedy_allocate_validated(
-                table,
-                conflict,
-                alloc_rng,
-                lambda bidder, channel: true_bid(bidder, channel) > 0,
-            )
-        else:
-            assignments = greedy_allocate(table, conflict, alloc_rng)
-
-    with obs.phase("ttp_charging"):
-        wins = []
-        if pricing == "second":
-            for sale in sales:
-                valid = true_bid(sale.bidder, sale.channel) > 0
-                charge = second_price_charge(sale, true_bid) if valid else 0
-                wins.append(
-                    WinRecord(
-                        bidder=sale.bidder,
-                        channel=sale.channel,
-                        charge=charge,
-                        valid=valid,
-                    )
-                )
-        else:
-            for a in assignments:
-                valid = true_bid(a.bidder, a.channel) > 0
-                wins.append(
-                    WinRecord(
-                        bidder=a.bidder,
-                        channel=a.channel,
-                        charge=true_bid(a.bidder, a.channel) if valid else 0,
-                        valid=valid,
-                    )
-                )
-        if tr is not None:
-            for record in wins:
-                tr.instant(
-                    "assignment",
-                    vis="auctioneer",
-                    bidder=record.bidder,
-                    channel=record.channel,
-                )
-        obs.count("lppa.winners", len(wins))
-    obs.count("lppa.fast_rounds")
-    if tr is not None:
-        tr.round_end(winners=len(wins))
-    return FastLppaResult(
-        outcome=AuctionOutcome(n_users=len(users), wins=tuple(wins)),
-        conflict_graph=conflict,
-        rankings=rankings,
-        disclosures=disclosures,
-        ttp_rejections=rejections,
+    state = RoundState(
+        backend=PLAIN_BACKEND,
+        driver=IN_PROCESS_DRIVER,
+        n_users=len(users),
+        n_channels=n_channels,
+        two_lambda=two_lambda,
+        bmax=bmax,
+        rd=rd,
+        cr=cr,
+        users=users,
+        user_rngs=user_rngs,
+        alloc_rng=alloc_rng,
+        policies=per_user,
+        pricing=pricing,
+        revalidate=revalidate,
+        conflict=conflict,
+        tr=trace.get_active(),
     )
+    execute_round(state)
+    result: FastLppaResult = state.result
+    return result

@@ -17,12 +17,12 @@ Coordinates are cell indices (non-negative integers, as the paper assumes).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.auction.conflict import ConflictGraph
 from repro.geo.grid import Cell, GridSpec
 from repro.lppa.messages import LocationSubmission
-from repro.prefix.membership import MaskedSet, is_member, mask_range, mask_value
+from repro.prefix.membership import is_member, mask_range, mask_value
 from repro.prefix.prefixes import bit_width_for
 
 __all__ = [

@@ -22,8 +22,8 @@ Two size accountings coexist deliberately:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.prefix.membership import MaskedSet
 

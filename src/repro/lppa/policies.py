@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import List
 
 __all__ = [
     "ZeroDisguisePolicy",

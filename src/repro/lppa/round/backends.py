@@ -1,0 +1,402 @@
+"""Value backends: what the numbers in a round *are*.
+
+The round core (:mod:`repro.lppa.round.core`) fixes the phase pipeline;
+a :class:`ValueBackend` decides how each phase manipulates values:
+
+* :class:`CryptoBackend` — the paper's actual protocol objects: masked
+  location/bid submissions, the HMAC-masked table inside
+  :class:`~repro.lppa.auctioneer.Auctioneer`, TTP decryption for charging,
+  and exact wire/framed byte accounting.  Produces
+  :class:`~repro.lppa.round.results.LppaResult`.
+* :class:`PlainBackend` — the order-isomorphic integer pipeline: the same
+  :func:`~repro.lppa.bids_advanced.disguise_and_expand` values without the
+  masking plumbing, plus the simulator-only extensions (second pricing,
+  allocation-time revalidation).  Produces
+  :class:`~repro.lppa.round.results.FastLppaResult`.
+
+Backends are stateless — all per-round data lives on the
+:class:`~repro.lppa.round.state.RoundState` — so the module-level
+:data:`CRYPTO_BACKEND` / :data:`PLAIN_BACKEND` singletons are shared by
+every wrapper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.auction.allocation import greedy_allocate, greedy_allocate_validated
+from repro.auction.conflict import build_conflict_graph
+from repro.auction.outcome import AuctionOutcome, WinRecord
+from repro.auction.pricing import greedy_allocate_priced, second_price_charge
+from repro.lppa.auctioneer import Auctioneer
+from repro.lppa.bids_advanced import (
+    BidScale,
+    SubmissionDisclosure,
+    disguise_and_expand,
+    submit_bids_advanced,
+)
+from repro.lppa.codec import encode_bids, encode_location
+from repro.lppa.location import submit_location
+from repro.lppa.round.results import FastLppaResult, LppaResult
+from repro.lppa.round.state import RoundState
+from repro.lppa.round.tables import IntegerMaskedTable
+from repro.lppa.ttp import TrustedThirdParty
+
+__all__ = [
+    "CRYPTO_BACKEND",
+    "PLAIN_BACKEND",
+    "CryptoBackend",
+    "PlainBackend",
+    "ValueBackend",
+]
+
+#: (event name, visibility, fields) triples emitted as trace ``meta`` records.
+TraceMeta = Tuple[str, str, Dict[str, Any]]
+
+
+class ValueBackend(ABC):
+    """One phase pipeline, two value representations (crypto vs plain)."""
+
+    #: Human-readable backend identifier (appears in docs and tests).
+    name: str = "abstract"
+
+    @abstractmethod
+    def setup(self, state: RoundState) -> None:
+        """Fill in the round's setup material (TTP keys / bid scale)."""
+
+    @abstractmethod
+    def setup_trace(self, state: RoundState) -> Sequence[TraceMeta]:
+        """The trace ``meta`` records announcing this round."""
+
+    @abstractmethod
+    def make_locations(self, state: RoundState) -> None:
+        """In-process bidder side of the location phase (driver-invoked)."""
+
+    @abstractmethod
+    def ingest_locations(self, state: RoundState) -> None:
+        """Auctioneer side: turn location material into a conflict graph."""
+
+    @abstractmethod
+    def make_bids(self, state: RoundState) -> None:
+        """In-process bidder side of the bid phase (driver-invoked)."""
+
+    @abstractmethod
+    def ingest_bids(self, state: RoundState) -> None:
+        """Auctioneer side: accept the round's bid material."""
+
+    @abstractmethod
+    def allocate(self, state: RoundState) -> None:
+        """PSD allocation: rankings plus Algorithm 3 over the bid table."""
+
+    @abstractmethod
+    def charge_request(self, state: RoundState) -> Optional[List[Any]]:
+        """Winner material for the TTP, or ``None`` when charging is local."""
+
+    @abstractmethod
+    def finish_charges(
+        self, state: RoundState, decisions: Optional[Sequence[Any]]
+    ) -> None:
+        """Fold charge decisions into the round outcome."""
+
+    @abstractmethod
+    def finalize(self, state: RoundState) -> None:
+        """Assemble ``state.result`` and the round-end trace arguments."""
+
+
+class CryptoBackend(ValueBackend):
+    """The full protocol: masked submissions, masked table, TTP charging."""
+
+    name = "crypto"
+
+    def setup(self, state: RoundState) -> None:
+        # The net server performs TTP setup once at construction and
+        # prefills the state; per-round setup happens for in-process runs.
+        if state.scale is None:
+            state.ttp, state.keyring, state.scale = TrustedThirdParty.setup(
+                state.seed,
+                state.n_channels,
+                bmax=state.bmax,
+                rd=state.rd,
+                cr=state.cr,
+            )
+
+    def setup_trace(self, state: RoundState) -> Sequence[TraceMeta]:
+        scale = state.scale
+        assert scale is not None and state.grid is not None
+        return (
+            # rd/cr/width are hidden from the auctioneer (only bidders and
+            # the TTP hold them); the announcement is what everyone sees.
+            (
+                "protocol_setup",
+                "ttp",
+                {
+                    "n_users": state.n_users,
+                    "n_channels": state.n_channels,
+                    "bmax": state.bmax,
+                    "rd": state.rd,
+                    "cr": state.cr,
+                    "width": scale.width,
+                    "emax": scale.emax,
+                    "two_lambda": state.two_lambda,
+                },
+            ),
+            (
+                "auction_announcement",
+                "public",
+                {
+                    "n_users": state.n_users,
+                    "n_channels": state.n_channels,
+                    "bmax": state.bmax,
+                    "two_lambda": state.two_lambda,
+                    "grid_rows": state.grid.rows,
+                    "grid_cols": state.grid.cols,
+                },
+            ),
+        )
+
+    def make_locations(self, state: RoundState) -> None:
+        assert state.users is not None and state.keyring is not None
+        assert state.grid is not None
+        state.location_subs = [
+            submit_location(
+                idx, user.cell, state.keyring.g0, state.grid, state.two_lambda
+            )
+            for idx, user in enumerate(state.users)
+        ]
+
+    def ingest_locations(self, state: RoundState) -> None:
+        assert state.location_subs is not None
+        state.auctioneer = Auctioneer(state.n_channels)
+        state.conflict = state.auctioneer.receive_locations(state.location_subs)
+        state.location_bytes = sum(s.wire_bytes() for s in state.location_subs)
+
+    def make_bids(self, state: RoundState) -> None:
+        assert state.users is not None and state.user_rngs is not None
+        assert state.keyring is not None and state.scale is not None
+        assert state.policies is not None
+        subs = []
+        for idx, user in enumerate(state.users):
+            submission, disclosure = submit_bids_advanced(
+                idx,
+                user.bids,
+                state.keyring,
+                state.scale,
+                state.user_rngs[idx],
+                policy=state.policies[idx],
+            )
+            subs.append(submission)
+            state.disclosures.append(disclosure)
+        state.bid_subs = subs
+
+    def ingest_bids(self, state: RoundState) -> None:
+        assert state.auctioneer is not None and state.bid_subs is not None
+        state.auctioneer.receive_bids(state.bid_subs)
+        state.bid_bytes = sum(s.wire_bytes() for s in state.bid_subs)
+
+    def allocate(self, state: RoundState) -> None:
+        assert state.auctioneer is not None and state.alloc_rng is not None
+        # channel_rankings/run_allocation emit their own trace events
+        # (ranking records, assignment instants, conflict-graph instants
+        # having been emitted at ingest time).
+        state.rankings = state.auctioneer.channel_rankings()
+        state.assignments = state.auctioneer.run_allocation(state.alloc_rng)
+
+    def charge_request(self, state: RoundState) -> Optional[List[Any]]:
+        assert state.auctioneer is not None
+        return state.auctioneer.charge_material()
+
+    def finish_charges(
+        self, state: RoundState, decisions: Optional[Sequence[Any]]
+    ) -> None:
+        assert state.auctioneer is not None and decisions is not None
+        assert state.bid_subs is not None
+        state.outcome = state.auctioneer.assemble_outcome(
+            decisions, n_users=len(state.bid_subs)
+        )
+
+    def finalize(self, state: RoundState) -> None:
+        assert state.location_subs is not None and state.bid_subs is not None
+        assert state.outcome is not None
+        # Actual serialized sizes through the wire codec (payload +
+        # framing); encoding also exercises the round-trip invariants in
+        # production runs.
+        framed = sum(len(encode_location(s)) for s in state.location_subs) + sum(
+            len(encode_bids(s)) for s in state.bid_subs
+        )
+        state.framed_bytes = framed
+        obs.count("lppa.framed_bytes", framed)
+        obs.count("lppa.rounds")
+        assert state.location_bytes is not None and state.bid_bytes is not None
+        assert state.conflict is not None and state.rankings is not None
+        state.result = LppaResult(
+            outcome=state.outcome,
+            conflict_graph=state.conflict,
+            rankings=state.rankings,
+            disclosures=state.disclosure_tuple(),
+            location_bytes=state.location_bytes,
+            bid_bytes=state.bid_bytes,
+            masked_set_bytes=sum(s.masked_set_bytes() for s in state.bid_subs),
+            framed_bytes=framed,
+        )
+        state.round_end_args = {
+            "winners": len(state.outcome.wins),
+            "framed_bytes": framed,
+            "payload_bytes": state.location_bytes + state.bid_bytes,
+        }
+
+
+class PlainBackend(ValueBackend):
+    """The integer pipeline: same values, no masking plumbing."""
+
+    name = "plain"
+
+    def setup(self, state: RoundState) -> None:
+        if state.scale is None:
+            state.scale = BidScale(bmax=state.bmax, rd=state.rd, cr=state.cr)
+
+    def setup_trace(self, state: RoundState) -> Sequence[TraceMeta]:
+        return (
+            (
+                "auction_announcement",
+                "public",
+                {
+                    "n_users": state.n_users,
+                    "n_channels": state.n_channels,
+                    "bmax": state.bmax,
+                    "two_lambda": state.two_lambda,
+                    "fastsim": True,
+                },
+            ),
+        )
+
+    def make_locations(self, state: RoundState) -> None:
+        """Nothing to synthesize: the plain path reads cells directly."""
+
+    def ingest_locations(self, state: RoundState) -> None:
+        if state.conflict is None:
+            assert state.users is not None
+            state.conflict = build_conflict_graph(
+                [u.cell for u in state.users], state.two_lambda
+            )
+
+    def make_bids(self, state: RoundState) -> None:
+        assert state.users is not None and state.user_rngs is not None
+        assert state.scale is not None and state.policies is not None
+        state.disclosures = [
+            SubmissionDisclosure(
+                user_id=idx,
+                channels=tuple(
+                    disguise_and_expand(
+                        user.bids,
+                        state.scale,
+                        state.user_rngs[idx],
+                        policy=state.policies[idx],
+                    )
+                ),
+            )
+            for idx, user in enumerate(state.users)
+        ]
+
+    def ingest_bids(self, state: RoundState) -> None:
+        """The integer table is built lazily in :meth:`allocate` so its cost
+        lands in the ``psd_allocation`` phase, like the masked table's."""
+
+    def allocate(self, state: RoundState) -> None:
+        assert state.conflict is not None and state.alloc_rng is not None
+        table = IntegerMaskedTable(
+            [[c.masked_expanded for c in d.channels] for d in state.disclosures]
+        )
+        state.table = table
+        state.rankings = table.rankings()
+        tr = state.tr
+        if tr is not None:
+            for channel, classes in enumerate(state.rankings):
+                tr.ranking(channel, classes)
+        if state.pricing == "second":
+            state.sales = greedy_allocate_priced(
+                table, state.conflict, state.alloc_rng
+            )
+        elif state.revalidate:
+            # §V.B extension: the TTP's invalid-winner notifications feed
+            # back into the allocation loop, which retries the channel.
+            state.assignments, state.ttp_rejections = greedy_allocate_validated(
+                table,
+                state.conflict,
+                state.alloc_rng,
+                lambda bidder, channel: state.true_bid(bidder, channel) > 0,
+            )
+        else:
+            state.assignments = greedy_allocate(
+                table, state.conflict, state.alloc_rng
+            )
+
+    def charge_request(self, state: RoundState) -> Optional[List[Any]]:
+        return None  # charging needs no TTP exchange at integer level
+
+    def finish_charges(
+        self, state: RoundState, decisions: Optional[Sequence[Any]]
+    ) -> None:
+        # Charging follows the TTP's rules: a winner whose *true* offset
+        # value lies in the zero band [0, rd] is invalid, pays nothing and
+        # does not count as satisfied.
+        wins: List[WinRecord] = []
+        if state.pricing == "second":
+            assert state.sales is not None
+            for sale in state.sales:
+                valid = state.true_bid(sale.bidder, sale.channel) > 0
+                charge = (
+                    second_price_charge(sale, state.true_bid) if valid else 0
+                )
+                wins.append(
+                    WinRecord(
+                        bidder=sale.bidder,
+                        channel=sale.channel,
+                        charge=charge,
+                        valid=valid,
+                    )
+                )
+        else:
+            assert state.assignments is not None
+            for a in state.assignments:
+                valid = state.true_bid(a.bidder, a.channel) > 0
+                wins.append(
+                    WinRecord(
+                        bidder=a.bidder,
+                        channel=a.channel,
+                        charge=state.true_bid(a.bidder, a.channel) if valid else 0,
+                        valid=valid,
+                    )
+                )
+        tr = state.tr
+        if tr is not None:
+            for record in wins:
+                tr.instant(
+                    "assignment",
+                    vis="auctioneer",
+                    bidder=record.bidder,
+                    channel=record.channel,
+                )
+        obs.count("lppa.winners", len(wins))
+        state.wins = wins
+        assert state.users is not None
+        state.outcome = AuctionOutcome(n_users=len(state.users), wins=tuple(wins))
+
+    def finalize(self, state: RoundState) -> None:
+        obs.count("lppa.fast_rounds")
+        assert state.outcome is not None and state.conflict is not None
+        assert state.rankings is not None
+        state.result = FastLppaResult(
+            outcome=state.outcome,
+            conflict_graph=state.conflict,
+            rankings=state.rankings,
+            disclosures=state.disclosure_tuple(),
+            ttp_rejections=state.ttp_rejections,
+        )
+        state.round_end_args = {"winners": len(state.outcome.wins)}
+
+
+#: Shared stateless singletons — every wrapper runs through these instances.
+CRYPTO_BACKEND = CryptoBackend()
+PLAIN_BACKEND = PlainBackend()

@@ -1,0 +1,83 @@
+"""Round drivers: where a round's submissions *come from*.
+
+The phase steps in :mod:`repro.lppa.round.core` never talk to bidders or
+the TTP directly — they call the round's :class:`RoundDriver` at the five
+interaction points below and ingest whatever it produced.  Two drivers
+exist:
+
+* :class:`InProcessDriver` — every role lives in this process; submissions
+  are synthesized from ``state.users`` via the value backend and charging
+  calls the TTP object directly.  Both in-process wrappers
+  (:func:`~repro.lppa.session.run_lppa_auction`,
+  :func:`~repro.lppa.fastsim.run_fast_lppa`) use the module-level
+  :data:`IN_PROCESS_DRIVER` singleton.
+* the network driver — defined next to
+  :class:`~repro.net.server.AuctioneerServer`, which owns the transport
+  state (connections, deadlines, stragglers) the driver needs.  Its hooks
+  return coroutines; the core awaits driver returns only when they are
+  awaitable, so this base class can stay synchronous.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lppa.round.core import PhaseStep
+    from repro.lppa.round.state import RoundState
+
+__all__ = ["IN_PROCESS_DRIVER", "InProcessDriver", "RoundDriver"]
+
+
+class RoundDriver:
+    """The interaction points a round core delegates to its driver.
+
+    Every hook may return either a plain value or an awaitable; the
+    executors resolve both (:func:`repro.lppa.round.core._maybe`).
+    """
+
+    #: Human-readable driver identifier (appears in docs and tests).
+    name: str = "abstract"
+
+    def prepare(self, state: "RoundState") -> Any:
+        """Called once before the first phase (roster/transport setup)."""
+
+    def enter_phase(self, state: "RoundState", step: "PhaseStep") -> Any:
+        """Called as each phase step begins (state-machine transitions)."""
+
+    def collect_locations(self, state: "RoundState") -> Any:
+        """Produce ``state.location_subs`` (or whatever the backend reads)."""
+        raise NotImplementedError
+
+    def collect_bids(self, state: "RoundState") -> Any:
+        """Produce ``state.bid_subs`` / ``state.disclosures``."""
+        raise NotImplementedError
+
+    def decide_charges(self, state: "RoundState", material: List[Any]) -> Any:
+        """Exchange winner material with the TTP, returning its decisions."""
+        raise NotImplementedError
+
+    def publish(self, state: "RoundState") -> Any:
+        """Announce ``state.result`` (broadcast on the net path; no-op here)."""
+
+
+class InProcessDriver(RoundDriver):
+    """All roles in one process: the backend plays the bidders itself."""
+
+    name = "in-process"
+
+    def collect_locations(self, state: "RoundState") -> None:
+        state.backend.make_locations(state)
+
+    def collect_bids(self, state: "RoundState") -> None:
+        state.backend.make_bids(state)
+
+    def decide_charges(
+        self, state: "RoundState", material: List[Any]
+    ) -> Optional[List[Any]]:
+        assert state.ttp is not None
+        return state.ttp.process_batch(material)
+
+
+#: Shared stateless singleton for the in-process wrappers.
+IN_PROCESS_DRIVER = InProcessDriver()

@@ -1,6 +1,9 @@
 """End-to-end orchestration of one LPPA auction round.
 
-Wires together every protocol role:
+:func:`run_lppa_auction` is the single call the examples and the experiment
+harness build on.  It is a thin wrapper over the round core
+(:mod:`repro.lppa.round`): the crypto value backend plays every protocol
+role in-process —
 
 1. TTP setup — keys, ``rd``, ``cr``, bid scale (:class:`TrustedThirdParty`);
 2. bidders — masked location submissions and advanced bid submissions;
@@ -9,57 +12,31 @@ Wires together every protocol role:
 5. bookkeeping — communication-cost accounting and the attacker-facing
    views (per-channel bid rankings) used by the evaluation.
 
-:func:`run_lppa_auction` is the single call the examples and the experiment
-harness build on.
+This module owns only the call-signature conveniences (entropy/rng
+resolution, the shared default policy) and re-exports
+:class:`~repro.lppa.round.results.LppaResult` from its historical home.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro import obs
 from repro.obs import trace
 from repro.auction.bidders import SecondaryUser
-from repro.auction.conflict import ConflictGraph
-from repro.auction.outcome import AuctionOutcome
-from repro.crypto.keys import KeyRing
 from repro.geo.grid import GridSpec
-from repro.lppa.auctioneer import Auctioneer
-from repro.lppa.codec import encode_bids, encode_location
-from repro.lppa.bids_advanced import (
-    BidScale,
-    SubmissionDisclosure,
-    submit_bids_advanced,
-)
-from repro.lppa.location import submit_location
-from repro.lppa.messages import BidSubmission, LocationSubmission
-from repro.lppa.fastsim import derive_round_rngs
+from repro.lppa.entropy import derive_round_rngs
 from repro.lppa.policies import KeepZeroPolicy, ZeroDisguisePolicy
-from repro.lppa.ttp import TrustedThirdParty
+from repro.lppa.round import (
+    CRYPTO_BACKEND,
+    IN_PROCESS_DRIVER,
+    LppaResult,
+    RoundState,
+    execute_round,
+)
 from repro.utils.rng import Seed, fresh_rng
 
 __all__ = ["LppaResult", "run_lppa_auction"]
-
-
-@dataclass(frozen=True)
-class LppaResult:
-    """Everything one protocol round produced."""
-
-    outcome: AuctionOutcome
-    conflict_graph: ConflictGraph
-    rankings: List[List[List[int]]]
-    disclosures: Tuple[SubmissionDisclosure, ...]
-    location_bytes: int
-    bid_bytes: int
-    masked_set_bytes: int
-    framed_bytes: int = 0
-
-    @property
-    def total_bytes(self) -> int:
-        """Payload bytes (what Theorem 4's accounting models)."""
-        return self.location_bytes + self.bid_bytes
 
 
 def run_lppa_auction(
@@ -100,7 +77,7 @@ def run_lppa_auction(
     entropy:
         Label-addressed seeding (overrides ``rng``): derives one stream per
         bidder plus an allocation stream via
-        :func:`repro.lppa.fastsim.derive_round_rngs`, so the round's
+        :func:`repro.lppa.entropy.derive_round_rngs`, so the round's
         conflict graph, rankings, allocations and charges are identical to
         a :func:`repro.lppa.fastsim.run_fast_lppa` run with the same
         ``entropy`` — the enforced fastsim equivalence contract.
@@ -120,124 +97,23 @@ def run_lppa_auction(
     if policy is None:
         policy = KeepZeroPolicy()
 
-    ttp, keyring, scale = TrustedThirdParty.setup(
-        seed, n_channels, bmax=bmax, rd=rd, cr=cr
+    state = RoundState(
+        backend=CRYPTO_BACKEND,
+        driver=IN_PROCESS_DRIVER,
+        n_users=len(users),
+        n_channels=n_channels,
+        two_lambda=two_lambda,
+        bmax=bmax,
+        rd=rd,
+        cr=cr,
+        seed=seed,
+        grid=grid,
+        users=users,
+        user_rngs=user_rngs,
+        alloc_rng=alloc_rng,
+        policies=[policy] * len(users),
+        tr=trace.get_active(),
     )
-    auctioneer = Auctioneer(n_channels)
-
-    # Phase metrics: wall time per protocol phase plus the byte counters
-    # Theorem 4 accounts for, recorded only while repro.obs is collecting.
-    # Splitting the bidder loop per phase is draw-order neutral: location
-    # submission consumes no randomness, so the bid submissions see the
-    # same RNG stream(s) as the previous interleaved loop.
-    #
-    # The flight recorder (repro.obs.trace) additionally gets one event per
-    # wire message; every emission sits behind a `tr is not None` guard so
-    # the disabled path stays a single comparison.
-    tr = trace.get_active()
-    if tr is not None:
-        tr.round_begin()
-        # rd/cr/width are hidden from the auctioneer (only bidders and the
-        # TTP hold them); the announcement is what everyone sees.
-        tr.meta(
-            "protocol_setup",
-            vis="ttp",
-            n_users=len(users),
-            n_channels=n_channels,
-            bmax=bmax,
-            rd=rd,
-            cr=cr,
-            width=scale.width,
-            emax=scale.emax,
-            two_lambda=two_lambda,
-        )
-        tr.meta(
-            "auction_announcement",
-            vis="public",
-            n_users=len(users),
-            n_channels=n_channels,
-            bmax=bmax,
-            two_lambda=two_lambda,
-            grid_rows=grid.rows,
-            grid_cols=grid.cols,
-        )
-
-    # --- Location submission (bidders mask, auctioneer builds the graph) ---------
-    with obs.phase("location_submission"):
-        location_subs: List[LocationSubmission] = [
-            submit_location(idx, user.cell, keyring.g0, grid, two_lambda)
-            for idx, user in enumerate(users)
-        ]
-        if tr is not None:
-            for sub in location_subs:
-                tr.message(
-                    "location_submission",
-                    su=sub.user_id,
-                    payload_bytes=sub.wire_bytes(),
-                    wire_size=sub.wire_size(),
-                    digest_bytes=sub.x_family.digest_bytes,
-                )
-        conflict = auctioneer.receive_locations(location_subs)
-        location_bytes = sum(s.wire_bytes() for s in location_subs)
-        obs.count("lppa.location_submissions", len(location_subs))
-        obs.count("lppa.location_bytes", location_bytes)
-
-    # --- Bid submission ----------------------------------------------------------
-    with obs.phase("bid_submission"):
-        bid_subs: List[BidSubmission] = []
-        disclosures: List[SubmissionDisclosure] = []
-        for idx, user in enumerate(users):
-            submission, disclosure = submit_bids_advanced(
-                idx, user.bids, keyring, scale, user_rngs[idx], policy=policy
-            )
-            bid_subs.append(submission)
-            disclosures.append(disclosure)
-        if tr is not None:
-            for sub in bid_subs:
-                tr.message(
-                    "bid_submission",
-                    su=sub.user_id,
-                    payload_bytes=sub.wire_bytes(),
-                    wire_size=sub.wire_size(),
-                    masked_set_bytes=sub.masked_set_bytes(),
-                    n_channels=sub.n_channels,
-                    digest_bytes=sub.channel_bids[0].family.digest_bytes,
-                )
-        auctioneer.receive_bids(bid_subs)
-        bid_bytes = sum(s.wire_bytes() for s in bid_subs)
-        obs.count("lppa.bid_submissions", len(bid_subs))
-        obs.count("lppa.bid_bytes", bid_bytes)
-
-    # --- PSD allocation ----------------------------------------------------------
-    with obs.phase("psd_allocation"):
-        rankings = auctioneer.channel_rankings()
-        auctioneer.run_allocation(alloc_rng)
-
-    # --- TTP charging ------------------------------------------------------------
-    with obs.phase("ttp_charging"):
-        outcome = auctioneer.charge_winners(ttp, n_users=len(users))
-
-    # Actual serialized sizes through the wire codec (payload + framing);
-    # encoding also exercises the round-trip invariants in production runs.
-    framed = sum(
-        len(encode_location(s)) for s in location_subs
-    ) + sum(len(encode_bids(s)) for s in bid_subs)
-    obs.count("lppa.framed_bytes", framed)
-    obs.count("lppa.rounds")
-    if tr is not None:
-        tr.round_end(
-            winners=len(outcome.wins),
-            framed_bytes=framed,
-            payload_bytes=location_bytes + bid_bytes,
-        )
-
-    return LppaResult(
-        outcome=outcome,
-        conflict_graph=conflict,
-        rankings=rankings,
-        disclosures=tuple(disclosures),
-        location_bytes=location_bytes,
-        bid_bytes=bid_bytes,
-        masked_set_bytes=sum(s.masked_set_bytes() for s in bid_subs),
-        framed_bytes=framed,
-    )
+    execute_round(state)
+    result: LppaResult = state.result
+    return result

@@ -8,8 +8,8 @@ cell or bid value.
 
 Determinism contract: the round's entropy label arrives in the ROUND_BEGIN
 frame and the client draws its masking randomness from
-``spawn_rng(entropy, "bidder", str(su_id))`` — the exact per-bidder stream
-:func:`repro.lppa.fastsim.derive_round_rngs` hands the in-process session.
+:func:`repro.lppa.entropy.bidder_rng` — the exact per-bidder stream
+:func:`repro.lppa.entropy.derive_round_rngs` hands the in-process session.
 That, plus dense ids under full participation, is why a networked round is
 bit-identical to :func:`~repro.lppa.session.run_lppa_auction`.
 
@@ -42,9 +42,9 @@ from repro.net.frames import (
     unpack_json,
     write_frame,
 )
+from repro.lppa.entropy import bidder_rng
 from repro.net.transport import Connection, Transport, TransportClosed
 from repro.obs.clock import monotonic
-from repro.utils.rng import spawn_rng
 
 __all__ = [
     "RetryPolicy",
@@ -210,7 +210,7 @@ class SUClient:
         t0 = monotonic()
         # The per-bidder stream of the derive_round_rngs contract: masking
         # randomness is a function of (round entropy, this SU's id) only.
-        rng = spawn_rng(entropy, "bidder", str(self._su_id))
+        rng = bidder_rng(entropy, self._su_id)
 
         location = submit_location(
             self._su_id, self._user.cell, self._keyring.g0,

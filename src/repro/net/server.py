@@ -31,9 +31,9 @@ Semantics:
   frame larger than ``max_frame_bytes`` is ever buffered (the envelope
   length is validated before payload bytes are read);
 * **determinism** — with entropy-labelled rounds
-  (:func:`repro.lppa.fastsim.derive_round_rngs` contract) and full
-  participation, the round's :class:`~repro.lppa.session.LppaResult` is
-  bit-identical to the in-process session; ``tests/net/test_runtime.py``
+  (:func:`repro.lppa.entropy.derive_round_rngs` contract) and full
+  participation, the round's :class:`~repro.lppa.round.results.LppaResult`
+  is bit-identical to the in-process session; ``tests/net/test_runtime.py``
   pins this differentially.
 
 Dense user ids: the masked-table layer requires submissions numbered
@@ -48,6 +48,13 @@ Observability: the four session phase keys (``location_submission``,
 work here, wire messages land in the flight recorder with the same kinds
 and visibility tags, and ``net.*`` counters add the runtime's own view
 (frames, envelope bytes, deadline expiries, TTP windows).
+
+Structurally the server is the round core's *network driver*: the phases
+themselves are the shared :data:`repro.lppa.round.PHASE_STEPS` executed by
+:func:`repro.lppa.round.execute_round_async` with the crypto value
+backend; :class:`_NetRoundDriver` below contributes only the
+transport-facing interaction points (deadline-gated collection, straggler
+repair, the TTP service exchange, the RESULT broadcast).
 """
 
 from __future__ import annotations
@@ -63,17 +70,18 @@ from repro import obs
 from repro.obs import trace
 from repro.obs.clock import monotonic
 from repro.geo.grid import GridSpec
-from repro.lppa.auctioneer import Auctioneer
 from repro.lppa.bids_advanced import BidScale
-from repro.lppa.codec import (
-    CodecError,
-    decode_bids,
-    decode_location,
-    encode_bids,
-    encode_location,
-)
+from repro.lppa.codec import CodecError, decode_bids, decode_location
+from repro.lppa.entropy import alloc_rng
 from repro.lppa.messages import BidSubmission, LocationSubmission
-from repro.lppa.session import LppaResult
+from repro.lppa.round import (
+    CRYPTO_BACKEND,
+    LppaResult,
+    PhaseStep,
+    RoundDriver,
+    RoundState,
+    execute_round_async,
+)
 from repro.lppa.ttp import TrustedThirdParty
 from repro.net.frames import (
     FRAME_HEADER_BYTES,
@@ -86,7 +94,6 @@ from repro.net.frames import (
 )
 from repro.net.transport import Connection, Transport, TransportClosed
 from repro.net.ttp_service import TtpService
-from repro.utils.rng import spawn_rng
 
 __all__ = [
     "RoundPhase",
@@ -454,7 +461,14 @@ class AuctioneerServer:
     # -- the round state machine -------------------------------------------
 
     async def run_round(self, entropy: str) -> NetRoundReport:
-        """Drive one auction round over the connected SUs."""
+        """Drive one auction round over the connected SUs.
+
+        The phases themselves are the shared round core
+        (:data:`repro.lppa.round.PHASE_STEPS` with the crypto backend);
+        this method contributes the roster snapshot, the round counter and
+        the abort protocol, and :class:`_NetRoundDriver` the transport
+        interaction points.
+        """
         if self._phase is not RoundPhase.IDLE:
             raise RuntimeError(f"round already in progress (phase {self._phase})")
         cfg = self._config
@@ -468,34 +482,28 @@ class AuctioneerServer:
         t0 = monotonic()
 
         tr = trace.get_active()
-        if tr is not None:
-            tr.round_begin()
-            tr.meta(
-                "protocol_setup",
-                vis="ttp",
-                n_users=len(roster),
-                n_channels=cfg.n_channels,
-                bmax=cfg.bmax,
-                rd=cfg.rd,
-                cr=cfg.cr,
-                width=self._scale.width,
-                emax=self._scale.emax,
-                two_lambda=cfg.two_lambda,
-            )
-            tr.meta(
-                "auction_announcement",
-                vis="public",
-                n_users=len(roster),
-                n_channels=cfg.n_channels,
-                bmax=cfg.bmax,
-                two_lambda=cfg.two_lambda,
-                grid_rows=cfg.grid.rows,
-                grid_cols=cfg.grid.cols,
-            )
-
+        driver = _NetRoundDriver(self, round_index, entropy, roster)
+        state = RoundState(
+            backend=CRYPTO_BACKEND,
+            driver=driver,
+            n_users=len(roster),
+            n_channels=cfg.n_channels,
+            two_lambda=cfg.two_lambda,
+            bmax=cfg.bmax,
+            rd=cfg.rd,
+            cr=cfg.cr,
+            seed=cfg.seed,
+            grid=cfg.grid,
+            alloc_rng=alloc_rng(entropy),
+            # TTP setup happened once at construction; prefilling the
+            # material makes the crypto backend's setup step a no-op.
+            keyring=self._keyring,
+            scale=self._scale,
+            tr=tr,
+        )
         try:
             with obs.timer("net.round"):
-                report = await self._run_round_phases(round_index, entropy, roster, tr)
+                await execute_round_async(state)
         except RoundAborted:
             await self._broadcast(
                 roster, FrameType.ERROR,
@@ -510,129 +518,12 @@ class AuctioneerServer:
             self._phase = RoundPhase.IDLE
             self._expected = set()
 
-        if tr is not None:
-            tr.round_end(
-                winners=len(report.result.outcome.wins),
-                framed_bytes=report.result.framed_bytes,
-                payload_bytes=report.result.location_bytes + report.result.bid_bytes,
-            )
-        return dataclasses.replace(report, latency_s=monotonic() - t0)
-
-    async def _run_round_phases(
-        self,
-        round_index: int,
-        entropy: str,
-        roster: Tuple[int, ...],
-        tr,
-    ) -> NetRoundReport:
-        cfg = self._config
-
-        # --- Location submission (collect, then the auctioneer's graph) ---
-        with obs.phase("location_submission"):
-            self._begin_collect(RoundPhase.COLLECT_LOCATIONS, roster)
-            await self._broadcast(
-                roster, FrameType.ROUND_BEGIN,
-                pack_json({"round": round_index, "entropy": entropy}),
-            )
-            await self._collect(cfg.location_deadline)
-            location_sus = tuple(sorted(self._locations))
-            if not location_sus:
-                raise RoundAborted("no location submissions")
-            loc_dense = self._dense_locations(location_sus)
-            if tr is not None:
-                for sub in loc_dense:
-                    tr.message(
-                        "location_submission",
-                        su=sub.user_id,
-                        payload_bytes=sub.wire_bytes(),
-                        wire_size=sub.wire_size(),
-                        digest_bytes=sub.x_family.digest_bytes,
-                    )
-            auctioneer = Auctioneer(cfg.n_channels)
-            conflict = auctioneer.receive_locations(loc_dense)
-            location_bytes = sum(s.wire_bytes() for s in loc_dense)
-            obs.count("lppa.location_submissions", len(loc_dense))
-            obs.count("lppa.location_bytes", location_bytes)
-
-        # --- Bid submission ------------------------------------------------
-        with obs.phase("bid_submission"):
-            self._begin_collect(RoundPhase.COLLECT_BIDS, location_sus)
-            await self._broadcast(
-                location_sus, FrameType.BID_REQUEST,
-                pack_json({"round": round_index}),
-            )
-            await self._collect(cfg.bid_deadline)
-            participants = tuple(
-                sorted(su for su in self._bids if su in self._locations)
-            )
-            if not participants:
-                raise RoundAborted("no bid submissions")
-            if participants != location_sus:
-                # Stragglers died between phases: rebuild the conflict graph
-                # over the final roster (a second conflict_graph trace
-                # instant marks the repair).
-                loc_dense = self._dense_locations(participants)
-                auctioneer = Auctioneer(cfg.n_channels)
-                conflict = auctioneer.receive_locations(loc_dense)
-                location_bytes = sum(s.wire_bytes() for s in loc_dense)
-            bid_dense = [
-                dataclasses.replace(self._bids[su], user_id=i)
-                for i, su in enumerate(participants)
-            ]
-            if tr is not None:
-                for sub in bid_dense:
-                    tr.message(
-                        "bid_submission",
-                        su=sub.user_id,
-                        payload_bytes=sub.wire_bytes(),
-                        wire_size=sub.wire_size(),
-                        masked_set_bytes=sub.masked_set_bytes(),
-                        n_channels=sub.n_channels,
-                        digest_bytes=sub.channel_bids[0].family.digest_bytes,
-                    )
-            auctioneer.receive_bids(bid_dense)
-            bid_bytes = sum(s.wire_bytes() for s in bid_dense)
-            obs.count("lppa.bid_submissions", len(bid_dense))
-            obs.count("lppa.bid_bytes", bid_bytes)
-
-        # --- PSD allocation ------------------------------------------------
-        self._phase = RoundPhase.ALLOCATE
-        with obs.phase("psd_allocation"):
-            rankings = auctioneer.channel_rankings()
-            auctioneer.run_allocation(spawn_rng(entropy, "alloc"))
-
-        # --- TTP charging (through the periodically-online service) --------
-        self._phase = RoundPhase.CHARGE
-        with obs.phase("ttp_charging"):
-            decisions = await self._ttp_service.charge_batch(
-                auctioneer.charge_material()
-            )
-            outcome = auctioneer.assemble_outcome(
-                decisions, n_users=len(participants)
-            )
-
-        framed = sum(len(encode_location(s)) for s in loc_dense) + sum(
-            len(encode_bids(s)) for s in bid_dense
-        )
-        obs.count("lppa.framed_bytes", framed)
-        obs.count("lppa.rounds")
-        result = LppaResult(
-            outcome=outcome,
-            conflict_graph=conflict,
-            rankings=rankings,
-            disclosures=(),  # SU-private; never crosses the wire
-            location_bytes=location_bytes,
-            bid_bytes=bid_bytes,
-            masked_set_bytes=sum(s.masked_set_bytes() for s in bid_dense),
-            framed_bytes=framed,
-        )
-        await self._broadcast_result(round_index, participants, result)
         return NetRoundReport(
             round_index=round_index,
-            result=result,
-            participants=participants,
-            stragglers=tuple(su for su in roster if su not in participants),
-            latency_s=0.0,  # stamped by run_round
+            result=state.result,
+            participants=driver.participants,
+            stragglers=tuple(su for su in roster if su not in driver.participants),
+            latency_s=monotonic() - t0,
         )
 
     def _dense_locations(self, sus: Sequence[int]) -> List[LocationSubmission]:
@@ -691,3 +582,84 @@ class AuctioneerServer:
             "framed_bytes": result.framed_bytes,
         }
         await self._broadcast(participants, FrameType.RESULT, pack_json(document))
+
+
+class _NetRoundDriver(RoundDriver):
+    """One round's transport-facing hooks, bound to a server and roster.
+
+    Unlike the stateless in-process driver singleton, a fresh instance is
+    created per round: it carries the round index, the entropy label, the
+    roster snapshot and the surviving-participant sets the report needs.
+    """
+
+    name = "network"
+
+    def __init__(
+        self,
+        server: AuctioneerServer,
+        round_index: int,
+        entropy: str,
+        roster: Tuple[int, ...],
+    ) -> None:
+        self._server = server
+        self._round_index = round_index
+        self._entropy = entropy
+        self._roster = roster
+        self._location_sus: Tuple[int, ...] = ()
+        self.participants: Tuple[int, ...] = ()
+
+    def enter_phase(self, state: RoundState, step: PhaseStep) -> None:
+        # The collect phases transition inside collect_* (via
+        # _begin_collect, which also arms the expected set); the two
+        # compute phases transition here so late frames get ERR_LATE.
+        if step.key == "psd_allocation":
+            self._server._phase = RoundPhase.ALLOCATE
+        elif step.key == "ttp_charging":
+            self._server._phase = RoundPhase.CHARGE
+
+    async def collect_locations(self, state: RoundState) -> None:
+        srv = self._server
+        srv._begin_collect(RoundPhase.COLLECT_LOCATIONS, self._roster)
+        await srv._broadcast(
+            self._roster, FrameType.ROUND_BEGIN,
+            pack_json({"round": self._round_index, "entropy": self._entropy}),
+        )
+        await srv._collect(srv._config.location_deadline)
+        location_sus = tuple(sorted(srv._locations))
+        if not location_sus:
+            raise RoundAborted("no location submissions")
+        self._location_sus = location_sus
+        state.location_subs = srv._dense_locations(location_sus)
+
+    async def collect_bids(self, state: RoundState) -> None:
+        srv = self._server
+        srv._begin_collect(RoundPhase.COLLECT_BIDS, self._location_sus)
+        await srv._broadcast(
+            self._location_sus, FrameType.BID_REQUEST,
+            pack_json({"round": self._round_index}),
+        )
+        await srv._collect(srv._config.bid_deadline)
+        participants = tuple(
+            sorted(su for su in srv._bids if su in srv._locations)
+        )
+        if not participants:
+            raise RoundAborted("no bid submissions")
+        if participants != self._location_sus:
+            # Stragglers died between phases; hand the core the surviving
+            # roster's locations and let it re-ingest (straggler repair).
+            state.location_subs = srv._dense_locations(participants)
+            state.relocate = True
+        self.participants = participants
+        state.bid_subs = [
+            dataclasses.replace(srv._bids[su], user_id=i)
+            for i, su in enumerate(participants)
+        ]
+
+    async def decide_charges(self, state: RoundState, material: List) -> List:
+        # Through the periodically-online TTP service (windowed batching).
+        return await self._server._ttp_service.charge_batch(material)
+
+    async def publish(self, state: RoundState) -> None:
+        await self._server._broadcast_result(
+            self._round_index, self.participants, state.result
+        )

@@ -1,0 +1,54 @@
+"""The entropy module: one seeding contract, plus the deprecation shim."""
+
+import warnings
+
+import pytest
+
+from repro.lppa.entropy import alloc_rng, bidder_rng, derive_round_rngs
+from repro.utils.rng import spawn_rng
+
+
+def test_derive_round_rngs_matches_the_labelled_streams():
+    user_rngs, alloc = derive_round_rngs("round-7", 4)
+    assert len(user_rngs) == 4
+    for i, rng in enumerate(user_rngs):
+        expected = spawn_rng("round-7", "bidder", str(i))
+        assert rng.random() == expected.random()
+    assert alloc.random() == spawn_rng("round-7", "alloc").random()
+
+
+def test_bidder_stream_is_independent_of_population_size():
+    """A networked SU derives its stream alone; it must equal the stream the
+    in-process derivation hands the same id, whatever n_users is."""
+    lone = bidder_rng("round-9", 2)
+    in_small, _ = derive_round_rngs("round-9", 3)
+    in_large, _ = derive_round_rngs("round-9", 30)
+    draws = [lone.random() for _ in range(5)]
+    assert [in_small[2].random() for _ in range(5)] == draws
+    assert [in_large[2].random() for _ in range(5)] == draws
+
+
+def test_alloc_stream_differs_from_bidder_streams():
+    assert alloc_rng("round-1").random() != bidder_rng("round-1", 0).random()
+
+
+def test_old_fastsim_import_path_still_works_but_warns():
+    import repro.lppa.fastsim as fastsim
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = fastsim.derive_round_rngs
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert legacy is derive_round_rngs
+    # The legacy name keeps producing the exact streams (same function).
+    user_rngs, alloc = legacy("compat", 2)
+    expect_users, expect_alloc = derive_round_rngs("compat", 2)
+    assert [r.random() for r in user_rngs] == [r.random() for r in expect_users]
+    assert alloc.random() == expect_alloc.random()
+
+
+def test_fastsim_unknown_attribute_raises():
+    import repro.lppa.fastsim as fastsim
+
+    with pytest.raises(AttributeError):
+        fastsim.no_such_name

@@ -1,0 +1,108 @@
+"""Property tests for the masked bid table's order machinery.
+
+Hypothesis drives random bid populations through the real crypto path
+(``submit_bids_advanced`` → ``MaskedBidTable``) and checks the two
+invariants everything downstream leans on:
+
+* the pairwise oracle ``bid_ge`` is a *total preorder* (total, transitive),
+  so ``ranking()``'s comparison sort is well-defined;
+* the masked ranking equals plain integer ordering of the hidden expanded
+  values — the order-isomorphism the fast simulator's equivalence rests on.
+
+Plus the memoization contract: each ordered pair costs at most one
+underlying membership test, however often it is queried.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import generate_keyring
+from repro.lppa import psd
+from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
+from repro.lppa.psd import MaskedBidTable
+
+SCALE = BidScale(bmax=30, rd=4, cr=8)
+KEYRING = generate_keyring(b"psd-prop-test", 2, rd=4, cr=8)
+
+populations = st.lists(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=2),
+    min_size=2,
+    max_size=6,
+)
+
+
+def _world(bid_rows, seed):
+    rng = random.Random(seed)
+    submissions, values = [], []
+    for uid, bids in enumerate(bid_rows):
+        submission, disclosure = submit_bids_advanced(
+            uid, bids, KEYRING, SCALE, rng
+        )
+        submissions.append(submission)
+        values.append([c.masked_expanded for c in disclosure.channels])
+    return MaskedBidTable(submissions), values
+
+
+@settings(max_examples=25, deadline=None)
+@given(bid_rows=populations, seed=st.integers(min_value=0, max_value=2**16))
+def test_bid_ge_is_a_total_preorder(bid_rows, seed):
+    table, _ = _world(bid_rows, seed)
+    n = len(bid_rows)
+    for channel in range(2):
+        for i, j in itertools.product(range(n), repeat=2):
+            # Totality: at least one direction holds for every pair.
+            assert table.bid_ge(i, j, channel) or table.bid_ge(j, i, channel)
+        for i, j, k in itertools.product(range(n), repeat=3):
+            if table.bid_ge(i, j, channel) and table.bid_ge(j, k, channel):
+                assert table.bid_ge(i, k, channel)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bid_rows=populations, seed=st.integers(min_value=0, max_value=2**16))
+def test_masked_ranking_agrees_with_plain_integer_ordering(bid_rows, seed):
+    table, values = _world(bid_rows, seed)
+    for channel in range(2):
+        classes = table.ranking(channel)
+        # Same equivalence classes, same order, as sorting the hidden
+        # integers descending (class members share a value, so only the
+        # per-class sets can differ in member order).
+        by_value = {}
+        for bidder, row in enumerate(values):
+            by_value.setdefault(row[channel], []).append(bidder)
+        expected = [
+            sorted(by_value[v]) for v in sorted(by_value, reverse=True)
+        ]
+        assert [sorted(cls) for cls in classes] == expected
+        # And the oracle agrees with the integers pairwise.
+        for i, j in itertools.product(range(len(bid_rows)), repeat=2):
+            assert table.bid_ge(i, j, channel) == (
+                values[i][channel] >= values[j][channel]
+            )
+
+
+def test_each_ordered_pair_is_membership_tested_at_most_once(monkeypatch):
+    table, _ = _world([[5, 0], [17, 2], [0, 9], [30, 30], [12, 1]], seed=3)
+    tested = []
+    real_is_member = psd.is_member
+
+    def counting(family, tail):
+        tested.append((id(family), id(tail)))
+        return real_is_member(family, tail)
+
+    monkeypatch.setattr(psd, "is_member", counting)
+    table.rankings()
+    # Re-query everything: rankings again plus every pairwise oracle call.
+    table.rankings()
+    for channel in range(2):
+        for i, j in itertools.product(range(5), repeat=2):
+            table.bid_ge(i, j, channel)
+    assert len(tested) == len(set(tested)), (
+        "memoized bid_ge repeated a membership test for the same "
+        "(family, tail) operands"
+    )
+    # And the cache can never have tested more than every ordered pair once
+    # per channel.
+    assert len(tested) <= 2 * 5 * 5
