@@ -6,7 +6,22 @@ symmetric cipher for the TTP charging channel (key ``gc``).  Both are
 implemented here without external dependencies.
 """
 
-from repro.crypto.backend import get_backend, hmac_digest, set_backend, use_backend
+from repro.crypto.backend import (
+    CryptoBackend,
+    available_backends,
+    get_backend,
+    hmac_digest,
+    hmac_digest_batch,
+    hmac_digest_pairs,
+    set_backend,
+    use_backend,
+)
+from repro.crypto.cache import (
+    MaskCache,
+    cache_disabled,
+    get_mask_cache,
+    note_key_epoch,
+)
 from repro.crypto.hmac_impl import HMAC, hmac_sha256
 from repro.crypto.paillier import (
     PaillierPrivateKey,
@@ -19,10 +34,18 @@ from repro.crypto.sha256 import SHA256, sha256
 from repro.crypto.speck import Speck64128, ctr_decrypt, ctr_encrypt
 
 __all__ = [
+    "CryptoBackend",
+    "available_backends",
     "get_backend",
     "hmac_digest",
+    "hmac_digest_batch",
+    "hmac_digest_pairs",
     "set_backend",
     "use_backend",
+    "MaskCache",
+    "cache_disabled",
+    "get_mask_cache",
+    "note_key_epoch",
     "HMAC",
     "PaillierPrivateKey",
     "PaillierPublicKey",

@@ -1,0 +1,189 @@
+"""Masked-prefix digest cache: stop re-masking identical sets every round.
+
+A stationary SU submits the *same* location prefix family and interference
+cover round after round, and the TTP re-derives the same masked bid family
+at charging time that the bidder already computed at submission time.  Both
+are deterministic functions of ``(HMAC key, domain, digest size, prefix
+set)`` — so the masking layer keeps a bounded LRU of exactly that mapping.
+
+Correctness is structural: the cache key *contains the key material*, so a
+rotated key can never alias a stale entry — a new key ring simply misses.
+On top of that, :class:`repro.lppa.ttp.TrustedThirdParty` notes the key
+ring fingerprint on every key (re)distribution via :func:`note_key_epoch`,
+which drops all entries whenever the fingerprint changes; dead epochs are
+evicted eagerly instead of lingering until LRU pressure.
+
+Observability: every lookup lands on ``crypto.mask_cache.hits`` or
+``crypto.mask_cache.misses``; clears count ``crypto.mask_cache.invalidations``
+and LRU pressure counts ``crypto.mask_cache.evictions``.  The fault-test
+suite uses these counters to prove no stale digest is ever served across
+key rotation, SU churn and prefix-set mutation.
+
+The cache is enabled by default (results are bit-identical either way —
+only the HMAC work is skipped); disable it process-wide with
+``REPRO_MASK_CACHE=0``, temporarily with :func:`cache_disabled`, or from
+the CLI with ``--no-mask-cache``.  Like :mod:`repro.obs`, it is
+single-threaded by design; forked sweep workers inherit a snapshot, which
+is harmless because entries are pure functions of their keys.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro import obs
+
+__all__ = [
+    "MaskCache",
+    "get_mask_cache",
+    "set_mask_cache",
+    "cache_enabled",
+    "set_cache_enabled",
+    "cache_disabled",
+    "note_key_epoch",
+]
+
+#: Digests of one masked prefix set, in the set's prefix order.
+CachedDigests = Tuple[bytes, ...]
+
+#: Lookup key: (HMAC key, domain, digest_bytes, numericalized message tuple).
+CacheKey = Tuple[bytes, bytes, int, Tuple[bytes, ...]]
+
+_DEFAULT_MAX_ENTRIES = 65536
+
+
+class MaskCache:
+    """Bounded LRU of masked-prefix digest tuples.
+
+    Entries map a :data:`CacheKey` to the truncated digests of the set, in
+    input order — order matters so batch lookups reproduce the exact bytes
+    a cold mask would produce.
+    """
+
+    __slots__ = ("_entries", "_max_entries", "_epoch", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: "OrderedDict[CacheKey, CachedDigests]" = OrderedDict()
+        self._max_entries = max_entries
+        self._epoch: Optional[bytes] = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def epoch(self) -> Optional[bytes]:
+        """Fingerprint of the key epoch the cache was last validated for."""
+        return self._epoch
+
+    def get(self, key: CacheKey) -> Optional[CachedDigests]:
+        """Look one set up; counts a hit or a miss either way."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            obs.count("crypto.mask_cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.count("crypto.mask_cache.hits")
+        return entry
+
+    def put(self, key: CacheKey, digests: CachedDigests) -> None:
+        """Store one set's digests, evicting the LRU entry on overflow."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return
+        entries[key] = digests
+        if len(entries) > self._max_entries:
+            entries.popitem(last=False)
+            self.evictions += 1
+            obs.count("crypto.mask_cache.evictions")
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            obs.count("crypto.mask_cache.invalidations")
+        return dropped
+
+    def note_key_epoch(self, fingerprint: bytes) -> bool:
+        """Record a key (re)distribution; clears the cache on a new epoch.
+
+        Returns ``True`` when the fingerprint changed (entries dropped).
+        Re-distributing the *same* keys — every round of a seeded
+        experiment re-runs :meth:`TrustedThirdParty.setup` with the same
+        seed — keeps the cache warm across rounds.
+        """
+        if fingerprint == self._epoch:
+            return False
+        changed = self._epoch is not None
+        self._epoch = fingerprint
+        if changed:
+            self.clear()
+        return changed
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot for reports and tests."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_cache = MaskCache()
+_enabled = os.environ.get("REPRO_MASK_CACHE", "1").lower() not in ("0", "off", "false")
+
+
+def get_mask_cache() -> MaskCache:
+    """The process-wide cache instance the masking layer consults."""
+    return _cache
+
+
+def set_mask_cache(cache: MaskCache) -> MaskCache:
+    """Swap in a different cache instance (tests); returns the previous one."""
+    global _cache
+    previous = _cache
+    _cache = cache
+    return previous
+
+
+def cache_enabled() -> bool:
+    """Whether the masking layer consults the cache at all."""
+    return _enabled
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable cache consultation (bytes never change)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextlib.contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily bypass the cache — the calibration's fixed-work guard."""
+    previous = _enabled
+    set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+def note_key_epoch(fingerprint: bytes) -> bool:
+    """Module-level convenience for :meth:`MaskCache.note_key_epoch`."""
+    return _cache.note_key_epoch(fingerprint)

@@ -19,11 +19,12 @@ it deterministically from a seed so experiments are reproducible.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.backend import hmac_digest, hmac_digest_batch
 
 __all__ = ["KeyRing", "generate_keyring", "derive_key"]
 
@@ -35,8 +36,10 @@ def derive_key(master: bytes, label: str) -> bytes:
 
     A tiny HKDF-expand-style derivation: one HMAC invocation keyed by the
     master secret over the ASCII label, truncated to the Speck/HMAC key size.
+    Routed through the active :mod:`repro.crypto.backend` so key-ring
+    bootstrap is accelerated alongside masking.
     """
-    return hmac_sha256(master, label.encode("ascii"))[:_KEY_BYTES]
+    return hmac_digest(master, label.encode("ascii"))[:_KEY_BYTES]
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,22 @@ class KeyRing:
             "key_bytes": _KEY_BYTES,
         }
 
+    def fingerprint(self) -> bytes:
+        """Digest identifying this key epoch for cache invalidation.
+
+        A one-way hash over all key material and disguise parameters; the
+        TTP hands it to :func:`repro.crypto.cache.note_key_epoch` at every
+        key (re)distribution so masked-digest caches of a previous epoch
+        are dropped eagerly.  It stays on the SU/TTP side of the trust
+        boundary, like the keys themselves.
+        """
+        h = hashlib.sha256(b"lppa/keyring/fingerprint/v1")
+        for part in (self.g0, self.gb, self.gc, *self.gb_channels):
+            h.update(struct.pack(">I", len(part)))
+            h.update(part)
+        h.update(struct.pack(">II", self.rd, self.cr))
+        return h.digest()
+
 
 def generate_keyring(
     seed: bytes,
@@ -111,14 +130,18 @@ def generate_keyring(
         raise ValueError("need at least one channel")
     if not seed:
         raise ValueError("seed must be non-empty bytes")
-    return KeyRing(
-        g0=derive_key(seed, "lppa/location/g0"),
-        gb=derive_key(seed, "lppa/bid/gb"),
-        gb_channels=[
-            derive_key(seed, f"lppa/bid/gb_{struct.pack('>I', ch).hex()}")
+    labels = [
+        "lppa/location/g0",
+        "lppa/bid/gb",
+        "lppa/ttp/gc",
+        *(
+            f"lppa/bid/gb_{struct.pack('>I', ch).hex()}"
             for ch in range(n_channels)
-        ],
-        gc=derive_key(seed, "lppa/ttp/gc"),
-        rd=rd,
-        cr=cr,
+        ),
+    ]
+    # One batch through the backend: every subkey shares the master key.
+    g0, gb, gc, *gb_channels = (
+        d[:_KEY_BYTES]
+        for d in hmac_digest_batch(seed, [lb.encode("ascii") for lb in labels])
     )
+    return KeyRing(g0=g0, gb=gb, gb_channels=gb_channels, gc=gc, rd=rd, cr=cr)

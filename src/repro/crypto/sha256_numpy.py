@@ -1,0 +1,176 @@
+"""Numpy-vectorized SHA-256 / HMAC-SHA256 over message matrices.
+
+The PPBS masking layer hashes *sets*: a location submission masks four
+prefix sets under one key, a bid submission masks two sets per channel, and
+the batch APIs in :mod:`repro.prefix.membership` deliver all of it to the
+crypto backend as one message list.  This module computes those batches
+lane-parallel: messages are padded, grouped by padded length, and the FIPS
+180-4 compression function runs once per block position over a ``uint32``
+matrix with one lane per message.
+
+The arithmetic is a direct vectorization of :mod:`repro.crypto.sha256`
+(same ``_K``/``_H0`` constants, same schedule and round functions), so the
+output is bit-identical by construction — the cross-backend differential
+suite asserts it digest-for-digest.  Per-lane throughput beats the pure
+backend by orders of magnitude but only approaches OpenSSL (the ``hashlib``
+backend) for batches of a few thousand lanes; the backend exists primarily
+to prove the batch seam carries a genuinely different execution strategy
+without moving a single wire byte.
+
+``numpy`` is a package dependency, but the import stays local to this
+module so environments without it can still run the pure/hashlib backends
+(:func:`repro.crypto.backend.available_backends` gates on importability).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.crypto.sha256 import _H0, _K
+
+__all__ = ["sha256_many", "hmac_sha256_many"]
+
+_BLOCK = 64
+_IPAD = 0x36
+_OPAD = 0x5C
+
+_K_VEC = np.array(_K, dtype=np.uint32)
+_H0_VEC = np.array(_H0, dtype=np.uint32)
+
+
+def _rotr(x: "np.ndarray", n: int) -> "np.ndarray":
+    """Lane-wise 32-bit right rotation."""
+    return (x >> np.uint32(n)) | (x << np.uint32(32 - n))
+
+
+def _compress_many(state: "np.ndarray", block_words: "np.ndarray") -> None:
+    """One compression round over all lanes, updating ``state`` in place.
+
+    ``state`` is ``(8, N)`` and ``block_words`` ``(16, N)``, both
+    ``uint32``; additions wrap mod 2**32 exactly as the scalar reference.
+    """
+    n_lanes = state.shape[1]
+    w = np.empty((64, n_lanes), dtype=np.uint32)
+    w[:16] = block_words
+    for t in range(16, 64):
+        wt15 = w[t - 15]
+        wt2 = w[t - 2]
+        s0 = _rotr(wt15, 7) ^ _rotr(wt15, 18) ^ (wt15 >> np.uint32(3))
+        s1 = _rotr(wt2, 17) ^ _rotr(wt2, 19) ^ (wt2 >> np.uint32(10))
+        w[t] = w[t - 16] + s0 + w[t - 7] + s1
+
+    a, b, c, d, e, f, g, h = (state[i].copy() for i in range(8))
+    for t in range(64):
+        big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        t1 = h + big_s1 + ch + _K_VEC[t] + w[t]
+        big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = big_s0 + maj
+        h = g
+        g = f
+        f = e
+        e = d + t1
+        d = c
+        c = b
+        b = a
+        a = t1 + t2
+
+    state[0] += a
+    state[1] += b
+    state[2] += c
+    state[3] += d
+    state[4] += e
+    state[5] += f
+    state[6] += g
+    state[7] += h
+
+
+def _pad(message: bytes) -> bytes:
+    """FIPS 180-4 padding: 0x80, zeros to 56 mod 64, 64-bit bit length."""
+    pad_len = (55 - len(message)) % _BLOCK
+    return (
+        message
+        + b"\x80"
+        + b"\x00" * pad_len
+        + struct.pack(">Q", 8 * len(message))
+    )
+
+
+def sha256_many(messages: Sequence[bytes]) -> List[bytes]:
+    """SHA-256 digests of every message, computed lane-parallel.
+
+    Messages are grouped by padded length; each group's lanes run through
+    the vectorized compression together.  Equivalent to
+    ``[hashlib.sha256(m).digest() for m in messages]`` bit for bit.
+    """
+    out: List[bytes] = [b""] * len(messages)
+    groups: dict = {}
+    padded: List[bytes] = []
+    for index, message in enumerate(messages):
+        p = _pad(bytes(message))
+        padded.append(p)
+        groups.setdefault(len(p), []).append(index)
+
+    for size, indices in groups.items():
+        n_lanes = len(indices)
+        words = (
+            np.frombuffer(
+                b"".join(padded[i] for i in indices), dtype=">u4"
+            )
+            .reshape(n_lanes, size // 4)
+            .astype(np.uint32)
+        )
+        state = np.repeat(_H0_VEC[:, None], n_lanes, axis=1)
+        for block in range(size // _BLOCK):
+            _compress_many(state, words[:, block * 16 : block * 16 + 16].T)
+        digest_bytes = np.ascontiguousarray(state.T).astype(">u4").tobytes()
+        for lane, index in enumerate(indices):
+            out[index] = digest_bytes[lane * 32 : lane * 32 + 32]
+    return out
+
+
+def _key_block(key: bytes, digested: List[bytes]) -> bytes:
+    """The 64-byte HMAC key block (long keys arrive pre-hashed)."""
+    if len(key) > _BLOCK:
+        key = digested.pop(0)
+    return key.ljust(_BLOCK, b"\x00")
+
+
+def hmac_sha256_many(
+    keys: Union[bytes, Sequence[bytes]], messages: Sequence[bytes]
+) -> List[bytes]:
+    """HMAC-SHA256 of each message, vectorized, with per-lane keys.
+
+    ``keys`` is either one key shared by every lane or a sequence aligned
+    with ``messages``.  Output is bit-identical to looping
+    ``hmac.new(key, msg, sha256).digest()``.
+    """
+    if isinstance(keys, (bytes, bytearray, memoryview)):
+        key_list = [bytes(keys)] * len(messages)
+    else:
+        key_list = [bytes(k) for k in keys]
+        if len(key_list) != len(messages):
+            raise ValueError("one key per message required")
+
+    # Keys longer than the block size are replaced by their digest first —
+    # itself computed through the vectorized core.
+    long_keys = [k for k in key_list if len(k) > _BLOCK]
+    digested = sha256_many(long_keys) if long_keys else []
+    blocks = [_key_block(k, digested) for k in key_list]
+
+    inner = sha256_many(
+        [
+            bytes(b ^ _IPAD for b in block) + bytes(message)
+            for block, message in zip(blocks, messages)
+        ]
+    )
+    return sha256_many(
+        [
+            bytes(b ^ _OPAD for b in block) + digest
+            for block, digest in zip(blocks, inner)
+        ]
+    )

@@ -27,13 +27,20 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.crypto.keys import KeyRing
 from repro.lppa.bids_basic import encrypt_bid_value
 from repro.lppa.messages import BidSubmission, MaskedBid
 from repro.lppa.policies import KeepZeroPolicy, ZeroDisguisePolicy
-from repro.prefix.membership import mask_range, mask_value
-from repro.prefix.prefixes import bit_width_for
-from repro.prefix.ranges import max_cover_size
+from repro.prefix.membership import (
+    DEFAULT_DIGEST_BYTES,
+    MaskedSet,
+    MaskSpec,
+    mask_spec_digests,
+    pad_masked_set,
+)
+from repro.prefix.prefixes import bit_width_for, prefix_family
+from repro.prefix.ranges import max_cover_size, range_cover
 
 __all__ = [
     "BidScale",
@@ -204,21 +211,45 @@ def submit_bids_advanced(
 
     disclosures = disguise_and_expand(bids, scale, rng, policy=policy)
     width = scale.width
-    channel_bids: List[MaskedBid] = []
+    ceiling = max(scale.pad_to, max_cover_size(width))
+
+    # Masking consumes no randomness, so all channels' families and tail
+    # covers go through one backend batch up front; the per-channel loop
+    # below then draws pad fillers and ciphertext nonces in exactly the
+    # order the digest-at-a-time implementation did.
+    specs: List[MaskSpec] = []
     for channel, disclosure in enumerate(disclosures):
         key = keyring.channel_key(channel)
+        specs.append(
+            MaskSpec.of(
+                key,
+                prefix_family(disclosure.masked_expanded, width),
+                domain=_BID_DOMAIN,
+            )
+        )
+        specs.append(
+            MaskSpec.of(
+                key,
+                range_cover(disclosure.masked_expanded, scale.emax, width),
+                domain=_BID_DOMAIN,
+            )
+        )
+    digests = mask_spec_digests(specs)
+
+    channel_bids: List[MaskedBid] = []
+    for channel, disclosure in enumerate(disclosures):
+        family = MaskedSet(
+            frozenset(digests[2 * channel]), digest_bytes=DEFAULT_DIGEST_BYTES
+        )
+        obs.count("prefix.masked_sets")
+        obs.count("prefix.masked_digests", len(family))
         channel_bids.append(
             MaskedBid(
-                family=mask_value(
-                    key, disclosure.masked_expanded, width, domain=_BID_DOMAIN
-                ),
-                tail=mask_range(
-                    key,
-                    disclosure.masked_expanded,
-                    scale.emax,
-                    width,
-                    domain=_BID_DOMAIN,
-                    pad_to=scale.pad_to,
+                family=family,
+                tail=pad_masked_set(
+                    set(digests[2 * channel + 1]),
+                    ceiling=ceiling,
+                    digest_bytes=DEFAULT_DIGEST_BYTES,
                     rng=rng,
                 ),
                 ciphertext=encrypt_bid_value(

@@ -17,17 +17,19 @@ Coordinates are cell indices (non-negative integers, as the paper assumes).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.auction.conflict import ConflictGraph
 from repro.geo.grid import Cell, GridSpec
 from repro.lppa.messages import LocationSubmission
-from repro.prefix.membership import is_member, mask_range, mask_value
-from repro.prefix.prefixes import bit_width_for
+from repro.prefix.membership import MaskSpec, is_member, mask_specs
+from repro.prefix.prefixes import bit_width_for, prefix_family
+from repro.prefix.ranges import range_cover
 
 __all__ = [
     "coordinate_width",
     "submit_location",
+    "submit_locations",
     "build_private_conflict_graph",
 ]
 
@@ -47,6 +49,26 @@ def coordinate_width(grid: GridSpec, two_lambda: int) -> int:
     return bit_width_for(max(grid.rows, grid.cols) - 1 + (two_lambda - 1))
 
 
+def _location_specs(
+    cell: Cell, g0: bytes, grid: GridSpec, two_lambda: int
+) -> List[MaskSpec]:
+    """The four prefix sets of one submission, as batchable mask specs."""
+    grid.require(cell)
+    width = coordinate_width(grid, two_lambda)
+    d = two_lambda - 1
+    m, n = cell
+    return [
+        MaskSpec.of(g0, prefix_family(m, width), domain=_X_DOMAIN),
+        MaskSpec.of(
+            g0, range_cover(max(0, m - d), m + d, width), domain=_X_DOMAIN
+        ),
+        MaskSpec.of(g0, prefix_family(n, width), domain=_Y_DOMAIN),
+        MaskSpec.of(
+            g0, range_cover(max(0, n - d), n + d, width), domain=_Y_DOMAIN
+        ),
+    ]
+
+
 def submit_location(
     user_id: int,
     cell: Cell,
@@ -55,17 +77,47 @@ def submit_location(
     two_lambda: int,
 ) -> LocationSubmission:
     """Bidder side: mask own coordinates and interference ranges."""
-    grid.require(cell)
-    width = coordinate_width(grid, two_lambda)
-    d = two_lambda - 1
-    m, n = cell
+    x_family, x_range, y_family, y_range = mask_specs(
+        _location_specs(cell, g0, grid, two_lambda)
+    )
     return LocationSubmission(
         user_id=user_id,
-        x_family=mask_value(g0, m, width, domain=_X_DOMAIN),
-        x_range=mask_range(g0, max(0, m - d), m + d, width, domain=_X_DOMAIN),
-        y_family=mask_value(g0, n, width, domain=_Y_DOMAIN),
-        y_range=mask_range(g0, max(0, n - d), n + d, width, domain=_Y_DOMAIN),
+        x_family=x_family,
+        x_range=x_range,
+        y_family=y_family,
+        y_range=y_range,
     )
+
+
+def submit_locations(
+    cells: Sequence[Cell],
+    g0: bytes,
+    grid: GridSpec,
+    two_lambda: int,
+) -> List[LocationSubmission]:
+    """All users' submissions through one mask batch (in-process drivers).
+
+    Digest-identical to calling :func:`submit_location` per user — the SUs
+    share ``g0``, so a whole population's location masking is one backend
+    call.  User ids are the dense slot indices, matching what
+    :func:`build_private_conflict_graph` expects.
+    """
+    specs = [
+        spec
+        for cell in cells
+        for spec in _location_specs(cell, g0, grid, two_lambda)
+    ]
+    masked = mask_specs(specs)
+    return [
+        LocationSubmission(
+            user_id=i,
+            x_family=masked[4 * i],
+            x_range=masked[4 * i + 1],
+            y_family=masked[4 * i + 2],
+            y_range=masked[4 * i + 3],
+        )
+        for i in range(len(cells))
+    ]
 
 
 def build_private_conflict_graph(

@@ -38,7 +38,7 @@ from repro.lppa.bids_advanced import (
     submit_bids_advanced,
 )
 from repro.lppa.codec import encode_bids, encode_location
-from repro.lppa.location import submit_location
+from repro.lppa.location import submit_locations
 from repro.lppa.round.results import FastLppaResult, LppaResult
 from repro.lppa.round.state import RoundState
 from repro.lppa.round.tables import IntegerMaskedTable
@@ -159,12 +159,15 @@ class CryptoBackend(ValueBackend):
     def make_locations(self, state: RoundState) -> None:
         assert state.users is not None and state.keyring is not None
         assert state.grid is not None
-        state.location_subs = [
-            submit_location(
-                idx, user.cell, state.keyring.g0, state.grid, state.two_lambda
-            )
-            for idx, user in enumerate(state.users)
-        ]
+        # All SUs share g0, so the whole population's location masking is
+        # one batch through the crypto backend (digest-identical to the
+        # per-user submit_location loop).
+        state.location_subs = submit_locations(
+            [user.cell for user in state.users],
+            state.keyring.g0,
+            state.grid,
+            state.two_lambda,
+        )
 
     def ingest_locations(self, state: RoundState) -> None:
         assert state.location_subs is not None

@@ -26,6 +26,7 @@ from typing import List, Sequence, Tuple
 
 from repro import obs
 from repro.obs import trace
+from repro.crypto.cache import note_key_epoch
 from repro.crypto.keys import KeyRing, generate_keyring
 from repro.lppa.bids_advanced import BidScale
 from repro.lppa.bids_basic import decrypt_bid_value
@@ -72,6 +73,10 @@ class TrustedThirdParty:
             raise ValueError("key ring and bid scale disagree on rd/cr")
         self._keyring = keyring
         self._scale = scale
+        # Key (re)distribution starts a new epoch: masked-digest caches of
+        # any previous key ring are dropped eagerly (same-ring re-setup,
+        # as seeded experiments do every round, keeps the cache warm).
+        note_key_epoch(keyring.fingerprint())
 
     @classmethod
     def setup(

@@ -8,22 +8,35 @@ range — but learns nothing else about either.
 This module provides:
 
 * :class:`MaskedSet` — an immutable set of digests with intersection tests;
+* :class:`MaskSpec` / :func:`mask_specs` — the batch API: describe many
+  prefix sets and mask them all in one backend call;
 * :func:`mask_value` — mask the prefix family ``G(x)`` of a value;
 * :func:`mask_range` — mask the cover ``Q([a, b])`` of a range, optionally
   padded with random filler digests to a fixed cardinality (the advanced
   scheme pads to ``2w - 2`` so set sizes stop leaking range widths);
 * :func:`is_member` — the core check ``H(G(x)) ∩ H(Q([a,b])) ≠ ∅``;
 * :func:`find_maxima` — the auctioneer's masked max-bid search.
+
+Batching changes *how* digests are computed, never *what* they are: a
+:func:`mask_specs` call returns byte-for-byte what per-digest
+:func:`mask_prefixes` calls would.  Genuine (unpadded) digests are also
+memoized in :mod:`repro.crypto.cache` keyed on the full
+``(key, domain, digest size, message set)`` tuple, so a stationary SU's
+repeated submissions skip the HMAC work entirely; padding fillers are
+*always* drawn fresh from the caller's RNG so the random stream — and
+therefore every downstream draw — is identical with the cache hot, cold,
+or disabled.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
-from repro.crypto.backend import hmac_digest
+from repro.crypto.backend import hmac_digest_pairs
+from repro.crypto.cache import cache_enabled, get_mask_cache
 from repro.prefix.numericalize import numericalize, numericalized_to_bytes
 from repro.prefix.prefixes import Prefix, prefix_family
 from repro.prefix.ranges import max_cover_size, range_cover
@@ -32,6 +45,10 @@ from repro.utils.rng import fresh_rng
 __all__ = [
     "DEFAULT_DIGEST_BYTES",
     "MaskedSet",
+    "MaskSpec",
+    "mask_specs",
+    "mask_spec_digests",
+    "pad_masked_set",
     "mask_prefixes",
     "mask_value",
     "mask_range",
@@ -76,11 +93,118 @@ class MaskedSet:
         return len(self.digests) * self.digest_bytes
 
 
-def _mask_one(
-    key: bytes, prefix: Prefix, domain: bytes, digest_bytes: int
-) -> bytes:
-    message = domain + numericalized_to_bytes(numericalize(prefix), prefix.width)
-    return hmac_digest(key, message)[:digest_bytes]
+@dataclass(frozen=True)
+class MaskSpec:
+    """One prefix set awaiting masking: the unit of the batch API.
+
+    ``prefixes`` keeps input order — digest order must match what a
+    per-prefix loop would produce so cached and cold results interleave
+    transparently.
+    """
+
+    key: bytes
+    prefixes: Tuple[Prefix, ...]
+    domain: bytes = b""
+    digest_bytes: int = DEFAULT_DIGEST_BYTES
+
+    @staticmethod
+    def of(
+        key: bytes,
+        prefixes: Iterable[Prefix],
+        *,
+        domain: bytes = b"",
+        digest_bytes: int = DEFAULT_DIGEST_BYTES,
+    ) -> "MaskSpec":
+        """Build a spec from any prefix iterable (tuple-ifies for hashing)."""
+        return MaskSpec(key, tuple(prefixes), domain, digest_bytes)
+
+    def messages(self) -> Tuple[bytes, ...]:
+        """The exact HMAC inputs, in prefix order."""
+        return tuple(
+            self.domain
+            + numericalized_to_bytes(numericalize(p), p.width)
+            for p in self.prefixes
+        )
+
+
+def mask_spec_digests(specs: Sequence[MaskSpec]) -> List[Tuple[bytes, ...]]:
+    """Truncated digests for every spec, in spec/prefix order.
+
+    The workhorse under every ``mask_*`` entry point: cache-hit specs are
+    answered from :mod:`repro.crypto.cache`; the misses are flattened into
+    a single :func:`hmac_digest_pairs` backend call and written back.  No
+    ``prefix.*`` counters fire here — callers count the :class:`MaskedSet`
+    objects they actually build (padded sets count their fillers too).
+    """
+    results: List[Optional[Tuple[bytes, ...]]] = [None] * len(specs)
+    cache = get_mask_cache() if cache_enabled() else None
+    pending: List[Tuple[int, Tuple[bytes, ...]]] = []
+    for index, spec in enumerate(specs):
+        messages = spec.messages()
+        if cache is not None:
+            hit = cache.get((spec.key, spec.domain, spec.digest_bytes, messages))
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append((index, messages))
+
+    if pending:
+        flat = [
+            (specs[index].key, message)
+            for index, messages in pending
+            for message in messages
+        ]
+        digests = hmac_digest_pairs(flat)
+        cursor = 0
+        for index, messages in pending:
+            spec = specs[index]
+            truncated = tuple(
+                d[: spec.digest_bytes]
+                for d in digests[cursor : cursor + len(messages)]
+            )
+            cursor += len(messages)
+            results[index] = truncated
+            if cache is not None:
+                cache.put(
+                    (spec.key, spec.domain, spec.digest_bytes, messages), truncated
+                )
+    return results  # type: ignore[return-value]
+
+
+def mask_specs(specs: Sequence[MaskSpec]) -> List[MaskedSet]:
+    """Mask every spec'd prefix set in one backend batch.
+
+    Equivalent, digest for digest, to calling :func:`mask_prefixes` once
+    per spec — the property-test suite asserts exactly that.
+    """
+    out = []
+    for spec, digests in zip(specs, mask_spec_digests(specs)):
+        masked = MaskedSet(frozenset(digests), digest_bytes=spec.digest_bytes)
+        obs.count("prefix.masked_sets")
+        obs.count("prefix.masked_digests", len(masked))
+        out.append(masked)
+    return out
+
+
+def pad_masked_set(
+    digests: Set[bytes],
+    *,
+    ceiling: int,
+    digest_bytes: int,
+    rng: random.Random,
+) -> MaskedSet:
+    """Pad genuine digests with random fillers up to ``ceiling`` and seal.
+
+    Fillers come from the caller's RNG at call time — never from a cache —
+    so draw order is bit-identical whether the genuine digests were
+    computed or recalled.  A filler colliding with an existing digest is
+    simply redrawn by the ``while``, matching the historical behaviour.
+    """
+    while len(digests) < ceiling:
+        digests.add(rng.getrandbits(8 * digest_bytes).to_bytes(digest_bytes, "big"))
+    obs.count("prefix.masked_sets")
+    obs.count("prefix.masked_digests", len(digests))
+    return MaskedSet(frozenset(digests), digest_bytes=digest_bytes)
 
 
 def mask_prefixes(
@@ -97,13 +221,9 @@ def mask_prefixes(
     conservative hardening — it never changes protocol results because a
     family and the ranges it is tested against always share a domain.
     """
-    masked = MaskedSet(
-        frozenset(_mask_one(key, p, domain, digest_bytes) for p in prefixes),
-        digest_bytes=digest_bytes,
-    )
-    obs.count("prefix.masked_sets")
-    obs.count("prefix.masked_digests", len(masked))
-    return masked
+    return mask_specs(
+        [MaskSpec.of(key, prefixes, domain=domain, digest_bytes=digest_bytes)]
+    )[0]
 
 
 def mask_value(
@@ -141,16 +261,18 @@ def mask_range(
     and is ignored, exactly as the paper does.
     """
     cover = range_cover(low, high, width)
-    digests = {_mask_one(key, p, domain, digest_bytes) for p in cover}
-    if pad_to is not None:
-        ceiling = max(pad_to, max_cover_size(width))
-        if rng is None:
-            rng = fresh_rng()
-        while len(digests) < ceiling:
-            digests.add(rng.getrandbits(8 * digest_bytes).to_bytes(digest_bytes, "big"))
-    obs.count("prefix.masked_sets")
-    obs.count("prefix.masked_digests", len(digests))
-    return MaskedSet(frozenset(digests), digest_bytes=digest_bytes)
+    spec = MaskSpec.of(key, cover, domain=domain, digest_bytes=digest_bytes)
+    digests = set(mask_spec_digests([spec])[0])
+    if pad_to is None:
+        obs.count("prefix.masked_sets")
+        obs.count("prefix.masked_digests", len(digests))
+        return MaskedSet(frozenset(digests), digest_bytes=digest_bytes)
+    ceiling = max(pad_to, max_cover_size(width))
+    if rng is None:
+        rng = fresh_rng()
+    return pad_masked_set(
+        digests, ceiling=ceiling, digest_bytes=digest_bytes, rng=rng
+    )
 
 
 def is_member(masked_family: MaskedSet, masked_range: MaskedSet) -> bool:

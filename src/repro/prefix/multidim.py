@@ -23,10 +23,12 @@ from typing import Sequence, Tuple
 from repro.prefix.membership import (
     DEFAULT_DIGEST_BYTES,
     MaskedSet,
+    MaskSpec,
     is_member,
-    mask_range,
-    mask_value,
+    mask_specs,
 )
+from repro.prefix.prefixes import prefix_family
+from repro.prefix.ranges import range_cover
 
 __all__ = ["MaskedPoint", "MaskedBox", "mask_point", "mask_box", "point_in_box"]
 
@@ -83,16 +85,22 @@ def mask_point(
     """Mask a point; ``widths[i]`` is axis i's bit width."""
     if len(coordinates) != len(widths):
         raise ValueError("one width per coordinate required")
+    # All axes go through one backend batch.
     return MaskedPoint(
         families=tuple(
-            mask_value(
-                key,
-                coordinate,
-                width,
-                domain=_axis_domain(axis),
-                digest_bytes=digest_bytes,
+            mask_specs(
+                [
+                    MaskSpec.of(
+                        key,
+                        prefix_family(coordinate, width),
+                        domain=_axis_domain(axis),
+                        digest_bytes=digest_bytes,
+                    )
+                    for axis, (coordinate, width) in enumerate(
+                        zip(coordinates, widths)
+                    )
+                ]
             )
-            for axis, (coordinate, width) in enumerate(zip(coordinates, widths))
         )
     )
 
@@ -107,18 +115,17 @@ def mask_box(
     """Mask a box given per-axis closed intervals ``(low, high)``."""
     if len(intervals) != len(widths):
         raise ValueError("one width per interval required")
-    covers = []
-    for axis, ((low, high), width) in enumerate(zip(intervals, widths)):
-        covers.append(
-            mask_range(
+    covers = mask_specs(
+        [
+            MaskSpec.of(
                 key,
-                low,
-                high,
-                width,
+                range_cover(low, high, width),
                 domain=_axis_domain(axis),
                 digest_bytes=digest_bytes,
             )
-        )
+            for axis, ((low, high), width) in enumerate(zip(intervals, widths))
+        ]
+    )
     return MaskedBox(covers=tuple(covers))
 
 

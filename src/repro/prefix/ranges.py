@@ -9,7 +9,8 @@ why the advanced bid scheme pads every masked range set to exactly that size.
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from repro.prefix.prefixes import Prefix
 
@@ -29,6 +30,8 @@ def range_cover(low: int, high: int, width: int) -> List[Prefix]:
     The prefixes are pairwise disjoint and returned in increasing order of
     their covered interval.  ``low``/``high`` are clamped callers' business:
     both must already be valid ``width``-bit values with ``low <= high``.
+    Memoized: covers are pure functions of their arguments, and the bid
+    protocols rebuild the same tail ranges every round.
 
     Examples
     --------
@@ -41,7 +44,11 @@ def range_cover(low: int, high: int, width: int) -> List[Prefix]:
         raise ValueError(
             f"[{low}, {high}] is not a valid {width}-bit range"
         )
+    return list(_range_cover_cached(low, high, width))
 
+
+@lru_cache(maxsize=65536)
+def _range_cover_cached(low: int, high: int, width: int) -> Tuple[Prefix, ...]:
     cover: List[Prefix] = []
     # Iterative trie walk: a stack of candidate prefixes, refined until each
     # is either fully inside (emit) or partially overlapping (split).
@@ -58,4 +65,4 @@ def range_cover(low: int, high: int, width: int) -> List[Prefix]:
         # output comes out sorted by interval.
         stack.append(right)
         stack.append(left)
-    return cover
+    return tuple(cover)

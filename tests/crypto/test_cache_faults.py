@@ -1,0 +1,146 @@
+"""Cache-invalidation faults: no stale digest may ever be served.
+
+Three ways a cached masked digest could go stale, each driven end to end
+and checked through the obs counters:
+
+* **key rotation** — a new key ring must miss every prior entry (the key
+  bytes live inside the cache key) *and* eagerly drop the old epoch's
+  entries via the TTP's ``note_key_epoch`` hook;
+* **SU churn** — users joining/leaving between rounds of the asyncio net
+  runtime change the submission mix; reused (user, cell) pairs may hit,
+  but every new user's sets must be computed fresh, and the networked
+  result must still equal the in-process session;
+* **mutated prefix sets** — any change to the set (value, membership,
+  order-insensitive content, domain, digest size) is a different cache
+  key, so a lookup can never alias the old set.
+"""
+
+import asyncio
+import dataclasses
+import random
+
+import pytest
+
+from repro import obs
+from repro.crypto.cache import MaskCache, get_mask_cache, set_mask_cache
+from repro.crypto.keys import generate_keyring
+from repro.lppa.bids_advanced import BidScale
+from repro.lppa.ttp import TrustedThirdParty
+from repro.net.loadgen import LoadgenConfig, run_loadgen
+from repro.prefix.membership import MaskSpec, mask_specs, mask_value
+from repro.prefix.prefixes import prefix_family
+
+
+@pytest.fixture()
+def cache():
+    fresh = MaskCache()
+    previous = set_mask_cache(fresh)
+    yield fresh
+    set_mask_cache(previous)
+
+
+def test_key_rotation_misses_the_cache(cache):
+    old = generate_keyring(b"epoch-1", 4)
+    new = generate_keyring(b"epoch-2", 4)
+    mask_value(old.g0, 42, 8)
+    with obs.collecting() as registry:
+        mask_value(new.g0, 42, 8)  # same value, rotated key
+    assert registry.counters["crypto.mask_cache.misses"] == 1
+    assert "crypto.mask_cache.hits" not in registry.counters
+    assert registry.counters["crypto.hmac"] == 9  # recomputed, not replayed
+
+
+def test_key_redistribution_clears_old_epoch(cache):
+    scale = BidScale(bmax=127, rd=4, cr=8)
+    old = generate_keyring(b"epoch-1", 4)
+    TrustedThirdParty(old, scale)
+    mask_value(old.g0, 42, 8)
+    assert len(cache) == 1
+
+    with obs.collecting() as registry:
+        new = generate_keyring(b"epoch-2", 4)
+        TrustedThirdParty(new, scale)  # re-keyed: new epoch
+    assert len(cache) == 0
+    assert registry.counters["crypto.mask_cache.invalidations"] == 1
+
+    # Same ring redistributed (every round of a seeded run) keeps it warm.
+    mask_value(new.g0, 42, 8)
+    TrustedThirdParty(generate_keyring(b"epoch-2", 4), scale)
+    assert len(cache) == 1
+
+
+def test_mutated_prefix_sets_miss_the_cache(cache):
+    family = tuple(prefix_family(42, 8))
+    base = MaskSpec.of(b"key", family, domain=b"d", digest_bytes=16)
+    mask_specs([base])
+
+    mutations = [
+        MaskSpec.of(b"key", prefix_family(43, 8), domain=b"d"),  # new value
+        MaskSpec.of(b"key", family[:-1], domain=b"d"),  # dropped element
+        MaskSpec.of(b"key", family, domain=b"other"),  # new domain
+        MaskSpec.of(b"key", family, domain=b"d", digest_bytes=8),  # new size
+    ]
+    for mutant in mutations:
+        with obs.collecting() as registry:
+            mask_specs([mutant])
+        assert "crypto.mask_cache.hits" not in registry.counters, mutant
+        assert registry.counters["crypto.mask_cache.misses"] == 1
+
+    # The unmutated spec still hits — the entries coexist, never alias.
+    with obs.collecting() as registry:
+        repeat = mask_specs([base])
+    assert registry.counters["crypto.mask_cache.hits"] == 1
+    assert repeat == mask_specs([base])
+
+
+def test_su_churn_over_net_runtime_stays_correct(cache):
+    """Join/leave churn across networked rounds: fresh users mask fresh.
+
+    ``replace`` swaps a fraction of the population every round;
+    ``check_equivalence`` re-runs each round in-process and compares the
+    full result, so a stale digest anywhere would surface as a mismatch.
+    """
+    config = LoadgenConfig(
+        n_users=8,
+        n_channels=6,
+        rounds=3,
+        seed=13,
+        replace=0.5,
+        transport="memory",
+        check_equivalence=True,
+    )
+    with obs.collecting() as registry:
+        report = asyncio.run(run_loadgen(config))
+    assert report.rounds_completed == 3
+    assert report.equivalence_checked == 3
+    totals = registry.totals()
+    # Churned populations keep producing never-seen sets: every round
+    # computed something fresh, and nothing was served without a lookup.
+    assert totals["crypto.mask_cache.misses"] > 0
+    assert totals["crypto.hmac"] > 0
+
+
+def test_churned_users_never_reuse_other_users_digests(cache):
+    """Population A then population B: B's new cells are all cold misses."""
+    from repro.geo.grid import GridSpec
+    from repro.lppa.location import submit_locations
+
+    grid = GridSpec(rows=20, cols=20, cell_km=3.75)
+    rng = random.Random(3)
+    cells_a = grid.random_cells(rng, 10)
+    cells_b = grid.random_cells(rng, 10)  # disjoint draw = churned roster
+    submit_locations(cells_a, b"g0", grid, 6)
+    fresh_cells = [c for c in cells_b if c not in set(cells_a)]
+    with obs.collecting() as registry:
+        submit_locations(fresh_cells, b"g0", grid, 6)
+    # Coordinates can overlap across users (x or y shared), so some hits
+    # are legitimate — but every hit must be for an identical (key, set):
+    # assert the expensive invariant directly by recomputing cold.
+    warm = submit_locations(fresh_cells, b"g0", grid, 6)
+    cache.clear()
+    cold = submit_locations(fresh_cells, b"g0", grid, 6)
+    for w, c in zip(warm, cold):
+        assert dataclasses.replace(w, user_id=0) == dataclasses.replace(
+            c, user_id=0
+        )
+    assert registry.counters.get("crypto.mask_cache.misses", 0) > 0

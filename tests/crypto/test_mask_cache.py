@@ -1,0 +1,111 @@
+"""MaskCache unit semantics: LRU bounds, epochs, counters, global toggles."""
+
+import pytest
+
+from repro import obs
+from repro.crypto.cache import (
+    MaskCache,
+    cache_disabled,
+    cache_enabled,
+    get_mask_cache,
+    set_mask_cache,
+)
+from repro.prefix.membership import MaskSpec, mask_specs
+from repro.prefix.prefixes import prefix_family
+
+
+@pytest.fixture()
+def cache():
+    """A small, fresh cache installed as the process cache for one test."""
+    fresh = MaskCache(max_entries=4)
+    previous = set_mask_cache(fresh)
+    yield fresh
+    set_mask_cache(previous)
+
+
+def _key(n):
+    return (b"k%d" % n, b"", 16, (b"m%d" % n,))
+
+
+def test_get_put_and_counters(cache):
+    assert cache.get(_key(1)) is None
+    cache.put(_key(1), (b"d" * 16,))
+    assert cache.get(_key(1)) == (b"d" * 16,)
+    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+
+def test_lru_eviction_order(cache):
+    for n in range(4):
+        cache.put(_key(n), (bytes(16),))
+    cache.get(_key(0))  # refresh 0: now 1 is least recent
+    cache.put(_key(9), (bytes(16),))
+    assert cache.get(_key(1)) is None  # evicted
+    assert cache.get(_key(0)) is not None
+    assert cache.evictions == 1
+
+
+def test_reput_does_not_grow(cache):
+    cache.put(_key(1), (bytes(16),))
+    cache.put(_key(1), (bytes(16),))
+    assert len(cache) == 1
+
+
+def test_rejects_silly_capacity():
+    with pytest.raises(ValueError):
+        MaskCache(max_entries=0)
+
+
+def test_epoch_transition_clears(cache):
+    cache.put(_key(1), (bytes(16),))
+    assert cache.note_key_epoch(b"epoch-A") is False  # first epoch: no clear
+    assert len(cache) == 1
+    assert cache.note_key_epoch(b"epoch-A") is False  # same epoch: no clear
+    assert len(cache) == 1
+    assert cache.note_key_epoch(b"epoch-B") is True  # new epoch: dropped
+    assert len(cache) == 0
+    assert cache.epoch == b"epoch-B"
+
+
+def test_cache_disabled_context_restores(cache):
+    assert cache_enabled()
+    with cache_disabled():
+        assert not cache_enabled()
+        specs = [MaskSpec.of(b"k", prefix_family(3, 4))]
+        mask_specs(specs)
+        assert len(cache) == 0  # bypassed entirely: no store, no counters
+    assert cache_enabled()
+    assert cache.stats()["misses"] == 0
+
+
+def test_mask_specs_populates_process_cache(cache):
+    specs = [MaskSpec.of(b"k", prefix_family(3, 4))]
+    first = mask_specs(specs)
+    assert cache.stats() == {"entries": 1, "hits": 0, "misses": 1, "evictions": 0}
+    second = mask_specs(specs)
+    assert cache.stats()["hits"] == 1
+    assert second == first
+
+
+def test_obs_counters_follow_cache_events(cache):
+    specs = [MaskSpec.of(b"k", prefix_family(3, 4))]
+    with obs.collecting() as registry:
+        mask_specs(specs)
+        mask_specs(specs)
+        cache.clear()
+    counters = registry.counters
+    assert counters["crypto.mask_cache.misses"] == 1
+    assert counters["crypto.mask_cache.hits"] == 1
+    assert counters["crypto.mask_cache.invalidations"] == 1
+    assert counters["crypto.hmac_batches"] == 1  # second call was all hits
+
+
+def test_distinct_digest_bytes_are_distinct_entries(cache):
+    fam = prefix_family(3, 4)
+    wide = mask_specs([MaskSpec.of(b"k", fam, digest_bytes=32)])[0]
+    narrow = mask_specs([MaskSpec.of(b"k", fam, digest_bytes=8)])[0]
+    assert len(cache) == 2
+    assert {d[:8] for d in wide.digests} == set(narrow.digests)
+
+
+def test_process_default_cache_exists():
+    assert isinstance(get_mask_cache(), MaskCache)

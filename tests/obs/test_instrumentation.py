@@ -25,6 +25,12 @@ def _session_round(small_db, small_users, *, seed=7):
 
 
 def test_session_records_phases_and_crypto(small_db, small_users):
+    from repro.crypto.cache import get_mask_cache
+
+    # A warm masked-digest cache (earlier tests, same seeds) would satisfy
+    # the round without any HMAC work; this test asserts attribution of
+    # the work itself.
+    get_mask_cache().clear()
     with obs.collecting() as registry:
         _session_round(small_db, small_users)
     timers = registry.timers
@@ -103,6 +109,7 @@ def test_calibration_records_comparable_baselines():
     timers = registry.timers
     for name in (
         "mask_value",
+        "mask_specs_batch",
         "mask_range",
         "membership",
         "paillier_keygen",
