@@ -53,7 +53,7 @@ def greedy_allocate(
         if not pool:
             pool = list(range(table.n_channels))
         channel = pool.pop(rng.randrange(len(pool)))
-        if not table.channel_bidders(channel):
+        if not table.has_channel_entries(channel):
             continue
         candidates = table.max_bidders(channel)
         winner = candidates[rng.randrange(len(candidates))]
@@ -93,7 +93,7 @@ def greedy_allocate_validated(
         if not pool:
             pool = list(range(table.n_channels))
         channel = pool.pop(rng.randrange(len(pool)))
-        while table.channel_bidders(channel):
+        while table.has_channel_entries(channel):
             candidates = table.max_bidders(channel)
             winner = candidates[rng.randrange(len(candidates))]
             if not is_valid(winner, channel):

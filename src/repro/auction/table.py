@@ -34,6 +34,15 @@ class BidTable(abc.ABC):
     def channel_bidders(self, channel: int) -> Set[int]:
         """Bidders with a remaining entry in this column."""
 
+    def has_channel_entries(self, channel: int) -> bool:
+        """True while this column has at least one remaining entry.
+
+        The allocator probes emptiness once per channel visit; tables with
+        per-channel live sets override this to skip the defensive set copy
+        :meth:`channel_bidders` makes (O(1) instead of O(live)).
+        """
+        return bool(self.channel_bidders(channel))
+
     @abc.abstractmethod
     def max_bidders(self, channel: int) -> List[int]:
         """All bidders holding a maximal remaining bid in this column.
@@ -84,6 +93,10 @@ class PlainBidTable(BidTable):
     def channel_bidders(self, channel: int) -> Set[int]:
         self._check_channel(channel)
         return {b for b, row in self._entries.items() if channel in row}
+
+    def has_channel_entries(self, channel: int) -> bool:
+        self._check_channel(channel)
+        return any(channel in row for row in self._entries.values())
 
     def max_bidders(self, channel: int) -> List[int]:
         self._check_channel(channel)

@@ -45,6 +45,7 @@ _METRICS_COMMANDS = (
     "demo",
     "serve",
     "loadgen",
+    "scale",
 )
 
 
@@ -212,6 +213,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run every round in-process and demand bit-identical results",
     )
     add_metrics_flag(loadgen)
+
+    scale = sub.add_parser(
+        "scale",
+        help="sharded-round scale sweep (BENCH_scale; see DESIGN.md §9)",
+    )
+    scale.add_argument(
+        "--sizes",
+        default=None,
+        metavar="N[,N...]",
+        help="comma-separated SU population sizes (default: 1000,10000,100000)",
+    )
+    scale.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        metavar="N",
+        help="shard count for the sharded rounds (default: 8); results are "
+        "bit-identical to the single-process path at any count",
+    )
+    scale.add_argument("--channels", type=int, default=6, metavar="N")
+    scale.add_argument("--seed", type=int, default=0, metavar="N")
+    scale.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the single-process reference rounds (no speedup column)",
+    )
+    scale.add_argument(
+        "--verify",
+        action="store_true",
+        help="run each size traced on both paths and fail unless result, "
+        "trace and Theorem-4 audit are bit-identical (the CI scale-smoke "
+        "check)",
+    )
+    add_metrics_flag(scale)
 
     metrics = sub.add_parser(
         "metrics", help="inspect / validate / diff BENCH_*.json artifacts"
@@ -431,6 +466,58 @@ def _cmd_demo(args) -> int:
     print(f"satisfaction   {outcome.user_satisfaction():.1%}")
     print(f"wire volume    {result.total_bytes / 1024:.1f} KiB")
     print(f"conflict edges {result.conflict_graph.n_edges}")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from repro.experiments.scale import (
+        DEFAULT_SIZES,
+        format_scale_table,
+        run_scale_sweep,
+    )
+
+    if args.sizes is None:
+        sizes = list(DEFAULT_SIZES)
+    else:
+        try:
+            sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+        except ValueError:
+            print("--sizes expects comma-separated integers", file=sys.stderr)
+            return 2
+        if not sizes or any(n < 1 for n in sizes):
+            print("--sizes expects positive integers", file=sys.stderr)
+            return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+
+    def progress(size: int) -> None:
+        print(f"scale: running {size} SUs "
+              f"(shards={args.shards})...", file=sys.stderr)
+
+    points = run_scale_sweep(
+        sizes,
+        shards=args.shards,
+        n_channels=args.channels,
+        seed=args.seed,
+        reference=False if args.no_reference else None,
+        verify=args.verify,
+        progress=progress,
+    )
+    print(format_scale_table(points))
+    if args.verify:
+        failed = [p for p in points if p.verification is None
+                  or not p.verification.passed]
+        if failed:
+            for p in failed:
+                detail = (
+                    ", ".join(p.verification.failures())
+                    if p.verification is not None
+                    else "no verification ran"
+                )
+                print(f"scale: {p.size} SUs NOT bit-identical: {detail}",
+                      file=sys.stderr)
+            return 1
     return 0
 
 
@@ -866,6 +953,7 @@ def _cmd_loadgen(args) -> int:
     except EquivalenceFailure as exc:
         print(f"equivalence FAILED: {exc}", file=sys.stderr)
         return 1
+    report.record_metrics()
     print(report.format())
     return 0
 
@@ -945,6 +1033,7 @@ _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "demo": _cmd_demo,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "scale": _cmd_scale,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
 }

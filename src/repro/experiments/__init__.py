@@ -31,6 +31,12 @@ from repro.experiments.paillier_baseline import (
     paillier_submission_bytes,
 )
 from repro.experiments.report import write_report
+from repro.experiments.scale import (
+    ScalePoint,
+    format_scale_table,
+    run_scale_point,
+    run_scale_sweep,
+)
 from repro.experiments.tables import format_table
 from repro.experiments.truthfulness import shading_experiment
 from repro.experiments.theorem_tables import (
@@ -65,6 +71,10 @@ __all__ = [
     "fig5_performance_sweep",
     "fig5_privacy_sweep",
     "format_table",
+    "ScalePoint",
+    "format_scale_table",
+    "run_scale_point",
+    "run_scale_sweep",
     "write_report",
     "baseline_comparison_table",
     "paillier_comparison_bytes",

@@ -17,13 +17,70 @@ as the attack surface for :mod:`repro.attacks.against_lppa`.
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.auction.table import BidTable
 from repro.lppa.messages import BidSubmission, MaskedBid
 from repro.prefix.membership import is_member
 
-__all__ = ["MaskedBidTable"]
+__all__ = ["MaskedBidTable", "rank_by_ge", "rank_masked_column"]
+
+
+def rank_by_ge(
+    n_users: int, ge: Callable[[int, int], bool]
+) -> List[List[int]]:
+    """Total order of ``range(n_users)`` under ``ge``, as equivalence classes.
+
+    ``ge(i, j)`` answers ``b_i >= b_j``; it must be a total preorder (every
+    masked column is, up to the negligible filler-collision probability).
+    This is *the* ranking algorithm — :meth:`MaskedBidTable.ranking` and the
+    sharded per-channel ranking workers both call it, which is what makes a
+    worker-computed ranking bit-identical to an in-table one: same sort,
+    same comparison order, same class grouping.
+    """
+
+    def compare(i: int, j: int) -> int:
+        i_ge_j = ge(i, j)
+        j_ge_i = ge(j, i)
+        if i_ge_j and j_ge_i:
+            return 0
+        if i_ge_j:
+            return -1  # i sorts first (descending order)
+        if j_ge_i:
+            return 1
+        raise AssertionError(
+            "masked comparison is not total: filler-digest collision?"
+        )
+
+    order = sorted(range(n_users), key=functools.cmp_to_key(compare))
+    classes: List[List[int]] = []
+    for bidder in order:
+        if classes and compare(classes[-1][0], bidder) == 0:
+            classes[-1].append(bidder)
+        else:
+            classes.append([bidder])
+    return classes
+
+
+def rank_masked_column(column: Sequence[MaskedBid]) -> List[List[int]]:
+    """Rank one channel's masked column standalone (no table required).
+
+    Used by the sharded psd-allocation workers: a worker receives just the
+    column, memoizes pairwise verdicts locally (mirroring the table's
+    ``_ge_cache``) and returns the classes.  Digest-identical inputs give
+    list-identical classes because :func:`rank_by_ge` is shared.
+    """
+    memo: Dict[Tuple[int, int], bool] = {}
+
+    def ge(i: int, j: int) -> bool:
+        key = (i, j)
+        cached = memo.get(key)
+        if cached is None:
+            cached = is_member(column[i].family, column[j].tail)
+            memo[key] = cached
+        return cached
+
+    return rank_by_ge(len(column), ge)
 
 
 class MaskedBidTable(BidTable):
@@ -51,6 +108,10 @@ class MaskedBidTable(BidTable):
             for ch in range(self._n_channels)
         ]
         self._rankings: List[Optional[List[List[int]]]] = [None] * self._n_channels
+        # max_bidders cursor: index of the first ranking class that may
+        # still contain a live bidder.  Entries are only ever removed, so a
+        # fully-dead class stays dead and the cursor moves monotonically.
+        self._cursors: List[int] = [0] * self._n_channels
         # Memoized pairwise verdicts: (channel, i, j) -> "b_i >= b_j".  The
         # masked sets are immutable for the round, so each ordered pair
         # needs at most one membership test; the equivalence-class pass in
@@ -77,11 +138,19 @@ class MaskedBidTable(BidTable):
         live = self._live[channel]
         if not live:
             raise ValueError(f"channel {channel} has no remaining bids")
-        for tie_class in self.ranking(channel):
-            remaining = [b for b in tie_class if b in live]
+        ranking = self.ranking(channel)
+        cursor = self._cursors[channel]
+        while cursor < len(ranking):
+            remaining = [b for b in ranking[cursor] if b in live]
             if remaining:
+                self._cursors[channel] = cursor
                 return remaining
+            cursor += 1
         raise AssertionError("ranking must cover every live bidder")
+
+    def has_channel_entries(self, channel: int) -> bool:
+        self._check_channel(channel)
+        return bool(self._live[channel])
 
     def remove_row(self, bidder: int) -> None:
         self._check_bidder(bidder)
@@ -133,33 +202,47 @@ class MaskedBidTable(BidTable):
         cached = self._rankings[channel]
         if cached is not None:
             return cached
-
-        def compare(i: int, j: int) -> int:
-            i_ge_j = self.bid_ge(i, j, channel)
-            j_ge_i = self.bid_ge(j, i, channel)
-            if i_ge_j and j_ge_i:
-                return 0
-            if i_ge_j:
-                return -1  # i sorts first (descending order)
-            if j_ge_i:
-                return 1
-            raise AssertionError(
-                "masked comparison is not total: filler-digest collision?"
-            )
-
-        order = sorted(range(self._n_users), key=functools.cmp_to_key(compare))
-        classes: List[List[int]] = []
-        for bidder in order:
-            if classes and compare(classes[-1][0], bidder) == 0:
-                classes[-1].append(bidder)
-            else:
-                classes.append([bidder])
+        classes = rank_by_ge(
+            self._n_users, lambda i, j: self.bid_ge(i, j, channel)
+        )
         self._rankings[channel] = classes
         return classes
 
     def rankings(self) -> List[List[List[int]]]:
         """All channels' rankings (the attacker's full view of the table)."""
         return [self.ranking(ch) for ch in range(self._n_channels)]
+
+    def column(self, channel: int) -> List[MaskedBid]:
+        """One channel's masked column in bidder order (sharding transport).
+
+        The sharded psd phase ships columns to worker processes, which rank
+        them with :func:`rank_masked_column` and hand the classes back via
+        :meth:`set_rankings`.
+        """
+        self._check_channel(channel)
+        return list(self._bids[channel])
+
+    def set_rankings(self, rankings: Sequence[List[List[int]]]) -> None:
+        """Install externally computed per-channel rankings.
+
+        Accepts exactly what :meth:`rankings` would return — one class list
+        per channel, each covering every bidder — and caches them so later
+        :meth:`ranking`/:meth:`max_bidders` calls skip the membership-test
+        sort.  Only rankings produced by :func:`rank_masked_column` over
+        this table's own columns are bit-identical to the in-table sort;
+        that contract is what the sharded-vs-serial differential tests pin.
+        """
+        if len(rankings) != self._n_channels:
+            raise ValueError(
+                f"{len(rankings)} rankings for {self._n_channels} channels"
+            )
+        for channel, classes in enumerate(rankings):
+            covered = sorted(b for tie_class in classes for b in tie_class)
+            if covered != list(range(self._n_users)):
+                raise ValueError(
+                    f"channel {channel} ranking must cover every bidder exactly once"
+                )
+            self._rankings[channel] = classes
 
     # Internals -------------------------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.net.client import RetryPolicy, SUClient
 from repro.net.server import AuctioneerServer, NetRoundReport, ServerConfig
 from repro.net.transport import MemoryTransport, TcpTransport, Transport
 from repro.net.ttp_service import TtpService
+from repro import obs
 from repro.obs.clock import monotonic
 
 __all__ = [
@@ -121,6 +122,27 @@ class LoadgenReport:
     def p95_latency_s(self) -> float:
         return _percentile(self.latencies_s, 0.95)
 
+    @property
+    def p99_latency_s(self) -> float:
+        return _percentile(self.latencies_s, 0.99)
+
+    def record_metrics(self) -> None:
+        """Fold the SLO summary into the active obs registry, if any.
+
+        Gives ``repro loadgen --metrics`` artifact keys for the latency
+        tail (``net.loadgen.latency_p50/p95/p99``), throughput and wire
+        volume, so ``repro metrics diff`` can flag tail regressions.
+        """
+        if obs.get_active() is None:
+            return
+        obs.record_seconds("net.loadgen.latency_p50", self.p50_latency_s)
+        obs.record_seconds("net.loadgen.latency_p95", self.p95_latency_s)
+        obs.record_seconds("net.loadgen.latency_p99", self.p99_latency_s)
+        obs.record_seconds("net.loadgen.elapsed", self.elapsed_s)
+        obs.count("net.loadgen.rounds", self.rounds_completed)
+        obs.count("net.loadgen.wire_bytes", self.wire_bytes)
+        obs.count("net.loadgen.stragglers", self.stragglers)
+
     def format(self) -> str:
         """The human-readable report the ``repro loadgen`` CLI prints."""
         lines = [
@@ -129,7 +151,8 @@ class LoadgenReport:
             f"  throughput   {self.rounds_per_sec:.2f} rounds/sec "
             f"({self.elapsed_s:.3f}s total)",
             f"  latency      p50 {self.p50_latency_s * 1e3:.2f} ms, "
-            f"p95 {self.p95_latency_s * 1e3:.2f} ms",
+            f"p95 {self.p95_latency_s * 1e3:.2f} ms, "
+            f"p99 {self.p99_latency_s * 1e3:.2f} ms",
             f"  wire         {self.wire_bytes} bytes",
             f"  stragglers   {self.stragglers}",
         ]

@@ -85,8 +85,11 @@ class MaskedSet:
 
     def intersects(self, other: "MaskedSet") -> bool:
         """True when the two masked sets share at least one digest."""
-        small, large = sorted((self.digests, other.digests), key=len)
-        return any(d in large for d in small)
+        # frozenset.isdisjoint iterates the smaller operand in C — same
+        # semantics as probing each digest of the smaller set, without the
+        # Python-level loop this sits under (every membership test in every
+        # pairwise conflict/ranking scan lands here).
+        return not self.digests.isdisjoint(other.digests)
 
     def wire_bytes(self) -> int:
         """Serialized size in bytes (cardinality x digest length)."""

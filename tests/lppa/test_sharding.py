@@ -1,0 +1,212 @@
+"""Sharded round execution must be bit-identical to the legacy path.
+
+The scale mode of :mod:`repro.lppa.round.sharding` re-partitions the
+expensive phases across worker processes and swaps the Θ(N²) pair scan for
+the grid-bucket prefilter.  None of that may change a single bit of the
+round result — these tests pin the determinism contract at the shard
+boundaries the CI scale-smoke matrix cannot afford to sweep: shards=1
+(serial scale mode), shards > SU count, odd SU counts, and the shared-rng
+path that must fall back to serial bid synthesis.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.auction.bidders import SecondaryUser
+from repro.geo.grid import GridSpec
+from repro.lppa.fastsim import run_fast_lppa
+from repro.lppa.round.sharding import (
+    SHARDS_ENV,
+    chunk_pairs,
+    resolve_shards,
+    shard_slices,
+)
+from repro.lppa.session import run_lppa_auction
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+TWO_LAMBDA = 6
+BMAX = 63
+N_CHANNELS = 5
+GRID = GridSpec(rows=40, cols=40)
+
+
+def make_users(n, rng):
+    """A dense population on the 40x40 grid (lots of conflict pairs)."""
+    return [
+        SecondaryUser(
+            user_id=i,
+            cell=(rng.randrange(GRID.rows), rng.randrange(GRID.cols)),
+            beta=1.0,
+            bids=tuple(
+                rng.randrange(0, BMAX + 1) for _ in range(N_CHANNELS)
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+def crypto_round(users, shards):
+    return run_lppa_auction(
+        users,
+        GRID,
+        two_lambda=TWO_LAMBDA,
+        bmax=BMAX,
+        entropy=b"sharding-test",
+        shards=shards,
+    )
+
+
+class TestShardSlices:
+    def test_balanced_and_contiguous(self):
+        assert shard_slices(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert shard_slices(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_single_shard_is_everything(self):
+        assert shard_slices(7, 1) == [(0, 7)]
+
+    def test_more_shards_than_items(self):
+        assert shard_slices(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty(self):
+        assert shard_slices(0, 4) == []
+
+    def test_covers_range_exactly(self):
+        for n in (1, 5, 17, 100):
+            for shards in (1, 2, 3, 7, n, n + 5):
+                slices = shard_slices(n, shards)
+                assert slices[0][0] == 0 and slices[-1][1] == n
+                assert all(
+                    prev[1] == cur[0]
+                    for prev, cur in zip(slices, slices[1:])
+                )
+                assert all(start < stop for start, stop in slices)
+
+    def test_chunk_pairs_preserves_order(self):
+        pairs = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+        chunks = chunk_pairs(pairs, 2)
+        assert [p for chunk in chunks for p in chunk] == pairs
+
+
+class TestResolveShards:
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shards(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "3")
+        assert resolve_shards(None) == 3
+
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shards(None) is None
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            resolve_shards(0)
+
+
+class TestCryptoShardBoundaries:
+    """Full-crypto rounds across the awkward shard counts."""
+
+    @pytest.fixture(scope="class")
+    def users(self):
+        return make_users(11, random.Random(5))
+
+    @pytest.fixture(scope="class")
+    def legacy(self, users):
+        return crypto_round(users, None)
+
+    def test_serial_scale_mode(self, users, legacy):
+        assert crypto_round(users, 1) == legacy
+
+    def test_odd_user_count_odd_shards(self, users, legacy):
+        assert crypto_round(users, 3) == legacy
+
+    def test_more_shards_than_users(self, users, legacy):
+        assert crypto_round(users, 50) == legacy
+
+    def test_shared_rng_falls_back_to_serial_bids(self, users):
+        reference = run_lppa_auction(
+            users, GRID, two_lambda=TWO_LAMBDA, bmax=BMAX,
+            rng=random.Random(3),
+        )
+        sharded = run_lppa_auction(
+            users, GRID, two_lambda=TWO_LAMBDA, bmax=BMAX,
+            rng=random.Random(3), shards=4,
+        )
+        assert sharded == reference
+
+    def test_env_variable_enables_scale_mode(self, users, legacy, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        assert crypto_round(users, None) == legacy
+
+
+class TestPlainShardBoundaries:
+    """The integer simulator honours the same contract."""
+
+    @pytest.fixture(scope="class")
+    def users(self):
+        return make_users(13, random.Random(6))
+
+    @pytest.fixture(scope="class")
+    def legacy(self, users):
+        return run_fast_lppa(
+            users, two_lambda=TWO_LAMBDA, bmax=BMAX, entropy=b"sharding-test"
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 5, 40])
+    def test_bit_identical(self, users, legacy, shards):
+        assert run_fast_lppa(
+            users,
+            two_lambda=TWO_LAMBDA,
+            bmax=BMAX,
+            entropy=b"sharding-test",
+            shards=shards,
+        ) == legacy
+
+
+class TestBucketEdgeConflicts:
+    """SUs straddling grid-bucket edges keep their conflict edges."""
+
+    def test_straddling_pair_conflicts_in_scale_mode(self):
+        # Deltas of 2λ - 1 on both axes: conflicting, adjacent buckets.
+        users = make_users(2, random.Random(0))
+        users = [
+            users[0].__class__(
+                user_id=0, cell=(5, 5), beta=1.0, bids=users[0].bids
+            ),
+            users[1].__class__(
+                user_id=1, cell=(10, 10), beta=1.0, bids=users[1].bids
+            ),
+        ]
+        legacy = crypto_round(users, None)
+        assert legacy.conflict_graph.n_edges == 1
+        for shards in (1, 2):
+            assert crypto_round(users, shards) == legacy
+
+
+class TestTraceEquality:
+    """The flight recorder must not see the sharding at all."""
+
+    TIME_KEYS = ("ts", "ts_end", "dur")
+
+    def _traced(self, users, shards):
+        recorder = TraceRecorder(capacity=100_000)
+        with obs.collecting(MetricsRegistry(), trace=recorder):
+            result = crypto_round(users, shards)
+        return result, recorder
+
+    def test_summary_and_events_identical(self):
+        users = make_users(9, random.Random(4))
+        ref_result, ref_rec = self._traced(users, None)
+        sh_result, sh_rec = self._traced(users, 2)
+        assert sh_result == ref_result
+        assert sh_rec.summary() == ref_rec.summary()
+        strip = lambda events: [  # noqa: E731
+            {k: v for k, v in e.items() if k not in self.TIME_KEYS}
+            for e in events
+        ]
+        assert strip(sh_rec.events()) == strip(ref_rec.events())
