@@ -10,9 +10,12 @@ Gives the whole reproduction a zero-code driving surface:
 * ``baselines`` — LPPA vs cloaking / Paillier / OPE comparisons;
 * ``report``    — every experiment, one markdown file;
 * ``demo``      — one quick private auction round with a result summary;
-* ``metrics``   — inspect, validate and diff ``BENCH_*.json`` artifacts;
-* ``trace``     — the protocol flight recorder: record, inspect, audit and
-  export ``TRACE_*.jsonl`` event streams.
+* ``metrics``   — inspect, validate, diff and serve ``BENCH_*.json``
+  artifacts (``metrics serve`` exposes one over HTTP as OpenMetrics);
+* ``trace``     — the protocol flight recorder: record, inspect, audit,
+  merge and export ``TRACE_*.jsonl`` event streams;
+* ``slo``       — evaluate SLO rules against a live ``/metrics`` scrape
+  endpoint or a benchmark artifact; exits nonzero on breach (CI gate).
 
 Every experiment command additionally accepts ``--metrics PATH``: the run
 executes with a :mod:`repro.obs` registry collecting, the fixed crypto
@@ -188,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--join-timeout", type=float, default=60.0,
                        metavar="SEC",
                        help="how long to wait for all --users SUs to register")
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve a live OpenMetrics scrape endpoint on PORT "
+        "(0 binds an ephemeral port); GET /metrics and /healthz",
+    )
+    serve.add_argument("--metrics-host", default="127.0.0.1",
+                       help="bind address of the scrape endpoint")
     add_metrics_flag(serve)
 
     loadgen = sub.add_parser(
@@ -211,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--check-equivalence", action="store_true",
         help="re-run every round in-process and demand bit-identical results",
+    )
+    loadgen.add_argument(
+        "--raw-latencies", action="store_true",
+        help="keep every raw latency sample for exact percentiles (memory "
+        "grows with rounds; default: bounded histogram only)",
     )
     add_metrics_flag(loadgen)
 
@@ -273,11 +288,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     show = metrics_sub.add_parser("show", help="pretty-print one artifact")
     show.add_argument("path", help="BENCH_*.json to display")
+    show.add_argument(
+        "--format",
+        choices=("human", "openmetrics"),
+        default="human",
+        help="output format (openmetrics prints the scrape exposition)",
+    )
 
     validate = metrics_sub.add_parser(
         "validate", help="check an artifact against the schema"
     )
     validate.add_argument("path", help="BENCH_*.json to validate")
+
+    metrics_serve = metrics_sub.add_parser(
+        "serve",
+        help="serve one artifact's metrics as an OpenMetrics scrape endpoint",
+    )
+    metrics_serve.add_argument("path", help="BENCH_*.json to serve")
+    metrics_serve.add_argument("--host", default="127.0.0.1")
+    metrics_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port for GET /metrics (0 binds an ephemeral port)",
+    )
 
     trace = sub.add_parser(
         "trace", help="record / inspect / audit protocol flight-recorder traces"
@@ -333,6 +365,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export.add_argument("path", help="TRACE_*.jsonl to convert")
     trace_export.add_argument("--out", default=None, metavar="PATH",
                               help="output .json (default: input with .chrome.json)")
+
+    trace_merge = trace_sub.add_parser(
+        "merge",
+        help="join per-process traces (server / SUs / TTP) into one "
+        "causally-ordered timeline",
+    )
+    trace_merge.add_argument(
+        "paths", nargs="+", help="two or more TRACE_*.jsonl files to merge"
+    )
+    trace_merge.add_argument(
+        "--out", default="TRACE_merged.jsonl", metavar="PATH",
+        help="merged trace output path",
+    )
+    trace_merge.add_argument(
+        "--roles", default=None, metavar="R1,R2,...",
+        help="comma-separated role names, one per input, stamped on events "
+        "that do not already carry a role",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO rules against live metrics or a BENCH artifact",
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_sub.add_parser(
+        "check", help="evaluate one SLO rules file; exit 1 on breach"
+    )
+    slo_check.add_argument("slo_file", help="SLO rules JSON (schema v1)")
+    source = slo_check.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="evaluate against a BENCH_*.json artifact's metrics",
+    )
+    source.add_argument(
+        "--url", default=None, metavar="URL",
+        help="evaluate against a live scrape endpoint "
+        "(e.g. http://127.0.0.1:9100/metrics)",
+    )
+    slo_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report breaches but exit 0 (advisory CI gates)",
+    )
     return parser
 
 
@@ -574,10 +648,20 @@ def _cmd_metrics(args) -> int:
             return 2
         print(f"{args.path}: valid (schema v{obs.SCHEMA_VERSION})")
         return 0
+    if args.metrics_command == "serve":
+        document = _load_artifact_or_fail(args.path)
+        if document is None:
+            return 2
+        return _serve_artifact_metrics(document, host=args.host, port=args.port)
     if args.metrics_command == "show":
         document = _load_artifact_or_fail(args.path)
         if document is None:
             return 2
+        if args.format == "openmetrics":
+            from repro.obs.openmetrics import render_openmetrics
+
+            sys.stdout.write(render_openmetrics(document["metrics"]))
+            return 0
         print(f"artifact   {document['name']}")
         print(f"schema     v{document['schema_version']}")
         print(f"created    {document['created_at']}")
@@ -598,6 +682,20 @@ def _cmd_metrics(args) -> int:
                 stat = timers[key]
                 mean = stat["seconds"] / stat["count"] if stat["count"] else 0.0
                 print(f"  {key:<48} {mean:.6f} x {stat['count']}")
+        histograms = document["metrics"].get("histograms", {})
+        if histograms:
+            from repro.obs.hist import Histogram
+
+            print("histograms (p50 / p99 x count):")
+            for key in sorted(histograms):
+                hist = Histogram.from_dict(histograms[key])
+                print(f"  {key:<48} {hist.quantile(0.5):.6f} / "
+                      f"{hist.quantile(0.99):.6f} x {hist.count}")
+        gauges = document["metrics"].get("gauges", {})
+        if gauges:
+            print("gauges:")
+            for key in sorted(gauges):
+                print(f"  {key:<48} {gauges[key]:g}")
         return 0
     # diff
     baseline = _load_artifact_or_fail(args.baseline)
@@ -616,6 +714,32 @@ def _cmd_metrics(args) -> int:
     if report.has_regressions and not args.warn_only:
         return 1
     return 0
+
+
+def _serve_artifact_metrics(document: Dict[str, Any], *, host: str,
+                            port: int) -> int:
+    """Serve one loaded artifact's metrics snapshot until interrupted."""
+    import asyncio
+
+    from repro.obs.live import MetricsHttpServer
+
+    snapshot = document["metrics"]
+
+    async def _serve() -> int:
+        server = MetricsHttpServer(lambda: snapshot, host=host, port=port)
+        await server.start()
+        print(f"serving OpenMetrics for artifact {document['name']!r} on "
+              f"http://{server.address}/metrics (Ctrl-C to stop)", flush=True)
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        finally:
+            await server.stop()
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _load_trace_or_fail(path: str):
@@ -843,6 +967,36 @@ def _cmd_trace_export(args) -> int:
     return 0
 
 
+def _cmd_trace_merge(args) -> int:
+    from repro.obs.trace import merge_traces, write_jsonl_records
+
+    traces = []
+    for path in args.paths:
+        loaded = _load_trace_or_fail(path)
+        if loaded is None:
+            return 2
+        traces.append(loaded)
+    roles = None
+    if args.roles is not None:
+        roles = [part.strip() or None for part in args.roles.split(",")]
+        if len(roles) != len(traces):
+            print(
+                f"error: --roles names {len(roles)} sources but "
+                f"{len(traces)} traces were given",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        header, events = merge_traces(traces, roles=roles)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    target = write_jsonl_records(args.out, header, events)
+    print(f"merged trace written to {target} "
+          f"({len(events)} events from {len(traces)} sources)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     return {
         "run": _cmd_trace_run,
@@ -850,12 +1004,61 @@ def _cmd_trace(args) -> int:
         "validate": _cmd_trace_validate,
         "audit": _cmd_trace_audit,
         "export": _cmd_trace_export,
+        "merge": _cmd_trace_merge,
     }[args.trace_command](args)
+
+
+def _cmd_slo(args) -> int:
+    from repro.obs.slo import (
+        MetricsView,
+        evaluate_slos,
+        load_slo_file,
+    )
+
+    try:
+        document = load_slo_file(args.slo_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {args.slo_file}: {exc}", file=sys.stderr)
+        return 2
+    if args.artifact is not None:
+        artifact = _load_artifact_or_fail(args.artifact)
+        if artifact is None:
+            return 2
+        view = MetricsView.from_snapshot(artifact["metrics"])
+        source = args.artifact
+    else:
+        import urllib.error
+        import urllib.request
+
+        url = args.url
+        if "://" not in url:
+            url = f"http://{url}"
+        if not url.rstrip("/").endswith("/metrics"):
+            url = url.rstrip("/") + "/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                text = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: scraping {url}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            view = MetricsView.from_openmetrics(text)
+        except ValueError as exc:
+            print(f"error: {url} is not a valid exposition: {exc}",
+                  file=sys.stderr)
+            return 2
+        source = url
+    report = evaluate_slos(document, view, warn_only=args.warn_only)
+    print(f"SLO check: {args.slo_file} vs {source}")
+    print(report.format())
+    return 1 if report.failed else 0
 
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import contextlib
 
+    from repro import obs
     from repro.geo.grid import GridSpec
     from repro.lppa.batching import TtpSchedule
     from repro.lppa.ttp import TrustedThirdParty
@@ -878,6 +1081,18 @@ def _cmd_serve(args) -> int:
         seed=protocol_seed(args.seed),
         location_deadline=args.location_deadline,
         bid_deadline=args.bid_deadline,
+        metrics_port=args.metrics_port,
+        metrics_host=args.metrics_host,
+    )
+
+    # A scrape endpoint with no registry collecting would serve an empty
+    # exposition; when --metrics-port is given without --metrics, collect
+    # for the lifetime of the serve run (the artifact is simply not
+    # written).  An outer _run_with_metrics registry takes precedence.
+    collect = (
+        obs.collecting()
+        if args.metrics_port is not None and obs.get_active() is None
+        else contextlib.nullcontext()
     )
 
     async def _serve() -> int:
@@ -897,6 +1112,9 @@ def _cmd_serve(args) -> int:
         )
         await server.start()
         print(f"serving on {server.address}", flush=True)
+        if server.metrics_address is not None:
+            print(f"metrics on http://{server.metrics_address}/metrics",
+                  flush=True)
         try:
             await server.wait_for_clients(args.users, timeout=args.join_timeout)
             for round_index in range(args.rounds):
@@ -924,7 +1142,8 @@ def _cmd_serve(args) -> int:
         )
         return 0
 
-    return asyncio.run(_serve())
+    with collect:
+        return asyncio.run(_serve())
 
 
 def _cmd_loadgen(args) -> int:
@@ -947,6 +1166,7 @@ def _cmd_loadgen(args) -> int:
         check_equivalence=args.check_equivalence,
         ttp_period=args.ttp_period,
         ttp_capacity=args.ttp_capacity,
+        raw_latencies=args.raw_latencies,
     )
     try:
         report = asyncio.run(run_loadgen(config))
@@ -1036,6 +1256,7 @@ _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "scale": _cmd_scale,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "slo": _cmd_slo,
 }
 
 

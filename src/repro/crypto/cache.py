@@ -15,7 +15,8 @@ evicted eagerly instead of lingering until LRU pressure.
 
 Observability: every lookup lands on ``crypto.mask_cache.hits`` or
 ``crypto.mask_cache.misses``; clears count ``crypto.mask_cache.invalidations``
-and LRU pressure counts ``crypto.mask_cache.evictions``.  The fault-test
+and LRU pressure counts ``crypto.mask_cache.evictions``; live occupancy is
+exported as the ``crypto.mask_cache.size`` gauge.  The fault-test
 suite uses these counters to prove no stale digest is ever served across
 key rotation, SU churn and prefix-set mutation.
 
@@ -110,6 +111,7 @@ class MaskCache:
             entries.popitem(last=False)
             self.evictions += 1
             obs.count("crypto.mask_cache.evictions")
+        obs.set_gauge("crypto.mask_cache.size", float(len(entries)))
 
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
@@ -117,6 +119,7 @@ class MaskCache:
         self._entries.clear()
         if dropped:
             obs.count("crypto.mask_cache.invalidations")
+            obs.set_gauge("crypto.mask_cache.size", 0.0)
         return dropped
 
     def note_key_epoch(self, fingerprint: bytes) -> bool:

@@ -53,12 +53,20 @@ workers only slice indices.  Task functions read the stash via
 failure and re-runs the sweep serially in the parent, where the stash is
 always present — slower, still bit-identical.
 
-Worker-side :mod:`repro.obs` counters and trace events are lost (fork
-copies the registries; only the parent's survive) — the same caveat the
-sweep engine documents.  All *trace* events of a sharded round are emitted
-by the parent, so sharded and serial rounds produce comparable trace
-streams; per-op obs counters (``prefix.membership_checks`` …) reflect
-parent-side work only when ``shards > 1``.
+Worker-side telemetry is *not* lost: when the parent has an active
+:mod:`repro.obs` registry or flight recorder at fan-out time, every task
+runs under a fresh worker-local registry + recorder
+(:func:`_run_instrumented`) and ships a picklable rollup — counters,
+timers (including a per-task ``<sweep>.worker`` wall timer), histograms
+and any buffered trace events — back through the ordinary task result.
+The front-ends fold counters/timers/histograms into the parent registry
+*inside the still-open parent phase scope*, so sharded scoped keys and
+totals match the serial path's exactly; worker trace events land in a
+separate module-level buffer (:func:`drain_worker_events`) and are never
+folded into the parent recorder, so the parent's trace stream — which the
+differential trace-equality tests pin across shard counts — is untouched.
+Gauges are deliberately not folded: last-write-wins has no cross-process
+meaning.
 
 ``shards`` semantics: ``None`` (default) is the legacy single-process path,
 byte-for-byte untouched.  ``1`` enables *scale mode* (prefilter on, fan-out
@@ -68,11 +76,14 @@ ever spawned.  ``>= 2`` fans chunks over that many worker processes.
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import os
 from dataclasses import replace
 from typing import (
     Any,
+    Callable,
+    Deque,
     Dict,
     FrozenSet,
     Iterator,
@@ -82,6 +93,11 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
+from repro.obs import trace
+from repro.obs.clock import Stopwatch
+from repro.obs.hist import Histogram
+from repro.obs.registry import MetricsRegistry
 from repro.auction.conflict import ConflictGraph, cells_conflict
 from repro.geo.buckets import candidate_pairs
 from repro.geo.grid import Cell
@@ -95,10 +111,12 @@ from repro.prefix.membership import is_member
 
 __all__ = [
     "SHARDS_ENV",
+    "WORKER_EVENT_CAPACITY",
     "resolve_shards",
     "shard_slices",
     "chunk_pairs",
     "independent_user_rngs",
+    "drain_worker_events",
     "sharded_location_submissions",
     "sharded_bid_submissions",
     "sharded_conflict_edges",
@@ -109,6 +127,9 @@ __all__ = [
 
 #: Environment variable consulted when no explicit shard count is given.
 SHARDS_ENV = "REPRO_SHARDS"
+
+#: Ring-buffer capacity of each worker-local flight recorder.
+WORKER_EVENT_CAPACITY = 4096
 
 
 def run_sweep(*args, **kwargs):
@@ -213,10 +234,111 @@ def _stash(key: str) -> Any:
     return stash[key]
 
 
+# -- worker telemetry ---------------------------------------------------------
+
+#: Worker trace events shipped back by rollups, awaiting :func:`drain_worker_events`.
+_worker_events: Deque[Dict[str, Any]] = collections.deque(maxlen=1 << 16)
+
+#: A picklable worker-side telemetry rollup (see :func:`_run_instrumented`).
+Rollup = Dict[str, Any]
+
+
+def _telemetry_spec(name: str) -> Optional[Dict[str, str]]:
+    """The per-fan-out telemetry instruction parked in the stash.
+
+    ``None`` — the common case, nothing collecting in the parent — keeps
+    every task on the zero-overhead path; otherwise the task knows which
+    sweep it serves so its wall timer lands on ``<name>.worker``.
+    """
+    if obs.get_active() is None and trace.get_active() is None:
+        return None
+    return {"name": name}
+
+
+def _run_instrumented(
+    spec: Optional[Dict[str, str]], work: Callable[[], Any]
+) -> Tuple[Any, Optional[Rollup]]:
+    """Run one task body, capturing its telemetry when the parent asked.
+
+    A fresh worker-local registry and flight recorder shadow whatever the
+    process inherited (fork copies the parent's active registry — counting
+    into that copy would be silently lost; in serial execution it *is* the
+    parent's registry, and counting into it directly would bypass the fold
+    and double-apply the parent phase scope).  Everything recorded travels
+    home as a plain-dict rollup in the task result.
+    """
+    if spec is None:
+        return work(), None
+    registry = MetricsRegistry()
+    recorder = trace.TraceRecorder(capacity=WORKER_EVENT_CAPACITY)
+    recorder.set_correlation(role="shard-worker")
+    watch = Stopwatch()
+    with obs.collecting(registry, trace=recorder):
+        payload = work()
+    registry.record_raw_seconds(f"{spec['name']}.worker", watch.elapsed())
+    rollup: Rollup = {
+        "counters": registry.counters,
+        "timers": {k: t.as_dict() for k, t in registry.timers.items()},
+        "histograms": {k: h.as_dict() for k, h in registry.histograms.items()},
+        "events": recorder.events(),
+    }
+    return payload, rollup
+
+
+def _fold_rollups(rollups: Sequence[Optional[Rollup]]) -> None:
+    """Fold worker rollups into the parent's registry and event buffer.
+
+    Must run inside the same parent phase scope the serial path would
+    record under: ``count``/``record_seconds`` re-apply the current scope,
+    so a worker's bare ``prefix.membership_checks`` lands on exactly the
+    scoped key the single-process round uses.  Trace events are *buffered*,
+    never folded into the parent recorder — the parent's stream must stay
+    identical at every shard count.
+    """
+    registry = obs.get_active()
+    for rollup in rollups:
+        if rollup is None:
+            continue
+        if registry is not None:
+            for key, value in rollup["counters"].items():
+                registry.count(key, value)
+            for key, stat in rollup["timers"].items():
+                registry.record_seconds(
+                    key, stat["seconds"], int(stat["count"])
+                )
+            path = registry.phase_path()
+            for key, payload in rollup["histograms"].items():
+                scoped = f"{path}/{key}" if path else key
+                registry.merge_histogram_raw(scoped, Histogram.from_dict(payload))
+        _worker_events.extend(rollup["events"])
+
+
+def _split_results(
+    results: Sequence[Tuple[Any, Optional[Rollup]]]
+) -> List[Any]:
+    """Fold the telemetry halves; return the payload halves in order."""
+    _fold_rollups([rollup for _, rollup in results])
+    return [payload for payload, _ in results]
+
+
+def drain_worker_events() -> List[Dict[str, Any]]:
+    """Remove and return every buffered worker trace event (oldest first).
+
+    ``repro trace merge`` treats the returned list as one extra source;
+    events carry ``role="shard-worker"`` but no session (workers never see
+    the WELCOME announcement — stamp one before merging if desired).
+    """
+    events = list(_worker_events)
+    _worker_events.clear()
+    return events
+
+
 # -- worker tasks (module-level: picklable by reference) ----------------------
 
 
-def _location_task(spec: Tuple[int, int]) -> List[LocationSubmission]:
+def _location_task(
+    spec: Tuple[int, int]
+) -> Tuple[List[LocationSubmission], Optional[Rollup]]:
     """Mask one contiguous slice of the population's locations.
 
     Masking consumes no randomness, so the digests are a pure function of
@@ -224,16 +346,22 @@ def _location_task(spec: Tuple[int, int]) -> List[LocationSubmission]:
     offset.
     """
     start, stop = spec
-    cells: Sequence[Cell] = _stash("cells")
-    subs = submit_locations(
-        cells[start:stop], _stash("g0"), _stash("grid"), _stash("two_lambda")
-    )
-    return [replace(sub, user_id=start + sub.user_id) for sub in subs]
+
+    def work() -> List[LocationSubmission]:
+        cells: Sequence[Cell] = _stash("cells")
+        subs = submit_locations(
+            cells[start:stop], _stash("g0"), _stash("grid"), _stash("two_lambda")
+        )
+        return [replace(sub, user_id=start + sub.user_id) for sub in subs]
+
+    return _run_instrumented(_stash("telemetry"), work)
 
 
 def _bid_task(
     spec: Tuple[int, int]
-) -> Tuple[List[BidSubmission], List[SubmissionDisclosure]]:
+) -> Tuple[
+    Tuple[List[BidSubmission], List[SubmissionDisclosure]], Optional[Rollup]
+]:
     """Synthesize one contiguous slice of bid submissions.
 
     Each SU draws exclusively from its own RNG stream, so the draws made
@@ -244,57 +372,83 @@ def _bid_task(
     would advance them.
     """
     start, stop = spec
-    bid_rows = _stash("bid_rows")
-    keyring = _stash("keyring")
-    scale = _stash("scale")
-    rngs = _stash("rngs")
-    policies = _stash("policies")
-    subs: List[BidSubmission] = []
-    disclosures: List[SubmissionDisclosure] = []
-    for user in range(start, stop):
-        submission, disclosure = submit_bids_advanced(
-            user, bid_rows[user], keyring, scale, rngs[user],
-            policy=policies[user],
-        )
-        subs.append(submission)
-        disclosures.append(disclosure)
-    return subs, disclosures
+
+    def work() -> Tuple[List[BidSubmission], List[SubmissionDisclosure]]:
+        bid_rows = _stash("bid_rows")
+        keyring = _stash("keyring")
+        scale = _stash("scale")
+        rngs = _stash("rngs")
+        policies = _stash("policies")
+        subs: List[BidSubmission] = []
+        disclosures: List[SubmissionDisclosure] = []
+        for user in range(start, stop):
+            submission, disclosure = submit_bids_advanced(
+                user, bid_rows[user], keyring, scale, rngs[user],
+                policy=policies[user],
+            )
+            subs.append(submission)
+            disclosures.append(disclosure)
+        return subs, disclosures
+
+    return _run_instrumented(_stash("telemetry"), work)
 
 
-def _masked_pair_task(spec: Tuple[int, int]) -> List[Tuple[int, int]]:
+def _masked_pair_task(
+    spec: Tuple[int, int]
+) -> Tuple[List[Tuple[int, int]], Optional[Rollup]]:
     """Decide one slice of candidate pairs by masked membership tests."""
     start, stop = spec
-    pairs: Sequence[Tuple[int, int]] = _stash("pairs")
-    subs: Sequence[LocationSubmission] = _stash("subs")
-    edges: List[Tuple[int, int]] = []
-    for i, j in pairs[start:stop]:
-        a, b = subs[i], subs[j]
-        if is_member(a.x_family, b.x_range) and is_member(a.y_family, b.y_range):
-            edges.append((i, j))
-    return edges
+
+    def work() -> List[Tuple[int, int]]:
+        pairs: Sequence[Tuple[int, int]] = _stash("pairs")
+        subs: Sequence[LocationSubmission] = _stash("subs")
+        edges: List[Tuple[int, int]] = []
+        for i, j in pairs[start:stop]:
+            a, b = subs[i], subs[j]
+            if is_member(a.x_family, b.x_range) and is_member(a.y_family, b.y_range):
+                edges.append((i, j))
+        return edges
+
+    return _run_instrumented(_stash("telemetry"), work)
 
 
-def _plain_pair_task(spec: Tuple[int, int]) -> List[Tuple[int, int]]:
+def _plain_pair_task(
+    spec: Tuple[int, int]
+) -> Tuple[List[Tuple[int, int]], Optional[Rollup]]:
     """Decide one slice of candidate pairs on plaintext cells."""
     start, stop = spec
-    pairs: Sequence[Tuple[int, int]] = _stash("pairs")
-    cells: Sequence[Cell] = _stash("cells")
-    two_lambda: int = _stash("two_lambda")
-    return [
-        (i, j)
-        for i, j in pairs[start:stop]
-        if cells_conflict(cells[i], cells[j], two_lambda)
-    ]
+
+    def work() -> List[Tuple[int, int]]:
+        pairs: Sequence[Tuple[int, int]] = _stash("pairs")
+        cells: Sequence[Cell] = _stash("cells")
+        two_lambda: int = _stash("two_lambda")
+        return [
+            (i, j)
+            for i, j in pairs[start:stop]
+            if cells_conflict(cells[i], cells[j], two_lambda)
+        ]
+
+    return _run_instrumented(_stash("telemetry"), work)
 
 
-def _masked_rank_task(channel: int) -> List[List[int]]:
+def _masked_rank_task(
+    channel: int
+) -> Tuple[List[List[int]], Optional[Rollup]]:
     """Rank one masked column (one channel) in a worker."""
-    return rank_masked_column(_stash("columns")[channel])
+    return _run_instrumented(
+        _stash("telemetry"),
+        lambda: rank_masked_column(_stash("columns")[channel]),
+    )
 
 
-def _integer_rank_task(channel: int) -> List[List[int]]:
+def _integer_rank_task(
+    channel: int
+) -> Tuple[List[List[int]], Optional[Rollup]]:
     """Rank one integer column (one channel) in a worker."""
-    return rank_integer_column(_stash("columns")[channel])
+    return _run_instrumented(
+        _stash("telemetry"),
+        lambda: rank_integer_column(_stash("columns")[channel]),
+    )
 
 
 # -- phase front-ends (called by the value backends) --------------------------
@@ -315,14 +469,15 @@ def sharded_location_submissions(state: RoundState) -> List[LocationSubmission]:
         g0=state.keyring.g0,
         grid=state.grid,
         two_lambda=state.two_lambda,
+        telemetry=_telemetry_spec("shard.locations"),
     ):
-        chunks = run_sweep(
+        chunks = _split_results(run_sweep(
             _location_task,
             shard_slices(len(cells), state.shards),
             workers=state.shards,
             chunksize=1,
             name="shard.locations",
-        )
+        ))
     return [sub for chunk in chunks for sub in chunk]
 
 
@@ -363,14 +518,15 @@ def sharded_bid_submissions(
         scale=state.scale,
         rngs=state.user_rngs,
         policies=state.policies,
+        telemetry=_telemetry_spec("shard.bids"),
     ):
-        chunks = run_sweep(
+        chunks = _split_results(run_sweep(
             _bid_task,
             shard_slices(len(state.users), workers),
             workers=workers,
             chunksize=1,
             name="shard.bids",
-        )
+        ))
     subs = [sub for chunk in chunks for sub in chunk[0]]
     disclosures = [d for chunk in chunks for d in chunk[1]]
     return subs, disclosures
@@ -390,14 +546,18 @@ def sharded_conflict_edges(state: RoundState) -> FrozenSet[Tuple[int, int]]:
     assert state.shards is not None
     cells = [user.cell for user in state.users]
     pairs = list(candidate_pairs(cells, state.two_lambda))
-    with _stashed(pairs=pairs, subs=state.location_subs):
-        edge_chunks = run_sweep(
+    with _stashed(
+        pairs=pairs,
+        subs=state.location_subs,
+        telemetry=_telemetry_spec("shard.conflict"),
+    ):
+        edge_chunks = _split_results(run_sweep(
             _masked_pair_task,
             shard_slices(len(pairs), state.shards),
             workers=state.shards,
             chunksize=1,
             name="shard.conflict",
-        )
+        ))
     return frozenset(edge for chunk in edge_chunks for edge in chunk)
 
 
@@ -407,14 +567,19 @@ def sharded_plain_conflict(
     """Plaintext conflict graph via the same prefilter + fan-out."""
     cell_list = list(cells)
     pairs = list(candidate_pairs(cell_list, two_lambda))
-    with _stashed(pairs=pairs, cells=cell_list, two_lambda=two_lambda):
-        edge_chunks = run_sweep(
+    with _stashed(
+        pairs=pairs,
+        cells=cell_list,
+        two_lambda=two_lambda,
+        telemetry=_telemetry_spec("shard.conflict"),
+    ):
+        edge_chunks = _split_results(run_sweep(
             _plain_pair_task,
             shard_slices(len(pairs), shards),
             workers=shards,
             chunksize=1,
             name="shard.conflict",
-        )
+        ))
     edges = frozenset(edge for chunk in edge_chunks for edge in chunk)
     return ConflictGraph(n_users=len(cell_list), edges=edges)
 
@@ -429,15 +594,16 @@ def sharded_masked_rankings(
     :meth:`MaskedBidTable.set_rankings` before the allocator runs.
     """
     with _stashed(
-        columns=[table.column(ch) for ch in range(table.n_channels)]
+        columns=[table.column(ch) for ch in range(table.n_channels)],
+        telemetry=_telemetry_spec("shard.rankings"),
     ):
-        return run_sweep(
+        return _split_results(run_sweep(
             _masked_rank_task,
             list(range(table.n_channels)),
             workers=shards,
             chunksize=1,
             name="shard.rankings",
-        )
+        ))
 
 
 def sharded_integer_rankings(
@@ -445,12 +611,13 @@ def sharded_integer_rankings(
 ) -> List[List[List[int]]]:
     """Plain-path twin of :func:`sharded_masked_rankings`."""
     with _stashed(
-        columns=[table.column(ch) for ch in range(table.n_channels)]
+        columns=[table.column(ch) for ch in range(table.n_channels)],
+        telemetry=_telemetry_spec("shard.rankings"),
     ):
-        return run_sweep(
+        return _split_results(run_sweep(
             _integer_rank_task,
             list(range(table.n_channels)),
             workers=shards,
             chunksize=1,
             name="shard.rankings",
-        )
+        ))

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs import trace
+from repro.obs.trace import correlation_key
 from repro.auction.bidders import SecondaryUser
 from repro.crypto.keys import KeyRing
 from repro.geo.grid import GridSpec
@@ -119,6 +121,7 @@ class SUClient:
         policy: Optional[ZeroDisguisePolicy] = None,
         retry: Optional[RetryPolicy] = None,
         frame_timeout: float = 30.0,
+        recorder: Optional[trace.TraceRecorder] = None,
     ) -> None:
         self._su_id = su_id
         self._user = user
@@ -130,8 +133,13 @@ class SUClient:
         self._policy = policy if policy is not None else KeepZeroPolicy()
         self._retry = retry if retry is not None else RetryPolicy()
         self._frame_timeout = frame_timeout
+        # A *private* per-client flight recorder: the client never touches
+        # the process-wide recorder (which a self-hosted server may own),
+        # so enabling client traces cannot perturb the server's stream.
+        self._recorder = recorder
         self._conn: Optional[Connection] = None
         self._announcement: Optional[Dict[str, Any]] = None
+        self._session_key: Optional[str] = None
         self.bytes_sent = 0
         self.bytes_received = 0
         self.connect_attempts = 0
@@ -144,6 +152,16 @@ class SUClient:
     def announcement(self) -> Optional[Dict[str, Any]]:
         """The WELCOME document, once connected."""
         return self._announcement
+
+    @property
+    def session_key(self) -> Optional[str]:
+        """Correlation key derived from the WELCOME announcement."""
+        return self._session_key
+
+    @property
+    def recorder(self) -> Optional[trace.TraceRecorder]:
+        """This client's private flight recorder, if one was attached."""
+        return self._recorder
 
     # -- connection management ----------------------------------------------
 
@@ -176,6 +194,17 @@ class SUClient:
                     )
                 self._conn = conn
                 self._announcement = unpack_json(payload)
+                # Same bytes, same hash: the server derived this key from
+                # the identical announcement document before sending it.
+                self._session_key = correlation_key(self._announcement)
+                if self._recorder is not None:
+                    self._recorder.set_correlation(
+                        session=self._session_key, role=f"su:{self._su_id}"
+                    )
+                    self._recorder.instant(
+                        "client_connected", vis="su",
+                        attempts=self.connect_attempts,
+                    )
                 return self._announcement
             except ProtocolError:
                 raise  # the server answered; retrying won't change its mind
@@ -216,23 +245,34 @@ class SUClient:
             self._su_id, self._user.cell, self._keyring.g0,
             self._grid, self._two_lambda,
         )
+        t_sent = monotonic()
         await self._write(conn, FrameType.LOCATION, encode_location(location))
 
         ftype, payload = await self._read(conn)
+        obs.observe("net.client.frame_rtt", monotonic() - t_sent)
         if ftype is not FrameType.BID_REQUEST:
             self._unexpected(ftype, payload, expected="BID_REQUEST")
         bids, _disclosure = submit_bids_advanced(
             self._su_id, self._user.bids, self._keyring, self._scale, rng,
             policy=self._policy,
         )
+        t_sent = monotonic()
         await self._write(conn, FrameType.BIDS, encode_bids(bids))
 
         ftype, payload = await self._read(conn)
+        obs.observe("net.client.frame_rtt", monotonic() - t_sent)
         if ftype is not FrameType.RESULT:
             self._unexpected(ftype, payload, expected="RESULT")
         result = unpack_json(payload)
         latency = monotonic() - t0
         obs.count("net.client.rounds")
+        obs.observe("net.client.round_latency", latency)
+        if self._recorder is not None:
+            with self._recorder.corr_scope(round_=round_index):
+                self._recorder.instant(
+                    "client_round_complete", vis="su",
+                    wins=len(result.get("wins", ())),
+                )
         return ClientRound(
             round_index=round_index, result=result, latency_s=latency
         )

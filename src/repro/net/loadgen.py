@@ -38,6 +38,7 @@ from repro.net.transport import MemoryTransport, TcpTransport, Transport
 from repro.net.ttp_service import TtpService
 from repro import obs
 from repro.obs.clock import monotonic
+from repro.obs.hist import Histogram
 
 __all__ = [
     "LoadgenConfig",
@@ -88,6 +89,10 @@ class LoadgenConfig:
     ttp_period: Optional[int] = None
     ttp_capacity: Optional[int] = None
     frame_timeout: float = 30.0
+    #: Keep every raw latency sample for exact-sort percentiles.  Off by
+    #: default so multi-hour runs stay bounded: the histogram alone costs
+    #: a fixed ~100 buckets no matter how many rounds complete.
+    raw_latencies: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in ("memory", "tcp"):
@@ -104,27 +109,40 @@ class LoadgenReport:
     n_users: int
     rounds_completed: int
     elapsed_s: float
-    latencies_s: List[float] = field(default_factory=list)
+    latency_hist: Histogram = field(default_factory=Histogram)
+    raw_latencies_s: Optional[List[float]] = None
     wire_bytes: int = 0
     round_summaries: List[Dict[str, Any]] = field(default_factory=list)
     stragglers: int = 0
     equivalence_checked: int = 0
 
+    def record_latency(self, seconds: float) -> None:
+        """Fold one round latency into the bounded histogram (and, when
+        the ``raw_latencies`` escape hatch is on, the exact sample list)."""
+        self.latency_hist.observe(seconds)
+        if self.raw_latencies_s is not None:
+            self.raw_latencies_s.append(seconds)
+
     @property
     def rounds_per_sec(self) -> float:
         return self.rounds_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    def _quantile(self, q: float) -> float:
+        if self.raw_latencies_s is not None:
+            return _percentile(self.raw_latencies_s, q)
+        return self.latency_hist.quantile(q)
+
     @property
     def p50_latency_s(self) -> float:
-        return _percentile(self.latencies_s, 0.50)
+        return self._quantile(0.50)
 
     @property
     def p95_latency_s(self) -> float:
-        return _percentile(self.latencies_s, 0.95)
+        return self._quantile(0.95)
 
     @property
     def p99_latency_s(self) -> float:
-        return _percentile(self.latencies_s, 0.99)
+        return self._quantile(0.99)
 
     def record_metrics(self) -> None:
         """Fold the SLO summary into the active obs registry, if any.
@@ -139,6 +157,7 @@ class LoadgenReport:
         obs.record_seconds("net.loadgen.latency_p95", self.p95_latency_s)
         obs.record_seconds("net.loadgen.latency_p99", self.p99_latency_s)
         obs.record_seconds("net.loadgen.elapsed", self.elapsed_s)
+        obs.merge_histogram("net.loadgen.latency", self.latency_hist)
         obs.count("net.loadgen.rounds", self.rounds_completed)
         obs.count("net.loadgen.wire_bytes", self.wire_bytes)
         obs.count("net.loadgen.stragglers", self.stragglers)
@@ -357,10 +376,12 @@ async def _run_self_hosted(
         n_users=config.n_users,
         rounds_completed=len(reports),
         elapsed_s=elapsed,
-        latencies_s=[r.latency_s for r in reports],
+        raw_latencies_s=[] if config.raw_latencies else None,
         wire_bytes=server.wire.total_bytes,
         stragglers=sum(len(r.stragglers) for r in reports),
     )
+    for r in reports:
+        report.record_latency(r.latency_s)
     for r in reports:
         report.round_summaries.append(
             {
@@ -399,20 +420,20 @@ async def _run_connect(
     elapsed = monotonic() - t0
 
     by_round: Dict[int, Dict[str, Any]] = {}
-    latencies: List[float] = []
-    for rounds in rounds_per_client:
-        for record in rounds:
-            latencies.append(record.latency_s)
-            by_round.setdefault(record.round_index, record.result)
     report = LoadgenReport(
         address=f"{host}:{port_text}",
         n_users=config.n_users,
-        rounds_completed=len(by_round),
+        rounds_completed=0,
         elapsed_s=elapsed,
-        latencies_s=latencies,
+        raw_latencies_s=[] if config.raw_latencies else None,
         wire_bytes=sum(c.bytes_sent + c.bytes_received for c in clients),
         stragglers=0,
     )
+    for rounds in rounds_per_client:
+        for record in rounds:
+            report.record_latency(record.latency_s)
+            by_round.setdefault(record.round_index, record.result)
+    report.rounds_completed = len(by_round)
     for round_index in sorted(by_round):
         doc = by_round[round_index]
         report.round_summaries.append(

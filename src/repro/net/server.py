@@ -69,6 +69,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro import obs
 from repro.obs import trace
 from repro.obs.clock import monotonic
+from repro.obs.live import MetricsHttpServer
+from repro.obs.trace import correlation_key
 from repro.geo.grid import GridSpec
 from repro.lppa.bids_advanced import BidScale
 from repro.lppa.codec import CodecError, decode_bids, decode_location
@@ -142,7 +144,14 @@ class _CloseConnection(Exception):
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Protocol parameters plus the runtime's deadlines."""
+    """Protocol parameters plus the runtime's deadlines.
+
+    ``metrics_port`` opts into the OpenMetrics scrape endpoint
+    (:class:`~repro.obs.live.MetricsHttpServer`): ``None`` (the default)
+    never constructs the endpoint, ``0`` binds an ephemeral port.  The
+    endpoint serves whatever the process-wide :mod:`repro.obs` registry is
+    collecting, overlaid with the server's runtime gauges.
+    """
 
     n_users: int
     n_channels: int
@@ -156,6 +165,8 @@ class ServerConfig:
     bid_deadline: float = 5.0
     join_deadline: float = 10.0
     max_frame_bytes: int = MAX_FRAME_BYTES
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.n_users < 1:
@@ -236,6 +247,11 @@ class AuctioneerServer:
         self._bids: Dict[int, BidSubmission] = {}
         self._phase_done = asyncio.Event()
         self.wire = WireStats()
+        # Both ends of every connection derive this from the WELCOME
+        # announcement, so server, clients and TTP stamp the same trace
+        # session without a single extra wire byte.
+        self._session_key = correlation_key(self._announcement())
+        self._metrics_server: Optional[MetricsHttpServer] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -268,11 +284,34 @@ class AuctioneerServer:
     def n_connected(self) -> int:
         return len(self._clients)
 
+    @property
+    def session_key(self) -> str:
+        """The trace correlation key derived from the announcement."""
+        return self._session_key
+
+    @property
+    def metrics_address(self) -> Optional[str]:
+        """``host:port`` of the scrape endpoint, or ``None`` when disabled."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.address
+
     async def start(self) -> None:
         """Bring the TTP service online (if owned) and start listening."""
+        tr = trace.get_active()
+        if tr is not None:
+            tr.set_correlation(session=self._session_key, role="server")
+        self._ttp_service.set_correlation(self._session_key)
         if self._owns_ttp_service:
             await self._ttp_service.start()
         await self._transport.listen(self._handle_connection)
+        if self._config.metrics_port is not None:
+            self._metrics_server = MetricsHttpServer(
+                self._metrics_snapshot,
+                host=self._config.metrics_host,
+                port=self._config.metrics_port,
+            )
+            await self._metrics_server.start()
 
     async def stop(self) -> None:
         """Say goodbye, close every connection and the transport."""
@@ -284,6 +323,28 @@ class AuctioneerServer:
         await self._transport.close()
         if self._owns_ttp_service:
             await self._ttp_service.stop()
+        if self._metrics_server is not None:
+            await self._metrics_server.stop()
+            self._metrics_server = None
+
+    def _metrics_snapshot(self) -> Dict[str, object]:
+        """What a scrape sees: the active registry plus runtime gauges.
+
+        Evaluated per scrape between protocol await-points, so it observes
+        a consistent registry without locks; the overlay gauges make the
+        endpoint useful even when nothing else is collecting.
+        """
+        registry = obs.get_active()
+        snapshot: Dict[str, object] = (
+            {"counters": {}, "timers": {}, "totals": {}, "histograms": {}, "gauges": {}}
+            if registry is None
+            else registry.snapshot()
+        )
+        gauges = dict(snapshot.get("gauges") or {})  # type: ignore[arg-type]
+        gauges["net.server.connected_clients"] = float(len(self._clients))
+        gauges["net.server.rounds_started"] = float(self._round + 1)
+        snapshot["gauges"] = gauges
+        return snapshot
 
     async def wait_for_clients(self, n: int, *, timeout: float) -> None:
         """Block until ``n`` SUs are registered (or raise on timeout)."""
@@ -518,12 +579,14 @@ class AuctioneerServer:
             self._phase = RoundPhase.IDLE
             self._expected = set()
 
+        latency = monotonic() - t0
+        obs.observe("net.round.latency", latency)
         return NetRoundReport(
             round_index=round_index,
             result=state.result,
             participants=driver.participants,
             stragglers=tuple(su for su in roster if su not in driver.participants),
-            latency_s=monotonic() - t0,
+            latency_s=latency,
         )
 
     def _dense_locations(self, sus: Sequence[int]) -> List[LocationSubmission]:

@@ -80,10 +80,20 @@ class TtpService:
         self._served = 0
         self._windows_total = 0
         self._windows_used = 0
+        self._session: Optional[str] = None
 
     @property
     def ttp(self) -> TrustedThirdParty:
         return self._ttp
+
+    def set_correlation(self, session: Optional[str]) -> None:
+        """Stamp subsequent ``ttp_window`` trace events with ``session``.
+
+        The auctioneer server passes its announcement-derived correlation
+        key here on :meth:`AuctioneerServer.start`, so the TTP's events
+        join the same cross-process timeline without wire changes.
+        """
+        self._session = session
 
     def stats(self) -> TtpServiceStats:
         """Duty-cycle accounting so far (windows, requests served)."""
@@ -158,10 +168,15 @@ class TtpService:
             obs.count("net.ttp.windows_used")
             tr = trace.get_active()
             if tr is not None:
-                tr.instant(
-                    "ttp_window",
-                    vis="ttp",
-                    served=served,
-                    backlog=len(self._queue),
-                )
+                # The TTP shares the server's recorder and event loop; the
+                # synchronous corr_scope re-labels just this event as the
+                # TTP's without disturbing the server's defaults.
+                with tr.corr_scope(session=self._session, role="ttp"):
+                    tr.instant(
+                        "ttp_window",
+                        vis="ttp",
+                        served=served,
+                        backlog=len(self._queue),
+                    )
         obs.count("net.ttp.windows")
+        obs.set_gauge("net.ttp.backlog", float(len(self._queue)))

@@ -53,6 +53,8 @@ from repro.obs.artifact import (
     write_artifact,
 )
 from repro.obs.diff import DEFAULT_THRESHOLD, DiffReport, diff_artifacts
+from repro.obs.hist import Gauge, Histogram
+from repro.obs.openmetrics import render_openmetrics
 from repro.obs.registry import MetricsRegistry, TimerStat
 from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceRecorder
 from repro.obs import trace  # re-export: instrumented code calls obs.trace.message(...)
@@ -66,6 +68,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "DiffReport",
+    "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "TimerStat",
     "TraceRecorder",
@@ -77,8 +81,12 @@ __all__ = [
     "enable",
     "get_active",
     "load_artifact",
+    "merge_histogram",
+    "observe",
     "phase",
     "record_seconds",
+    "render_openmetrics",
+    "set_gauge",
     "timer",
     "trace",
     "tracing",
@@ -183,6 +191,27 @@ def record_seconds(name: str, seconds: float, count_: int = 1) -> None:
     registry = _active
     if registry is not None:
         registry.record_seconds(name, seconds, count_)
+
+
+def observe(name: str, value: float, count_: int = 1) -> None:
+    """Fold a histogram observation into the active registry; no-op when disabled."""
+    registry = _active
+    if registry is not None:
+        registry.observe(name, value, count_)
+
+
+def merge_histogram(name: str, hist: Histogram) -> None:
+    """Merge a pre-built histogram into the active registry; no-op when disabled."""
+    registry = _active
+    if registry is not None:
+        registry.merge_histogram(name, hist)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry; no-op when disabled."""
+    registry = _active
+    if registry is not None:
+        registry.set_gauge(name, value)
 
 
 def timer(name: str) -> ContextManager[object]:

@@ -16,10 +16,19 @@ Schema (version 1)::
       "config": { ...flat JSON object describing the workload... },
       "metrics": {
         "counters": {"<phase.path>/<metric>": int, ...},
-        "timers":   {"<key>": {"seconds": float, "count": int}, ...},
-        "totals":   {"<metric>": int, ...}
+        "timers":   {"<key>": {"seconds": float, "count": int,
+                               "min": float?, "max": float?}, ...},
+        "totals":   {"<metric>": int, ...},
+        "histograms": {"<key>": {"count": int, "sum": float,
+                                 "buckets": {"<i>": int, ...}, ...}, ...}?,
+        "gauges":   {"<key>": float, ...}?
       }
     }
+
+The ``histograms``/``gauges`` sections and the timer ``min``/``max``
+fields are schema-additive: artifacts written before they existed stay
+valid, and consumers must treat their absence as "not recorded" — never
+as zero.
 
 ``repro metrics diff`` (:mod:`repro.obs.diff`) compares two such files;
 the ``bench-artifacts`` CI job uploads them and diffs against a committed
@@ -177,4 +186,86 @@ def validate_artifact(document: Any) -> List[str]:
                     f"timer {key!r} must be "
                     '{"seconds": float >= 0, "count": int >= 1}'
                 )
+                continue
+            errors.extend(_check_min_max(f"timer {key!r}", stat))
+    histograms = metrics.get("histograms")
+    if histograms is not None:
+        if not isinstance(histograms, dict):
+            errors.append(
+                _type_error("metrics.histograms", "an object", histograms)
+            )
+        else:
+            for key, hist in histograms.items():
+                errors.extend(_check_histogram(key, hist))
+    gauges = metrics.get("gauges")
+    if gauges is not None:
+        if not isinstance(gauges, dict):
+            errors.append(_type_error("metrics.gauges", "an object", gauges))
+        else:
+            for key, value in gauges.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"gauge {key!r} must be a number, got {value!r}")
+    return errors
+
+
+def _check_min_max(label: str, stat: Dict[str, Any]) -> List[str]:
+    """Optional min/max fields: numbers with min <= max, or both absent.
+
+    Absent means "not recorded" (an older artifact) — validation must not
+    demand them, and diffing must not read absence as zero.
+    """
+    errors: List[str] = []
+    has_min, has_max = "min" in stat, "max" in stat
+    if has_min != has_max:
+        errors.append(f"{label} must carry 'min' and 'max' together")
+        return errors
+    if not has_min:
+        return errors
+    for field in ("min", "max"):
+        value = stat[field]
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or value < 0
+        ):
+            errors.append(f"{label} field {field!r} must be a number >= 0")
+            return errors
+    if stat["min"] > stat["max"]:
+        errors.append(f"{label} has min > max")
+    return errors
+
+
+def _check_histogram(key: str, hist: Any) -> List[str]:
+    label = f"histogram {key!r}"
+    if not isinstance(hist, dict):
+        return [f"{label} must be an object"]
+    errors: List[str] = []
+    count = hist.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        errors.append(f"{label} field 'count' must be a non-negative int")
+        return errors
+    total = hist.get("sum")
+    if not isinstance(total, (int, float)) or isinstance(total, bool) or total < 0:
+        errors.append(f"{label} field 'sum' must be a number >= 0")
+    buckets = hist.get("buckets")
+    if not isinstance(buckets, dict):
+        errors.append(f"{label} field 'buckets' must be an object")
+    else:
+        bucket_total = 0
+        for index, value in buckets.items():
+            if (
+                not str(index).isdigit()
+                or not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                errors.append(
+                    f"{label} bucket {index!r} must map a digit index to int >= 1"
+                )
+                return errors
+            bucket_total += value
+        if bucket_total != count:
+            errors.append(f"{label} bucket counts do not sum to 'count'")
+    if count > 0:
+        errors.extend(_check_min_max(label, hist))
     return errors

@@ -10,7 +10,15 @@ and classifies every shared metric:
 * **timers** — compared by *mean* seconds per invocation, so artifacts
   measured over different trial counts stay comparable.  Means below
   ``min_seconds`` are ignored: sub-100µs timers are noise on shared CI
-  runners.
+  runners.  The optional ``min``/``max`` fields newer artifacts carry are
+  compared (as ``timer-min``) only when **both** sides recorded them —
+  absence means "not recorded", never zero, so a baseline written before
+  the fields existed cannot produce an infinite-ratio regression;
+* **histograms** — compared by their p99 estimate (``hist-p99``), the
+  tail the aggregate mean hides, with the same ``min_seconds`` noise
+  floor;
+* **gauges** — compared directly (``gauge``); occupancy and backlog
+  levels are deterministic for a fixed workload.
 
 Keys present on only one side are reported as added/removed, never as
 regressions — new instrumentation must not fail CI retroactively.
@@ -38,7 +46,7 @@ class Delta:
     """One compared metric: baseline vs current and the relative change."""
 
     key: str
-    kind: str  # "counter" | "timer-mean"
+    kind: str  # "counter" | "timer-mean" | "timer-min" | "hist-p99" | "gauge"
     base: float
     current: float
 
@@ -58,6 +66,8 @@ class Delta:
         """One aligned human-readable line for the diff table."""
         if self.kind == "counter":
             values = f"{int(self.base)} -> {int(self.current)}"
+        elif self.kind == "gauge":
+            values = f"{self.base:g} -> {self.current:g}"
         else:
             values = f"{self.base * 1e3:.3f}ms -> {self.current * 1e3:.3f}ms"
         return f"{self.kind:<10} {self.key:<48} {values}  ({self.change_pct:+.1f}%)"
@@ -167,15 +177,54 @@ def diff_artifacts(
         base_stat, cur_stat = base_timers[key], cur_timers[key]
         base_mean = base_stat["seconds"] / max(base_stat["count"], 1)
         cur_mean = cur_stat["seconds"] / max(cur_stat["count"], 1)
-        if base_mean < min_seconds:
+        if base_mean >= min_seconds:
+            _classify(
+                report,
+                Delta(key=key, kind="timer-mean", base=base_mean, current=cur_mean),
+            )
+        # min is optional (older artifacts lack it): compare only when both
+        # sides recorded one — absent is "not recorded", not zero.
+        if "min" in base_stat and "min" in cur_stat:
+            base_min, cur_min = float(base_stat["min"]), float(cur_stat["min"])
+            if base_min >= min_seconds:
+                _classify(
+                    report,
+                    Delta(key=key, kind="timer-min", base=base_min, current=cur_min),
+                )
+
+    base_hists: Dict[str, Dict[str, Any]] = dict(base_metrics.get("histograms") or {})
+    cur_hists: Dict[str, Dict[str, Any]] = dict(cur_metrics.get("histograms") or {})
+    for key in sorted(base_hists.keys() & cur_hists.keys()):
+        base_p99 = _hist_p99(base_hists[key])
+        cur_p99 = _hist_p99(cur_hists[key])
+        if base_p99 < min_seconds:
             continue
         _classify(
             report,
-            Delta(key=key, kind="timer-mean", base=base_mean, current=cur_mean),
+            Delta(key=key, kind="hist-p99", base=base_p99, current=cur_p99),
         )
 
-    base_keys = base_counters.keys() | base_timers.keys()
-    cur_keys = cur_counters.keys() | cur_timers.keys()
+    base_gauges: Dict[str, float] = dict(base_metrics.get("gauges") or {})
+    cur_gauges: Dict[str, float] = dict(cur_metrics.get("gauges") or {})
+    for key in sorted(base_gauges.keys() & cur_gauges.keys()):
+        _classify(
+            report,
+            Delta(
+                key=key,
+                kind="gauge",
+                base=float(base_gauges[key]),
+                current=float(cur_gauges[key]),
+            ),
+        )
+
+    base_keys = base_counters.keys() | base_timers.keys() | base_hists.keys() | base_gauges.keys()
+    cur_keys = cur_counters.keys() | cur_timers.keys() | cur_hists.keys() | cur_gauges.keys()
     report.added = sorted(cur_keys - base_keys)
     report.removed = sorted(base_keys - cur_keys)
     return report
+
+
+def _hist_p99(data: Mapping[str, Any]) -> float:
+    from repro.obs.hist import Histogram
+
+    return Histogram.from_dict(dict(data)).quantile(0.99)

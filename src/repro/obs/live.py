@@ -1,0 +1,167 @@
+"""The live scrape endpoint: a minimal asyncio HTTP server for OpenMetrics.
+
+:class:`MetricsHttpServer` serves three paths:
+
+* ``GET /metrics``  — the OpenMetrics exposition of whatever the
+  ``source`` callable returns *at scrape time* (a
+  :class:`~repro.obs.registry.MetricsRegistry`, a snapshot mapping, or
+  ``None`` for "nothing collecting" → an empty but valid exposition);
+* ``GET /healthz``  — liveness probe (``ok``);
+* anything else     — 404.
+
+Scrapes are **lock-free reads**: the process is single-threaded asyncio,
+so rendering a snapshot between two protocol await-points observes a
+consistent registry without synchronization, and when no ``--metrics-port``
+is configured the server is simply never constructed — zero overhead on
+the serving path.
+
+This is deliberately not a web framework: HTTP/1.0-style one-shot
+responses (``Connection: close``) are all Prometheus, ``curl`` and the CI
+format check need.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro import obs
+from repro.obs.openmetrics import CONTENT_TYPE, render_openmetrics
+
+__all__ = ["MetricsHttpServer"]
+
+#: Request lines longer than this are rejected (we only serve two paths).
+_MAX_REQUEST_BYTES = 8192
+
+_EMPTY_SNAPSHOT: dict = {
+    "counters": {},
+    "timers": {},
+    "totals": {},
+    "histograms": {},
+    "gauges": {},
+}
+
+
+class MetricsHttpServer:
+    """Opt-in OpenMetrics scrape endpoint bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    bound one after :meth:`start`.  The default ``source`` exposes the
+    process-wide active registry (:func:`repro.obs.get_active`), so a
+    server started inside ``obs.collecting(...)`` serves exactly what the
+    run is recording.
+    """
+
+    def __init__(
+        self,
+        source: Optional[Callable[[], Any]] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._source = source if source is not None else obs.get_active
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._scrapes = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "MetricsHttpServer":
+        """Bind and begin serving; resolves the port when it was ``0``."""
+        if self._server is not None:
+            raise RuntimeError("metrics server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self._port = sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting scrapes and release the socket (idempotent)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    @property
+    def scrapes(self) -> int:
+        """Number of ``/metrics`` requests served."""
+        return self._scrapes
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, headers, body = await self._respond(reader)
+            writer.write(_http_response(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, List[Tuple[str, str]], bytes]:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=10.0
+            )
+        except asyncio.TimeoutError:
+            return "408 Request Timeout", [], b"request timeout\n"
+        if len(request_line) > _MAX_REQUEST_BYTES:
+            return "414 URI Too Long", [], b"request line too long\n"
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return "400 Bad Request", [], b"malformed request line\n"
+        method, path = parts[0], parts[1].split("?", 1)[0]
+        # Drain headers so well-behaved clients see a clean close.
+        while True:
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            except asyncio.TimeoutError:
+                break
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        if method not in ("GET", "HEAD"):
+            return "405 Method Not Allowed", [], b"only GET is served\n"
+        if path == "/healthz":
+            return "200 OK", [("Content-Type", "text/plain")], b"ok\n"
+        if path != "/metrics":
+            return "404 Not Found", [], b"try /metrics\n"
+        self._scrapes += 1
+        source = self._source()
+        snapshot = _EMPTY_SNAPSHOT if source is None else source
+        body = render_openmetrics(snapshot).encode("utf-8")
+        if method == "HEAD":
+            body = b""
+        return "200 OK", [("Content-Type", CONTENT_TYPE)], body
+
+
+def _http_response(
+    status: str, headers: List[Tuple[str, str]], body: bytes
+) -> bytes:
+    lines = [f"HTTP/1.1 {status}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: close")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

@@ -1,0 +1,344 @@
+"""OpenMetrics / Prometheus text-format exposition of a metrics snapshot.
+
+:func:`render_openmetrics` turns a :class:`~repro.obs.registry.MetricsRegistry`
+— or the ``metrics`` snapshot embedded in a ``BENCH_*.json`` artifact, the
+two render identically — into the text format Prometheus scrapes and
+``promtool`` understands:
+
+* counters  -> ``repro_<name>_total{phase="<path>"}``  (``# TYPE`` counter)
+* timers    -> ``repro_<name>_seconds_sum`` / ``_count``  (summary); phase
+  wall timers land in the single ``repro_phase_seconds`` family with the
+  phase path as the label
+* histograms -> cumulative ``repro_<name>_seconds_bucket{le="..."}`` plus
+  ``_sum``/``_count`` (phase-duration histograms: ``repro_phase_duration_seconds``)
+* gauges    -> ``repro_<name>``  (``# TYPE`` gauge)
+
+Metric names are sanitized (``[^a-zA-Z0-9_:]`` -> ``_``); the registry's
+``<phase.path>/<metric>`` scoping becomes a ``phase`` label so Prometheus
+can aggregate across phases with ``sum without (phase)``.
+
+:func:`parse_openmetrics` / :func:`validate_openmetrics` are the matching
+consumers: the SLO gate evaluates thresholds against a scraped exposition
+and the ``obs-live`` CI job runs the validator as its format check (pure
+Python — no promtool dependency).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.hist import Histogram
+
+__all__ = [
+    "CONTENT_TYPE",
+    "METRIC_PREFIX",
+    "Sample",
+    "Family",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "validate_openmetrics",
+]
+
+#: The scrape response content type (OpenMetrics text format).
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Every exposed family is namespaced under this prefix.
+METRIC_PREFIX = "repro_"
+
+#: Suffixes OpenMetrics attaches to family names, longest first.
+_SUFFIXES = ("_bucket", "_count", "_total", "_sum")
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+\S+)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: One sample: (full sample name, labels, value).
+Sample = Tuple[str, Dict[str, str], float]
+
+
+class Family:
+    """One metric family of a parsed exposition."""
+
+    __slots__ = ("name", "type", "samples")
+
+    def __init__(self, name: str, type_: str) -> None:
+        self.name = name
+        self.type = type_
+        self.samples: List[Sample] = []
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_RE.sub("_", name)
+    return METRIC_PREFIX + clean
+
+
+def _split_scoped(key: str) -> Tuple[Optional[str], str]:
+    """``"<phase.path>/<metric>"`` -> (path or None, metric)."""
+    if "/" in key:
+        path, bare = key.split("/", 1)
+        return path, bare
+    return None, key
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _snapshot_of(source: Union[Mapping[str, Any], Any]) -> Mapping[str, Any]:
+    snapshot = getattr(source, "snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    if isinstance(source, Mapping):
+        return source
+    raise TypeError(
+        "render_openmetrics wants a MetricsRegistry or a metrics snapshot "
+        f"mapping, got {type(source).__name__}"
+    )
+
+
+def render_openmetrics(source: Union[Mapping[str, Any], Any]) -> str:
+    """The full exposition text (ends with ``# EOF``) for one snapshot.
+
+    ``source`` is a :class:`~repro.obs.registry.MetricsRegistry` or the
+    ``metrics`` mapping of a loaded ``BENCH_*.json`` artifact; a registry
+    and its own snapshot render byte-identically, which is what makes the
+    live scrape endpoint and ``repro metrics serve`` interchangeable.
+    """
+    snap = _snapshot_of(source)
+    # family name -> (type, [(sample suffix, labels, value lines)])
+    families: Dict[str, Tuple[str, List[Tuple[str, Dict[str, str], str]]]] = {}
+
+    def family(name: str, type_: str) -> List[Tuple[str, Dict[str, str], str]]:
+        existing = families.get(name)
+        if existing is None:
+            samples: List[Tuple[str, Dict[str, str], str]] = []
+            families[name] = (type_, samples)
+            return samples
+        if existing[0] != type_:
+            raise ValueError(
+                f"metric family {name!r} rendered with conflicting types "
+                f"{existing[0]!r} and {type_!r}"
+            )
+        return existing[1]
+
+    for key in sorted(snap.get("counters", {})):
+        value = snap["counters"][key]
+        path, bare = _split_scoped(key)
+        labels = {"phase": path} if path else {}
+        family(_sanitize(bare), "counter").append(
+            ("_total", labels, _fmt_value(value))
+        )
+
+    for key in sorted(snap.get("gauges", {})):
+        value = snap["gauges"][key]
+        path, bare = _split_scoped(key)
+        labels = {"phase": path} if path else {}
+        family(_sanitize(bare), "gauge").append(("", labels, _fmt_value(value)))
+
+    for key in sorted(snap.get("timers", {})):
+        stat = snap["timers"][key]
+        path, bare = _split_scoped(key)
+        if path == "phase":
+            # phase/<path> wall timers: one family, the path as the label.
+            name, labels = _sanitize("phase") + "_seconds", {"phase": bare}
+        else:
+            name = _sanitize(bare) + "_seconds"
+            labels = {"phase": path} if path else {}
+        samples = family(name, "summary")
+        samples.append(("_sum", labels, _fmt_value(float(stat["seconds"]))))
+        samples.append(("_count", labels, _fmt_value(int(stat["count"]))))
+
+    for key in sorted(snap.get("histograms", {})):
+        data = snap["histograms"][key]
+        hist = data if isinstance(data, Histogram) else Histogram.from_dict(data)
+        path, bare = _split_scoped(key)
+        if path == "phase":
+            name, labels = _sanitize("phase_duration") + "_seconds", {"phase": bare}
+        else:
+            name = _sanitize(bare) + "_seconds"
+            labels = {"phase": path} if path else {}
+        samples = family(name, "histogram")
+        for bound, cumulative in hist.cumulative():
+            samples.append(
+                ("_bucket", {**labels, "le": _fmt_value(bound)}, str(cumulative))
+            )
+        samples.append(("_sum", labels, _fmt_value(hist.sum)))
+        samples.append(("_count", labels, str(hist.count)))
+
+    lines: List[str] = []
+    for name in sorted(families):
+        type_, samples = families[name]
+        lines.append(f"# TYPE {name} {type_}")
+        for suffix, labels, value in samples:
+            lines.append(f"{name}{suffix}{_fmt_labels(labels)} {value}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- consumption ------------------------------------------------------------
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def _family_of(sample_name: str, declared: Mapping[str, Family]) -> Optional[str]:
+    if sample_name in declared:
+        return sample_name
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return None
+
+
+def parse_openmetrics(text: str) -> Dict[str, Family]:
+    """Parse an exposition into ``{family name: Family}``.
+
+    Raises ``ValueError`` on lines that are neither valid samples nor
+    recognized comments; use :func:`validate_openmetrics` for a full
+    error listing instead of fail-fast parsing.
+    """
+    families: Dict[str, Family] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if parts[:2] == ["#", "TYPE"] and len(parts) >= 4:
+                families[parts[2]] = Family(parts[2], parts[3])
+            continue  # HELP / UNIT / EOF
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid metric sample: {raw!r}")
+        name, labels_text, value_text = match.groups()
+        labels = {
+            k: v.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+            for k, v in _LABEL_RE.findall(labels_text or "")
+        }
+        fam_name = _family_of(name, families)
+        if fam_name is None:
+            fam_name = name
+            families[fam_name] = Family(fam_name, "unknown")
+        families[fam_name].samples.append((name, labels, _parse_value(value_text)))
+    return families
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """All format violations in an exposition (empty list == valid).
+
+    Checks the line grammar, that every sample's family was declared with
+    ``# TYPE`` first, counter/histogram value sanity, histogram bucket
+    monotonicity with a ``+Inf`` bucket matching ``_count``, and the
+    mandatory terminating ``# EOF``.
+    """
+    errors: List[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("exposition must end with '# EOF'")
+    if sum(1 for line in lines if line.strip() == "# EOF") > 1:
+        errors.append("'# EOF' must appear exactly once")
+
+    declared: Dict[str, Family] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if parts[:2] == ["#", "TYPE"]:
+                if len(parts) < 4:
+                    errors.append(f"line {lineno}: malformed TYPE comment")
+                elif parts[2] in declared:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                    )
+                else:
+                    declared[parts[2]] = Family(parts[2], parts[3])
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: not a valid metric sample: {raw!r}")
+            continue
+        name, labels_text, value_text = match.groups()
+        try:
+            value = _parse_value(value_text)
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value {value_text!r}")
+            continue
+        fam_name = _family_of(name, declared)
+        if fam_name is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+            continue
+        family = declared[fam_name]
+        labels = dict(_LABEL_RE.findall(labels_text or ""))
+        if family.type in ("counter", "histogram") and value < 0:
+            errors.append(f"line {lineno}: {family.type} value must be >= 0")
+        family.samples.append((name, labels, value))
+
+    for family in declared.values():
+        if family.type == "histogram":
+            errors.extend(_check_histogram_family(family))
+    return errors
+
+
+def _check_histogram_family(family: Family) -> List[str]:
+    errors: List[str] = []
+    # Group by label set without 'le'.
+    series: Dict[Tuple[Tuple[str, str], ...], Dict[str, Any]] = {}
+    for name, labels, value in family.samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        entry = series.setdefault(key, {"buckets": [], "count": None})
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"{family.name}: bucket sample without 'le' label")
+                continue
+            entry["buckets"].append((_parse_value(labels["le"]), value))
+        elif name.endswith("_count"):
+            entry["count"] = value
+    for key, entry in series.items():
+        buckets = entry["buckets"]
+        if not buckets:
+            errors.append(f"{family.name}{dict(key)}: histogram has no buckets")
+            continue
+        in_order = sorted(buckets, key=lambda b: b[0])
+        counts = [c for _, c in in_order]
+        if counts != sorted(counts):
+            errors.append(
+                f"{family.name}{dict(key)}: bucket counts are not cumulative"
+            )
+        if in_order[-1][0] != float("inf"):
+            errors.append(f"{family.name}{dict(key)}: missing '+Inf' bucket")
+        elif entry["count"] is not None and in_order[-1][1] != entry["count"]:
+            errors.append(
+                f"{family.name}{dict(key)}: '+Inf' bucket != _count sample"
+            )
+    return errors

@@ -4,8 +4,14 @@ One :class:`MetricsRegistry` holds everything a run records:
 
 * **counters** — monotonically increasing integers (HMAC invocations,
   Paillier operations, masked-set digests, wire bytes, ...);
-* **timers** — accumulated wall seconds plus an invocation count, so a
-  timer's *mean* is meaningful ("seconds per trial");
+* **timers** — accumulated wall seconds plus an invocation count (and the
+  min/max batch mean), so a timer's *mean* is meaningful ("seconds per
+  trial");
+* **histograms** — bounded log-bucket distributions
+  (:class:`~repro.obs.hist.Histogram`) for tail-latency questions the
+  aggregate timers cannot answer;
+* **gauges** — last-write-wins floats (:class:`~repro.obs.hist.Gauge`):
+  cache occupancy, connected clients, queue backlogs;
 * **phase scopes** — a context-manager stack of names.  While a phase is
   open, every counter and timer recorded lands under a scoped key
   ``<phase.path>/<metric.name>``, and closing the phase records its own
@@ -34,6 +40,7 @@ from types import TracebackType
 from typing import Dict, List, Optional, Type
 
 from repro.obs.clock import Stopwatch
+from repro.obs.hist import Gauge, Histogram
 
 __all__ = ["PHASE_TIMER_PREFIX", "TimerStat", "MetricsRegistry"]
 
@@ -43,10 +50,20 @@ PHASE_TIMER_PREFIX = "phase"
 
 @dataclass
 class TimerStat:
-    """Accumulated wall seconds and invocation count of one timer key."""
+    """Accumulated wall seconds and invocation count of one timer key.
+
+    ``min_seconds``/``max_seconds`` track the smallest and largest batch
+    *mean* folded in (for ``count=1`` adds, the sample itself).  They are
+    ``None`` — never a numeric sentinel — until the first :meth:`add`, and
+    :meth:`as_dict` only emits ``min``/``max`` once there is data, so a
+    never-updated timer serializes exactly as before and artifact diffs
+    never confuse "absent" with "zero".
+    """
 
     seconds: float = 0.0
     count: int = 0
+    min_seconds: Optional[float] = None
+    max_seconds: Optional[float] = None
 
     def add(self, seconds: float, count: int = 1) -> None:
         """Fold one measurement (or a pre-aggregated batch) into the stat."""
@@ -56,6 +73,11 @@ class TimerStat:
             raise ValueError("timer count must be >= 1")
         self.seconds += seconds
         self.count += count
+        sample = seconds / count
+        if self.min_seconds is None or sample < self.min_seconds:
+            self.min_seconds = sample
+        if self.max_seconds is None or sample > self.max_seconds:
+            self.max_seconds = sample
 
     @property
     def mean(self) -> float:
@@ -63,8 +85,13 @@ class TimerStat:
         return self.seconds / self.count if self.count else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        """JSON-ready ``{"seconds": ..., "count": ...}`` form."""
-        return {"seconds": self.seconds, "count": self.count}
+        """JSON-ready form; ``min``/``max`` appear only once data exists."""
+        out: Dict[str, float] = {"seconds": self.seconds, "count": self.count}
+        if self.count:
+            assert self.min_seconds is not None and self.max_seconds is not None
+            out["min"] = self.min_seconds
+            out["max"] = self.max_seconds
+        return out
 
 
 class _TimerScope:
@@ -136,9 +163,11 @@ class _PhaseScope:
         assert self._watch is not None, "phase scope exited before entry"
         elapsed = self._watch.elapsed()
         self._registry._pop_phase(self._name)
-        self._registry.record_raw_seconds(
-            f"{PHASE_TIMER_PREFIX}/{self._path}", elapsed
-        )
+        key = f"{PHASE_TIMER_PREFIX}/{self._path}"
+        self._registry.record_raw_seconds(key, elapsed)
+        # Per-phase *distribution* (one sample per phase close) alongside
+        # the aggregate timer: tail phase cost across rounds is visible.
+        self._registry.observe_raw(key, elapsed)
 
 
 class MetricsRegistry:
@@ -152,6 +181,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, TimerStat] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._phases: List[str] = []
 
     # -- phase scoping -----------------------------------------------------
@@ -205,6 +236,45 @@ class MetricsRegistry:
             stat = self._timers[key] = TimerStat()
         stat.add(seconds, count)
 
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float, count: int = 1) -> None:
+        """Fold ``value`` into the histogram ``name`` under the current scope."""
+        self._check_name(name)
+        self.observe_raw(self._scoped(name), value, count)
+
+    def observe_raw(self, key: str, value: float, count: int = 1) -> None:
+        """Fold into the histogram at an exact key, bypassing phase scoping."""
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.observe(value, count)
+
+    def merge_histogram(self, name: str, other: Histogram) -> None:
+        """Fold a whole pre-built histogram in (worker rollups, loadgen)."""
+        self._check_name(name)
+        self.merge_histogram_raw(self._scoped(name), other)
+
+    def merge_histogram_raw(self, key: str, other: Histogram) -> None:
+        """Fold a pre-built histogram at an exact key, bypassing phase scoping."""
+        hist = self._histograms.get(key)
+        if hist is None:
+            self._histograms[key] = other.copy()
+        else:
+            hist.merge(other)
+
+    # -- gauges ------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` (last write wins) under the current scope."""
+        self._check_name(name)
+        key = self._scoped(name)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            self._gauges[key] = Gauge(value)
+        else:
+            gauge.set(value)
+
     # -- views -------------------------------------------------------------
 
     @property
@@ -217,6 +287,16 @@ class MetricsRegistry:
         """Scoped timer keys -> :class:`TimerStat` (shallow copy)."""
         return dict(self._timers)
 
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """Scoped histogram keys -> :class:`Histogram` (shallow copy)."""
+        return dict(self._histograms)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        """Scoped gauge keys -> current values (copy)."""
+        return {k: g.value for k, g in self._gauges.items()}
+
     def totals(self) -> Dict[str, int]:
         """Counters folded across phases: bare metric name -> total."""
         rolled: Dict[str, int] = {}
@@ -226,17 +306,21 @@ class MetricsRegistry:
         return rolled
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready view: scoped counters, scoped timers, counter totals."""
+        """JSON-ready view: counters, timers, totals, histograms, gauges."""
         return {
             "counters": dict(self._counters),
             "timers": {k: t.as_dict() for k, t in self._timers.items()},
             "totals": self.totals(),
+            "histograms": {k: h.as_dict() for k, h in self._histograms.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
         }
 
     def reset(self) -> None:
         """Drop every recorded metric (open phases survive)."""
         self._counters.clear()
         self._timers.clear()
+        self._histograms.clear()
+        self._gauges.clear()
 
     @staticmethod
     def _check_name(name: str) -> None:

@@ -1,0 +1,394 @@
+"""Declarative SLO thresholds evaluated against metrics ("``repro slo check``").
+
+An SLO file is JSON — structured expressions, not a string grammar,
+because metric keys themselves contain ``/`` and ``.``::
+
+    {
+      "schema_version": 1,
+      "rules": [
+        {"name": "loadgen p99 latency",
+         "value": {"kind": "histogram", "key": "net.loadgen.latency",
+                   "stat": "p99"},
+         "max": 5.0},
+        {"name": "rounds per second",
+         "value": {"kind": "ratio",
+                   "num": {"kind": "counter", "key": "net.loadgen.rounds"},
+                   "den": {"kind": "timer", "key": "net.loadgen.elapsed",
+                           "stat": "sum"}},
+         "min": 0.02},
+        {"name": "mask cache hit ratio",
+         "value": {"kind": "ratio",
+                   "num": {"kind": "counter", "key": "crypto.mask_cache.hits"},
+                   "den": {"kind": "sum", "terms": [
+                       {"kind": "counter", "key": "crypto.mask_cache.hits"},
+                       {"kind": "counter", "key": "crypto.mask_cache.misses"}]}},
+         "min": 0.05, "warn_only": true}
+      ]
+    }
+
+Expression kinds: ``counter`` (phase-folded total, or a scoped key when
+the key contains ``/``), ``timer`` (``stat``: ``sum`` | ``mean`` |
+``count``), ``histogram`` (``stat``: ``p50`` | ``p95`` | ``p99`` |
+``p999`` | ``mean`` | ``count`` | ``sum``), ``gauge``, ``ratio``
+(``num``/``den`` sub-expressions; an undefined denominator makes the rule
+*missing*, not zero), ``sum`` (``terms`` list) and ``const``.
+
+The same rules evaluate against either metrics source — a loaded
+``BENCH_*.json`` artifact or a scraped OpenMetrics exposition
+(:class:`MetricsView` normalizes both) — so the thresholds gating a CI
+loadgen artifact also gate a live ``--metrics-port`` endpoint.  A rule
+whose metric is absent is a breach (*missing*), never silently skipped:
+an SLO that stops being measured must fail loudly.  ``warn_only`` (per
+rule, or globally via ``--warn-only``) downgrades breaches to warnings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.hist import Histogram, quantile_from_cumulative
+from repro.obs.openmetrics import METRIC_PREFIX, _sanitize, parse_openmetrics
+
+__all__ = [
+    "SLO_SCHEMA_VERSION",
+    "MetricsView",
+    "SloResult",
+    "SloReport",
+    "load_slo_file",
+    "evaluate_slos",
+]
+
+#: Current SLO-file schema version.
+SLO_SCHEMA_VERSION = 1
+
+_EXPR_KINDS = ("counter", "timer", "histogram", "gauge", "ratio", "sum", "const")
+_TIMER_STATS = ("sum", "mean", "count")
+_HIST_STATS = ("p50", "p95", "p99", "p999", "mean", "count", "sum")
+
+#: Cumulative histogram shape shared by both sources.
+_Cumulative = List[Tuple[float, int]]
+
+
+class MetricsView:
+    """One lookup surface over either metrics source.
+
+    Keys are the registry's dotted metric names; the OpenMetrics
+    constructor folds label sets (phases) back together, mirroring
+    :meth:`MetricsRegistry.totals`, and indexes families by their
+    sanitized names so ``net.loadgen.rounds`` finds
+    ``repro_net_loadgen_rounds`` transparently.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._timers: Dict[str, Tuple[float, float]] = {}  # sum, count
+        self._hists: Dict[str, Tuple[_Cumulative, float, float]] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsView":
+        """From a registry snapshot / BENCH artifact ``metrics`` mapping.
+
+        Metrics are folded across phase scopes (the same fold the
+        OpenMetrics exposition's ``phase`` labels represent), so a rule's
+        ``key`` is always the bare dotted metric name.
+        """
+        view = cls()
+        totals = snapshot.get("totals")
+        if totals is None:
+            totals = {}
+            for key, value in (snapshot.get("counters") or {}).items():
+                bare = key.rsplit("/", 1)[-1]
+                totals[bare] = totals.get(bare, 0) + value
+        for key, value in totals.items():
+            view._counters[_sanitize(key)] = float(value)
+        for key, stat in (snapshot.get("timers") or {}).items():
+            name = _family_name(key, kind="timer")
+            seconds, count = float(stat["seconds"]), float(stat["count"])
+            prior = view._timers.get(name, (0.0, 0.0))
+            view._timers[name] = (prior[0] + seconds, prior[1] + count)
+        folded: Dict[str, Histogram] = {}
+        for key, data in (snapshot.get("histograms") or {}).items():
+            hist = data if isinstance(data, Histogram) else Histogram.from_dict(data)
+            name = _family_name(key, kind="histogram")
+            if name in folded:
+                folded[name].merge(hist)
+            else:
+                folded[name] = hist.copy()
+        for name, hist in folded.items():
+            view._hists[name] = (hist.cumulative(), hist.sum, float(hist.count))
+        for key, value in (snapshot.get("gauges") or {}).items():
+            view._gauges[_sanitize(key.rsplit("/", 1)[-1])] = float(value)
+        return view
+
+    @classmethod
+    def from_openmetrics(cls, text: str) -> "MetricsView":
+        """From a scraped exposition (``GET /metrics`` response body)."""
+        view = cls()
+        for family in parse_openmetrics(text).values():
+            if family.type == "counter":
+                total = sum(v for name, _, v in family.samples if name.endswith("_total"))
+                view._counters[family.name] = total
+            elif family.type == "gauge":
+                if family.samples:
+                    view._gauges[family.name] = family.samples[-1][2]
+            elif family.type == "summary":
+                seconds = sum(v for n, _, v in family.samples if n.endswith("_sum"))
+                count = sum(v for n, _, v in family.samples if n.endswith("_count"))
+                view._timers[family.name] = (seconds, count)
+            elif family.type == "histogram":
+                per_le: Dict[float, int] = {}
+                seconds = count = 0.0
+                for name, labels, value in family.samples:
+                    if name.endswith("_bucket") and "le" in labels:
+                        le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                        per_le[le] = per_le.get(le, 0) + int(value)
+                    elif name.endswith("_sum"):
+                        seconds += value
+                    elif name.endswith("_count"):
+                        count += value
+                cumulative = sorted(per_le.items())
+                view._hists[family.name] = (cumulative, seconds, count)
+        return view
+
+    # -- lookups (None == not measured) ------------------------------------
+
+    def counter(self, key: str) -> Optional[float]:
+        """Phase-folded counter total, or ``None`` when not measured."""
+        return self._counters.get(_lookup_name(key))
+
+    def timer(self, key: str, stat: str) -> Optional[float]:
+        """Timer ``sum``/``mean``/``count``, or ``None`` when not measured."""
+        entry = self._timers.get(_lookup_name(key, seconds=True))
+        if entry is None:
+            return None
+        seconds, count = entry
+        if stat == "sum":
+            return seconds
+        if stat == "count":
+            return count
+        return seconds / count if count else None
+
+    def histogram(self, key: str, stat: str) -> Optional[float]:
+        """Histogram percentile/``mean``/``count``/``sum``, or ``None``."""
+        entry = self._hists.get(_lookup_name(key, seconds=True))
+        if entry is None:
+            return None
+        cumulative, seconds, count = entry
+        if stat == "count":
+            return count
+        if stat == "sum":
+            return seconds
+        if stat == "mean":
+            return seconds / count if count else None
+        if not count:
+            return None
+        q = {"p50": 0.5, "p95": 0.95, "p99": 0.99, "p999": 0.999}[stat]
+        return quantile_from_cumulative(cumulative, q)
+
+    def gauge(self, key: str) -> Optional[float]:
+        """Last-written gauge value, or ``None`` when not measured."""
+        return self._gauges.get(_lookup_name(key))
+
+
+def _family_name(key: str, *, kind: str) -> str:
+    """A scoped registry timer/histogram key -> its exposition family name."""
+    if "/" in key:
+        path, bare = key.split("/", 1)
+        if path == "phase":
+            special = "phase" if kind == "timer" else "phase_duration"
+            return _sanitize(special) + "_seconds"
+        return _sanitize(bare) + "_seconds"
+    return _sanitize(key) + "_seconds"
+
+
+def _lookup_name(key: str, *, seconds: bool = False) -> str:
+    """A rule's dotted key (or a raw family name) -> the view's index name."""
+    if key.startswith(METRIC_PREFIX):
+        return key
+    name = _sanitize(key)
+    return name + "_seconds" if seconds else name
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """One evaluated rule."""
+
+    name: str
+    status: str  # "pass" | "warn" | "fail" | "missing-warn" | "missing-fail"
+    value: Optional[float]
+    limit: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("pass", "warn", "missing-warn")
+
+    def describe(self) -> str:
+        """One aligned human-readable line for the check table."""
+        shown = "missing" if self.value is None else f"{self.value:.6g}"
+        mark = {
+            "pass": "ok  ",
+            "warn": "WARN",
+            "missing-warn": "WARN",
+            "fail": "FAIL",
+            "missing-fail": "FAIL",
+        }[self.status]
+        return f"{mark} {self.name:<40} value={shown:<12} limit: {self.limit}"
+
+
+@dataclass
+class SloReport:
+    """Every rule's outcome; ``failed`` drives the CLI exit code."""
+
+    results: List[SloResult] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return any(not r.ok for r in self.results)
+
+    def format(self) -> str:
+        """The multi-line report ``repro slo check`` prints."""
+        lines = [r.describe() for r in self.results]
+        failures = sum(1 for r in self.results if not r.ok)
+        warns = sum(1 for r in self.results if r.status in ("warn", "missing-warn"))
+        lines.append(
+            f"slo check: {len(self.results)} rules, "
+            f"{failures} breached, {warns} warnings"
+        )
+        return "\n".join(lines)
+
+
+def load_slo_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate an SLO rules file; raises ``ValueError`` when bad."""
+    document = json.loads(Path(path).read_text())
+    errors = validate_slo_document(document)
+    if errors:
+        raise ValueError(f"{path} is not a valid SLO file: " + "; ".join(errors))
+    return document
+
+
+def validate_slo_document(document: Any) -> List[str]:
+    """All schema violations in an SLO document (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["SLO document must be a JSON object"]
+    if document.get("schema_version") != SLO_SCHEMA_VERSION:
+        errors.append(f"schema_version must be {SLO_SCHEMA_VERSION}")
+    rules = document.get("rules")
+    if not isinstance(rules, list) or not rules:
+        return errors + ["'rules' must be a non-empty list"]
+    for i, rule in enumerate(rules):
+        label = f"rule {i}"
+        if not isinstance(rule, dict):
+            errors.append(f"{label} must be an object")
+            continue
+        if not isinstance(rule.get("name"), str) or not rule.get("name"):
+            errors.append(f"{label} needs a non-empty 'name'")
+        if "max" not in rule and "min" not in rule:
+            errors.append(f"{label} needs 'max' and/or 'min'")
+        for bound in ("max", "min"):
+            if bound in rule and (
+                not isinstance(rule[bound], (int, float))
+                or isinstance(rule[bound], bool)
+            ):
+                errors.append(f"{label} {bound!r} must be a number")
+        errors.extend(_validate_expr(rule.get("value"), f"{label} value"))
+    return errors
+
+
+def _validate_expr(expr: Any, label: str) -> List[str]:
+    if not isinstance(expr, dict):
+        return [f"{label} must be an expression object"]
+    kind = expr.get("kind")
+    if kind not in _EXPR_KINDS:
+        return [f"{label} kind must be one of {_EXPR_KINDS}"]
+    errors: List[str] = []
+    if kind in ("counter", "timer", "histogram", "gauge"):
+        if not isinstance(expr.get("key"), str) or not expr.get("key"):
+            errors.append(f"{label} needs a non-empty 'key'")
+    if kind == "timer" and expr.get("stat", "mean") not in _TIMER_STATS:
+        errors.append(f"{label} timer stat must be one of {_TIMER_STATS}")
+    if kind == "histogram" and expr.get("stat", "p99") not in _HIST_STATS:
+        errors.append(f"{label} histogram stat must be one of {_HIST_STATS}")
+    if kind == "ratio":
+        errors.extend(_validate_expr(expr.get("num"), f"{label}.num"))
+        errors.extend(_validate_expr(expr.get("den"), f"{label}.den"))
+    if kind == "sum":
+        terms = expr.get("terms")
+        if not isinstance(terms, list) or not terms:
+            errors.append(f"{label} sum needs a non-empty 'terms' list")
+        else:
+            for j, term in enumerate(terms):
+                errors.extend(_validate_expr(term, f"{label}.terms[{j}]"))
+    if kind == "const" and (
+        not isinstance(expr.get("value"), (int, float))
+        or isinstance(expr.get("value"), bool)
+    ):
+        errors.append(f"{label} const needs a numeric 'value'")
+    return errors
+
+
+def _evaluate_expr(expr: Mapping[str, Any], view: MetricsView) -> Optional[float]:
+    kind = expr["kind"]
+    if kind == "counter":
+        return view.counter(expr["key"])
+    if kind == "timer":
+        return view.timer(expr["key"], expr.get("stat", "mean"))
+    if kind == "histogram":
+        return view.histogram(expr["key"], expr.get("stat", "p99"))
+    if kind == "gauge":
+        return view.gauge(expr["key"])
+    if kind == "const":
+        return float(expr["value"])
+    if kind == "sum":
+        total = 0.0
+        for term in expr["terms"]:
+            value = _evaluate_expr(term, view)
+            if value is None:
+                return None
+            total += value
+        return total
+    assert kind == "ratio"
+    num = _evaluate_expr(expr["num"], view)
+    den = _evaluate_expr(expr["den"], view)
+    if num is None or den is None or den == 0:
+        return None
+    return num / den
+
+
+def evaluate_slos(
+    document: Mapping[str, Any],
+    view: MetricsView,
+    *,
+    warn_only: bool = False,
+) -> SloReport:
+    """Evaluate every rule of a validated SLO document against ``view``."""
+    report = SloReport()
+    for rule in document["rules"]:
+        value = _evaluate_expr(rule["value"], view)
+        soft = warn_only or bool(rule.get("warn_only"))
+        limits = []
+        if "max" in rule:
+            limits.append(f"<= {rule['max']:g}")
+        if "min" in rule:
+            limits.append(f">= {rule['min']:g}")
+        limit = " and ".join(limits)
+        if value is None:
+            status = "missing-warn" if soft else "missing-fail"
+        else:
+            breached = ("max" in rule and value > rule["max"]) or (
+                "min" in rule and value < rule["min"]
+            )
+            if not breached:
+                status = "pass"
+            else:
+                status = "warn" if soft else "fail"
+        report.results.append(
+            SloResult(name=rule["name"], status=status, value=value, limit=limit)
+        )
+    return report

@@ -23,7 +23,10 @@ Event record shapes (schema version 1, one JSON object per JSONL line):
   ``meta`` | ``ranking``), ``seq`` (monotonic int), ``ts`` (seconds since
   the recorder started, from :mod:`repro.obs.clock`), ``round``
   (auction-round index or ``null``), ``vis`` (who can observe the event:
-  ``public`` | ``auctioneer`` | ``su`` | ``ttp``);
+  ``public`` | ``auctioneer`` | ``su`` | ``ttp``); optionally ``session``
+  (the :func:`correlation_key` both ends of a connection derive from the
+  WELCOME announcement), ``role`` (``server`` | ``su:<id>`` | ``ttp`` |
+  ...) and — on merged traces — ``src`` (source index in the merge);
 * ``span`` — ``name``, ``path`` (dot-joined nesting), ``parent`` (path or
   ``null``), ``dur`` (seconds; ``ts`` is the span's *start*);
 * ``message`` — ``kind`` (``location_submission`` | ``bid_submission`` |
@@ -46,6 +49,7 @@ call sites that would *compute* event payloads guard on
 from __future__ import annotations
 
 import collections
+import hashlib
 import json
 from pathlib import Path
 from types import TracebackType
@@ -88,7 +92,10 @@ __all__ = [
     "round_begin",
     "round_end",
     "adversary_view",
+    "correlation_key",
     "load_trace",
+    "merge_traces",
+    "write_jsonl_records",
     "validate_trace",
     "chrome_trace",
 ]
@@ -117,6 +124,23 @@ MESSAGE_KINDS = (
 VISIBILITIES = ("public", "auctioneer", "su", "ttp")
 
 Record = Dict[str, Any]
+
+
+def correlation_key(announcement: Dict[str, Any]) -> str:
+    """The cross-process session id derived from data already on the wire.
+
+    Both ends of a connection hash the WELCOME announcement (the auction
+    parameters the server broadcasts anyway) — canonical JSON, SHA-256,
+    first 12 hex characters — so server, every SU client and the TTP
+    service stamp the *same* ``session`` into their trace events without a
+    single extra wire byte.  Together with the per-event ``round`` and the
+    span ``path`` (phase), that makes ``(session, round, phase)`` the
+    correlation key ``repro trace merge`` joins on.
+    """
+    canonical = json.dumps(
+        announcement, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 class _NullScope:
@@ -222,6 +246,8 @@ class TraceRecorder:
         self._round: Optional[int] = None
         self._rounds_started = 0
         self._span_stack: List[str] = []
+        self._session: Optional[str] = None
+        self._role: Optional[str] = None
 
     # -- recording ---------------------------------------------------------
 
@@ -232,10 +258,60 @@ class TraceRecorder:
         record["seq"] = self._seq
         record["ts"] = self._now() if ts is None else ts
         record["round"] = self._round
+        if self._session is not None:
+            record["session"] = self._session
+        if self._role is not None:
+            record["role"] = self._role
         self._seq += 1
         if len(self._events) == self._capacity:
             self._dropped += 1
         self._events.append(record)
+
+    def set_correlation(
+        self,
+        *,
+        session: Optional[str] = None,
+        role: Optional[str] = None,
+    ) -> None:
+        """Default ``session``/``role`` stamps for every subsequent event.
+
+        Optional extra fields only — summaries, the Theorem-4 audit and
+        the wire bytes are computed from fields that predate them, so
+        stamping changes no audited quantity (the differential tests pin
+        this).  ``None`` leaves the respective default unchanged.
+        """
+        if session is not None:
+            self._session = session
+        if role is not None:
+            self._role = role
+
+    @contextlib.contextmanager
+    def corr_scope(
+        self,
+        *,
+        session: Optional[str] = None,
+        role: Optional[str] = None,
+        round_: Optional[int] = None,
+    ) -> Iterator["TraceRecorder"]:
+        """Temporarily override correlation stamps for a synchronous block.
+
+        Used where one recorder serves several logical processes in one
+        event loop (the TTP service inside the server process, self-hosted
+        loadgen): events emitted inside the block carry the overridden
+        ``session``/``role``/``round``.  The block must not ``await`` —
+        an interleaved coroutine would inherit the override.
+        """
+        prev = (self._session, self._role, self._round)
+        if session is not None:
+            self._session = session
+        if role is not None:
+            self._role = role
+        if round_ is not None:
+            self._round = round_
+        try:
+            yield self
+        finally:
+            self._session, self._role, self._round = prev
 
     def span(
         self, name: str, *, vis: str = "public", **args: Any
@@ -539,6 +615,77 @@ def load_trace(path: Union[str, Path]) -> Tuple[Record, List[Record]]:
     return records[0], records[1:]
 
 
+def merge_traces(
+    traces: Sequence[Tuple[Record, List[Record]]],
+    *,
+    roles: Optional[Sequence[Optional[str]]] = None,
+) -> Tuple[Record, List[Record]]:
+    """Join per-process traces into one causally-ordered timeline.
+
+    ``traces`` holds ``(header, events)`` pairs (the shape
+    :func:`load_trace` returns); ``roles`` optionally names each source —
+    events that do not already carry a ``role`` are stamped with their
+    source's name, and every event records its source index as ``src``.
+
+    Ordering is deterministic and clock-free (per-process ``ts`` values
+    come from unrelated monotonic clocks and are kept only as within-source
+    timing): events sort by auction ``round`` (``null`` first), then by
+    source order, then by each source's own ``seq`` — so within a round
+    the server's record of a message and the client's record of sending it
+    land adjacently regardless of shard count or scheduling.  ``seq`` is
+    reassigned to the merged order.
+    """
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    if roles is not None and len(roles) != len(traces):
+        raise ValueError("roles must match traces one-to-one")
+    merged: List[Record] = []
+    for source_index, (_, events) in enumerate(traces):
+        role = roles[source_index] if roles is not None else None
+        for event in events:
+            record = dict(event)
+            if role and "role" not in record:
+                record["role"] = role
+            record["src"] = str(source_index)
+            merged.append(record)
+
+    def order(record: Record) -> Tuple[int, int, int]:
+        round_ = record.get("round")
+        return (
+            -1 if round_ is None else int(round_),
+            int(record["src"]),
+            int(record.get("seq", 0)),
+        )
+
+    merged.sort(key=order)
+    for seq, record in enumerate(merged):
+        record["seq"] = seq
+    header: Record = {
+        "type": "trace_header",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "clock": "perf_counter",
+        "event_count": len(merged),
+        "dropped": sum(int(h.get("dropped", 0)) for h, _ in traces),
+        "capacity": max(int(h.get("capacity", 0)) for h, _ in traces),
+        "merged_from": len(traces),
+    }
+    if roles is not None:
+        header["sources"] = [role or f"src{i}" for i, role in enumerate(roles)]
+    return header, merged
+
+
+def write_jsonl_records(
+    path: Union[str, Path], header: Record, events: Sequence[Record]
+) -> Path:
+    """Write an arbitrary ``(header, events)`` pair as a JSONL trace file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(event, sort_keys=True) for event in events)
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
 def _err(index: int, message_: str) -> str:
     return f"record {index}: {message_}"
 
@@ -587,6 +734,12 @@ def validate_trace(records: Sequence[Record]) -> List[str]:
             errors.append(_err(index, "round must be null or a non-negative int"))
         if record.get("vis") not in VISIBILITIES:
             errors.append(_err(index, f"vis must be one of {VISIBILITIES}"))
+        for field in ("session", "role", "src"):
+            value = record.get(field)
+            if value is not None and (not isinstance(value, str) or not value):
+                errors.append(
+                    _err(index, f"{field} must be a non-empty string when present")
+                )
         if kind == "span":
             if not isinstance(record.get("name"), str) or not record.get("name"):
                 errors.append(_err(index, "span name must be a non-empty string"))

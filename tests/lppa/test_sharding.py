@@ -15,17 +15,21 @@ import pytest
 
 from repro import obs
 from repro.auction.bidders import SecondaryUser
+from repro.crypto.cache import cache_disabled
 from repro.geo.grid import GridSpec
 from repro.lppa.fastsim import run_fast_lppa
+from repro.lppa.round import sharding
 from repro.lppa.round.sharding import (
     SHARDS_ENV,
     chunk_pairs,
+    drain_worker_events,
     resolve_shards,
     shard_slices,
 )
 from repro.lppa.session import run_lppa_auction
+from repro.obs.hist import Histogram
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import TraceRecorder
+from repro.obs.trace import TraceRecorder, merge_traces
 
 TWO_LAMBDA = 6
 BMAX = 63
@@ -210,3 +214,106 @@ class TestTraceEquality:
             for e in events
         ]
         assert strip(sh_rec.events()) == strip(ref_rec.events())
+
+
+def _strip_times(events):
+    """Drop per-process clock fields so streams compare across runs."""
+    return [
+        {k: v for k, v in e.items() if k not in TestTraceEquality.TIME_KEYS}
+        for e in events
+    ]
+
+
+class TestWorkerTelemetry:
+    """Worker registries roll up into the parent under the right phases."""
+
+    WORKER_SWEEPS = {
+        "shard.locations.worker",
+        "shard.bids.worker",
+        "shard.conflict.worker",
+        "shard.rankings.worker",
+    }
+
+    def _collected(self, users, shards):
+        registry = MetricsRegistry()
+        with obs.collecting(registry):
+            crypto_round(users, shards)
+        return registry, drain_worker_events()
+
+    def test_worker_timers_land_under_parent_phases(self):
+        users = make_users(11, random.Random(5))
+        registry, _ = self._collected(users, 2)
+        worker = {
+            key: stat
+            for key, stat in registry.timers.items()
+            if key.endswith(".worker")
+        }
+        assert {key.rsplit("/", 1)[-1] for key in worker} == self.WORKER_SWEEPS
+        # Each rollup is scoped under the phase that ran its sweep, and its
+        # total worker wall is bounded by that phase's wall times the shard
+        # count (the workers cannot have been busier than the pool allows).
+        for key, stat in worker.items():
+            path = key.rsplit("/", 1)[0]
+            phase = registry.timers[f"phase/{path}"]
+            assert stat.seconds <= phase.seconds * 2 + 0.25
+
+    def test_kernel_counter_totals_identical_across_shard_counts(self):
+        # The mask cache is per-process (workers inherit copy-on-write
+        # copies), so its hit/miss split legitimately varies with the shard
+        # count; with it bypassed every kernel counter must fold to the
+        # same totals whether one worker ran or two.
+        # crypto.hmac_batches is also excluded: slicing one population into
+        # two contiguous chunks adds one batched call without changing the
+        # per-digest work (crypto.hmac itself must match exactly).
+        users = make_users(11, random.Random(5))
+        with cache_disabled():
+            totals = {}
+            for shards in (1, 2):
+                registry, _ = self._collected(users, shards)
+                totals[shards] = {
+                    key: value
+                    for key, value in registry.totals().items()
+                    if not key.startswith("engine.")
+                    and key != "crypto.hmac_batches"
+                }
+        assert totals[1] == totals[2]
+
+    def test_fold_rollups_reapplies_parent_scope(self):
+        hist = Histogram()
+        hist.observe(0.5, 2)
+        event = {"type": "meta", "seq": 0, "ts": 0.0, "name": "w", "args": {}}
+        rollup = {
+            "counters": {"kernel.calls": 3},
+            "timers": {"kernel.time": {"seconds": 1.5, "count": 2}},
+            "histograms": {"kernel.sizes": hist.as_dict()},
+            "events": [event],
+        }
+        registry = MetricsRegistry()
+        with obs.collecting(registry):
+            with obs.phase("p1"):
+                sharding._fold_rollups([rollup, None])
+        assert registry.counters["p1/kernel.calls"] == 3
+        stat = registry.timers["p1/kernel.time"]
+        assert stat.seconds == pytest.approx(1.5)
+        assert stat.count == 2
+        assert registry.histograms["p1/kernel.sizes"].count == 2
+        assert drain_worker_events() == [event]
+        assert drain_worker_events() == []
+
+    def test_merged_trace_identical_across_shard_counts(self):
+        users = make_users(9, random.Random(4))
+        merged = {}
+        for shards in (1, 2):
+            recorder = TraceRecorder(capacity=100_000)
+            with obs.collecting(MetricsRegistry(), trace=recorder):
+                crypto_round(users, shards)
+            donor = TraceRecorder(capacity=16)  # header for the worker source
+            _, events = merge_traces(
+                [
+                    (recorder.header(), recorder.events()),
+                    (donor.header(), drain_worker_events()),
+                ],
+                roles=["parent", "shard-worker"],
+            )
+            merged[shards] = _strip_times(events)
+        assert merged[1] == merged[2]

@@ -33,6 +33,8 @@ def test_build_artifact_shape():
     assert document["metrics"]["timers"]["p/work"] == {
         "seconds": 0.25,
         "count": 5,
+        "min": 0.05,
+        "max": 0.05,
     }
     assert validate_artifact(document) == []
 

@@ -1,0 +1,199 @@
+"""Unit tests for the fixed-bucket histogram and gauge primitives."""
+
+import random
+
+import pytest
+
+from repro.obs.hist import (
+    DEFAULT_DECADES,
+    DEFAULT_LOWER,
+    DEFAULT_PER_DECADE,
+    Gauge,
+    Histogram,
+    quantile_from_cumulative,
+)
+
+
+class TestHistogramGrid:
+    def test_default_grid_shape(self):
+        hist = Histogram()
+        bounds = hist.bounds()
+        assert len(bounds) == DEFAULT_DECADES * DEFAULT_PER_DECADE + 1
+        assert bounds[0] == DEFAULT_LOWER
+        assert bounds[-1] == pytest.approx(DEFAULT_LOWER * 10.0 ** DEFAULT_DECADES)
+
+    def test_growth_is_the_bucket_width(self):
+        assert Histogram().growth == pytest.approx(10.0 ** 0.1)
+        assert Histogram(per_decade=5).growth == pytest.approx(10.0 ** 0.2)
+
+    def test_bounds_are_shared_not_rebuilt(self):
+        assert Histogram().bounds() is Histogram().bounds()
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(lower=0.0)
+        with pytest.raises(ValueError):
+            Histogram(decades=0)
+        with pytest.raises(ValueError):
+            Histogram(per_decade=0)
+
+
+class TestObserve:
+    def test_exact_count_sum_min_max_mean(self):
+        hist = Histogram()
+        for value in (0.001, 0.004, 0.1):
+            hist.observe(value)
+        hist.observe(0.02, 3)
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(0.001 + 0.004 + 0.1 + 3 * 0.02)
+        assert hist.min == 0.001
+        assert hist.max == 0.1
+        assert hist.mean == pytest.approx(hist.sum / 6)
+
+    def test_empty_histogram_views(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.min is None and hist.max is None
+        assert hist.mean == 0.0
+        assert hist.quantile(0.99) == 0.0
+
+    def test_rejects_bad_observations(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
+        with pytest.raises(ValueError):
+            hist.observe(1.0, 0)
+
+    def test_underflow_lands_in_first_bucket(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(DEFAULT_LOWER / 10)
+        (bound, cum), *_rest = hist.cumulative()
+        assert bound == DEFAULT_LOWER
+        assert cum == 2
+
+
+class TestQuantiles:
+    def test_single_value_is_exact_via_clamp(self):
+        hist = Histogram()
+        hist.observe(0.0375)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.0375
+
+    def test_within_one_bucket_width_of_exact(self):
+        rng = random.Random(11)
+        hist = Histogram()
+        samples = [rng.lognormvariate(-3.0, 1.5) for _ in range(3000)]
+        for value in samples:
+            hist.observe(value)
+        ordered = sorted(samples)
+        width = hist.growth
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = ordered[round(q * (len(ordered) - 1))]
+            assert exact / width <= hist.quantile(q) <= exact * width
+
+    def test_percentiles_report_keys(self):
+        hist = Histogram()
+        hist.observe(0.5)
+        assert set(hist.percentiles()) == {"p50", "p95", "p99", "p999"}
+
+    def test_quantile_from_cumulative_edges(self):
+        assert quantile_from_cumulative([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            quantile_from_cumulative([(1.0, 1)], 1.5)
+        # Overflow bucket resolves to the last finite bound.
+        cum = [(1.0, 0), (10.0, 1), (float("inf"), 10)]
+        assert quantile_from_cumulative(cum, 0.99) == 10.0
+
+
+class TestMergeCopy:
+    def test_merge_equals_union_of_observations(self):
+        rng = random.Random(3)
+        samples = [rng.expovariate(20.0) for _ in range(200)]
+        whole, left, right = Histogram(), Histogram(), Histogram()
+        for i, value in enumerate(samples):
+            whole.observe(value)
+            (left if i % 2 else right).observe(value)
+        left.merge(right)
+        # Sums accumulate in a different order, so compare them approximately
+        # and everything discrete exactly.
+        assert left.sum == pytest.approx(whole.sum)
+        left_dict, whole_dict = left.as_dict(), whole.as_dict()
+        left_dict.pop("sum"), whole_dict.pop("sum")
+        assert left_dict == whole_dict
+
+    def test_merge_rejects_mismatched_grid(self):
+        with pytest.raises(ValueError):
+            Histogram().merge(Histogram(per_decade=5))
+
+    def test_copy_is_independent(self):
+        hist = Histogram()
+        hist.observe(0.2)
+        dup = hist.copy()
+        assert dup == hist
+        dup.observe(0.9)
+        assert dup != hist
+        assert hist.count == 1
+
+
+class TestCumulative:
+    def test_monotone_and_inf_terminated(self):
+        rng = random.Random(7)
+        hist = Histogram()
+        for _ in range(500):
+            hist.observe(rng.expovariate(5.0))
+        cum = hist.cumulative()
+        assert cum[-1] == (float("inf"), hist.count)
+        counts = [c for _, c in cum]
+        assert counts == sorted(counts)
+        bounds = [b for b, _ in cum]
+        assert bounds == sorted(bounds)
+
+    def test_zero_delta_buckets_are_elided(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        cum = hist.cumulative()
+        # First boundary, the hit bucket, +Inf — nothing in between.
+        assert len(cum) == 3
+        assert cum[0][1] == 0 and cum[-1][1] == 1
+
+
+class TestSerialization:
+    def test_roundtrip_equality(self):
+        rng = random.Random(9)
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(rng.lognormvariate(-4.0, 2.0))
+        assert Histogram.from_dict(hist.as_dict()) == hist
+
+    def test_empty_roundtrip_has_no_min_max(self):
+        data = Histogram().as_dict()
+        assert "min" not in data and "max" not in data
+        assert Histogram.from_dict(data) == Histogram()
+
+    def test_from_dict_rejects_corrupt_payloads(self):
+        hist = Histogram()
+        hist.observe(0.5)
+        good = hist.as_dict()
+        with pytest.raises(ValueError):
+            Histogram.from_dict({**good, "buckets": {"99999": 1}})
+        with pytest.raises(ValueError):
+            Histogram.from_dict({**good, "count": 7})
+        bad_bucket = dict(good, buckets={"3": -1})
+        with pytest.raises(ValueError):
+            Histogram.from_dict(bad_bucket)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(5)
+        gauge.inc()
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(7.5)
+
+    def test_equality(self):
+        assert Gauge(3.0) == Gauge(3.0)
+        assert Gauge(3.0) != Gauge(4.0)

@@ -1,0 +1,132 @@
+"""Unit tests for the asyncio OpenMetrics scrape endpoint."""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.obs.live import MetricsHttpServer
+from repro.obs.openmetrics import CONTENT_TYPE, validate_openmetrics
+from repro.obs.registry import MetricsRegistry
+
+
+async def _request(port, raw):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    data = await reader.read(-1)
+    writer.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = lines[0].split(" ", 1)[1]
+    headers = dict(
+        line.split(": ", 1) for line in lines[1:] if ": " in line
+    )
+    return status, headers, body
+
+
+def _get(server, path, method="GET"):
+    raw = f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+    return _request(server.port, raw)
+
+
+async def _with_server(source, checks):
+    server = MetricsHttpServer(source)
+    await server.start()
+    try:
+        return await checks(server)
+    finally:
+        await server.stop()
+
+
+def test_metrics_scrape_serves_the_source():
+    registry = MetricsRegistry()
+    registry.count("crypto.hmac", 7)
+
+    async def checks(server):
+        assert server.port != 0  # ephemeral port was resolved
+        status, headers, body = await _get(server, "/metrics")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert headers["Connection"] == "close"
+        text = body.decode()
+        assert validate_openmetrics(text) == []
+        assert "repro_crypto_hmac_total 7" in text
+        assert server.scrapes == 1
+
+    asyncio.run(_with_server(lambda: registry, checks))
+
+
+def test_source_reflects_scrape_time_state():
+    registry = MetricsRegistry()
+
+    async def checks(server):
+        _, _, before = await _get(server, "/metrics")
+        registry.count("crypto.hmac", 1)
+        _, _, after = await _get(server, "/metrics")
+        assert b"repro_crypto_hmac_total" not in before
+        assert b"repro_crypto_hmac_total 1" in after
+        assert server.scrapes == 2
+
+    asyncio.run(_with_server(lambda: registry, checks))
+
+
+def test_no_active_registry_serves_empty_valid_exposition():
+    async def checks(server):
+        status, _, body = await _get(server, "/metrics")
+        assert status == "200 OK"
+        text = body.decode()
+        assert validate_openmetrics(text) == []
+        assert text == "# EOF\n"
+
+    assert obs.get_active() is None
+    asyncio.run(_with_server(None, checks))
+
+
+def test_default_source_is_the_active_registry():
+    registry = MetricsRegistry()
+    registry.count("crypto.hmac", 3)
+
+    async def checks(server):
+        _, _, body = await _get(server, "/metrics")
+        assert b"repro_crypto_hmac_total 3" in body
+
+    with obs.collecting(registry):
+        asyncio.run(_with_server(None, checks))
+
+
+def test_healthz_404_405_and_head():
+    async def checks(server):
+        status, _, body = await _get(server, "/healthz")
+        assert status == "200 OK" and body == b"ok\n"
+        status, _, _ = await _get(server, "/nope")
+        assert status == "404 Not Found"
+        status, _, _ = await _get(server, "/metrics", method="POST")
+        assert status == "405 Method Not Allowed"
+        status, headers, body = await _get(server, "/metrics", method="HEAD")
+        assert status == "200 OK" and body == b""
+        assert headers["Content-Length"] == "0"
+        # /healthz and errors are not scrapes; HEAD /metrics is.
+        assert server.scrapes == 1
+
+    asyncio.run(_with_server(None, checks))
+
+
+def test_malformed_request_line():
+    async def checks(server):
+        status, _, _ = await _request(server.port, b"garbage\r\n\r\n")
+        assert status == "400 Bad Request"
+
+    asyncio.run(_with_server(None, checks))
+
+
+def test_lifecycle_guards():
+    async def run():
+        server = MetricsHttpServer(None)
+        await server.start()
+        with pytest.raises(RuntimeError):
+            await server.start()
+        await server.stop()
+        await server.stop()  # idempotent
+
+    asyncio.run(run())

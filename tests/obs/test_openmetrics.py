@@ -1,0 +1,149 @@
+"""Unit tests for the OpenMetrics exposition, parser and validator."""
+
+import pytest
+
+from repro.obs.hist import Histogram
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    METRIC_PREFIX,
+    parse_openmetrics,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    with registry.phase("setup"):
+        registry.count("crypto.hmac", 7)
+        registry.record_seconds("kernel.time", 0.25, count=2)
+        registry.observe("net.round.latency", 0.04)
+        registry.observe("net.round.latency", 0.08)
+    registry.count("crypto.hmac", 3)
+    registry.set_gauge("crypto.mask_cache.size", 12)
+    return registry
+
+
+class TestRender:
+    def test_exposition_is_valid_and_eof_terminated(self):
+        text = render_openmetrics(_populated_registry())
+        assert validate_openmetrics(text) == []
+        assert text.endswith("# EOF\n")
+
+    def test_registry_and_snapshot_render_identically(self):
+        registry = _populated_registry()
+        assert render_openmetrics(registry) == render_openmetrics(
+            registry.snapshot()
+        )
+
+    def test_names_are_prefixed_and_sanitized(self):
+        text = render_openmetrics(_populated_registry())
+        assert f"{METRIC_PREFIX}crypto_hmac_total" in text
+        assert "crypto.hmac" not in text
+
+    def test_phase_scope_becomes_a_label(self):
+        families = parse_openmetrics(render_openmetrics(_populated_registry()))
+        samples = families["repro_crypto_hmac"].samples
+        by_phase = {labels.get("phase"): value for _, labels, value in samples}
+        assert by_phase == {"setup": 7.0, None: 3.0}
+
+    def test_phase_wall_timers_share_one_family(self):
+        families = parse_openmetrics(render_openmetrics(_populated_registry()))
+        phase = families["repro_phase_seconds"]
+        assert phase.type == "summary"
+        assert {labels["phase"] for _, labels, _ in phase.samples} == {"setup"}
+
+    def test_histogram_family_shape(self):
+        families = parse_openmetrics(render_openmetrics(_populated_registry()))
+        family = families["repro_net_round_latency_seconds"]
+        assert family.type == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in family.samples
+            if name.endswith("_bucket")
+        ]
+        assert buckets[-1] == ("+Inf", 2.0)
+        count = [v for n, _, v in family.samples if n.endswith("_count")]
+        assert count == [2.0]
+
+    def test_rejects_non_snapshot_sources(self):
+        with pytest.raises(TypeError):
+            render_openmetrics(42)
+
+    def test_content_type_is_openmetrics(self):
+        assert CONTENT_TYPE.startswith("application/openmetrics-text")
+
+
+class TestParse:
+    def test_empty_exposition(self):
+        assert parse_openmetrics("# EOF\n") == {}
+
+    def test_undeclared_sample_gets_unknown_family(self):
+        families = parse_openmetrics("mystery_metric 4\n# EOF\n")
+        assert families["mystery_metric"].type == "unknown"
+
+    def test_label_unescaping(self):
+        text = (
+            '# TYPE repro_x counter\n'
+            'repro_x_total{phase="a\\"b\\\\c"} 1\n'
+            "# EOF\n"
+        )
+        (_, labels, value), = parse_openmetrics(text)["repro_x"].samples
+        assert labels == {"phase": 'a"b\\c'}
+        assert value == 1.0
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("!!! not a sample\n# EOF\n")
+
+
+class TestValidate:
+    def test_missing_eof(self):
+        errors = validate_openmetrics("# TYPE repro_x counter\nrepro_x_total 1\n")
+        assert any("# EOF" in e for e in errors)
+
+    def test_sample_without_type_declaration(self):
+        errors = validate_openmetrics("repro_x_total 1\n# EOF\n")
+        assert any("no preceding TYPE" in e for e in errors)
+
+    def test_negative_counter_value(self):
+        text = "# TYPE repro_x counter\nrepro_x_total -3\n# EOF\n"
+        assert any(">= 0" in e for e in validate_openmetrics(text))
+
+    def test_non_cumulative_histogram_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_count 5\n"
+            "# EOF\n"
+        )
+        assert any("cumulative" in e for e in validate_openmetrics(text))
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_count 5\n"
+            "# EOF\n"
+        )
+        assert any("+Inf" in e for e in validate_openmetrics(text))
+
+    def test_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_count 5\n"
+            "# EOF\n"
+        )
+        assert any("_count" in e for e in validate_openmetrics(text))
+
+    def test_duplicate_type_declaration(self):
+        text = (
+            "# TYPE repro_x counter\n"
+            "# TYPE repro_x counter\n"
+            "# EOF\n"
+        )
+        assert any("duplicate" in e for e in validate_openmetrics(text))

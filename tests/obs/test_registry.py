@@ -183,5 +183,9 @@ def test_snapshot_shape():
     registry.record_seconds("work", 1.0, 2)
     snap = registry.snapshot()
     assert snap["counters"] == {"ops": 2}
-    assert snap["timers"] == {"work": {"seconds": 1.0, "count": 2}}
+    assert snap["timers"] == {
+        "work": {"seconds": 1.0, "count": 2, "min": 0.5, "max": 0.5}
+    }
+    assert snap["histograms"] == {}
+    assert snap["gauges"] == {}
     assert snap["totals"] == {"ops": 2}

@@ -1,0 +1,192 @@
+"""Unit tests for SLO rule files and their evaluation against both sources."""
+
+import json
+
+import pytest
+
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    MetricsView,
+    evaluate_slos,
+    load_slo_file,
+    validate_slo_document,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    with registry.phase("round"):
+        registry.count("net.loadgen.rounds", 6)
+        for value in (0.01, 0.02, 0.05, 0.05):
+            registry.observe("net.loadgen.latency", value)
+    registry.count("net.loadgen.rounds", 4)
+    registry.record_seconds("net.loadgen.elapsed", 2.0)
+    registry.set_gauge("crypto.mask_cache.size", 17)
+    return registry
+
+
+def _views():
+    registry = _registry()
+    return (
+        MetricsView.from_snapshot(registry.snapshot()),
+        MetricsView.from_openmetrics(render_openmetrics(registry)),
+    )
+
+
+def _rules(rules):
+    return {"schema_version": 1, "rules": rules}
+
+
+class TestMetricsView:
+    """The artifact and scrape constructors expose identical lookups."""
+
+    @pytest.mark.parametrize("view_index", [0, 1], ids=["snapshot", "scraped"])
+    def test_lookups(self, view_index):
+        view = _views()[view_index]
+        assert view.counter("net.loadgen.rounds") == 10.0  # phase-folded
+        assert view.timer("net.loadgen.elapsed", "sum") == pytest.approx(2.0)
+        assert view.timer("net.loadgen.elapsed", "count") == 1.0
+        assert view.timer("net.loadgen.elapsed", "mean") == pytest.approx(2.0)
+        assert view.histogram("net.loadgen.latency", "count") == 4.0
+        assert view.histogram("net.loadgen.latency", "sum") == pytest.approx(0.13)
+        assert view.gauge("crypto.mask_cache.size") == 17.0
+        assert view.counter("never.recorded") is None
+        assert view.histogram("never.recorded", "p99") is None
+
+    def test_percentiles_agree_across_sources(self):
+        snap, scraped = _views()
+        for stat in ("p50", "p95", "p99", "p999"):
+            assert snap.histogram("net.loadgen.latency", stat) == pytest.approx(
+                scraped.histogram("net.loadgen.latency", stat)
+            )
+
+
+class TestEvaluate:
+    def test_pass_fail_and_exit_semantics(self):
+        view, _ = _views()
+        document = _rules([
+            {"name": "rounds floor",
+             "value": {"kind": "counter", "key": "net.loadgen.rounds"},
+             "min": 5},
+            {"name": "latency ceiling",
+             "value": {"kind": "histogram", "key": "net.loadgen.latency",
+                       "stat": "p99"},
+             "max": 1e-9},
+        ])
+        report = evaluate_slos(document, view)
+        assert [r.status for r in report.results] == ["pass", "fail"]
+        assert report.failed
+        assert "1 breached" in report.format()
+
+    def test_warn_only_downgrades(self):
+        view, _ = _views()
+        document = _rules([
+            {"name": "soft", "warn_only": True,
+             "value": {"kind": "counter", "key": "net.loadgen.rounds"},
+             "max": 1},
+        ])
+        report = evaluate_slos(document, view)
+        assert report.results[0].status == "warn"
+        assert not report.failed
+        hard = evaluate_slos(
+            _rules([{"name": "h",
+                     "value": {"kind": "counter", "key": "net.loadgen.rounds"},
+                     "max": 1}]),
+            view, warn_only=True,
+        )
+        assert hard.results[0].status == "warn"
+
+    def test_missing_metric_is_a_breach(self):
+        view, _ = _views()
+        document = _rules([
+            {"name": "gone",
+             "value": {"kind": "gauge", "key": "never.recorded"}, "min": 0},
+        ])
+        report = evaluate_slos(document, view)
+        assert report.results[0].status == "missing-fail"
+        assert report.failed
+        assert "missing" in report.results[0].describe()
+
+    def test_ratio_sum_and_const(self):
+        view, _ = _views()
+        document = _rules([
+            {"name": "rounds per second",
+             "value": {"kind": "ratio",
+                       "num": {"kind": "counter", "key": "net.loadgen.rounds"},
+                       "den": {"kind": "timer", "key": "net.loadgen.elapsed",
+                               "stat": "sum"}},
+             "min": 4.9, "max": 5.1},
+            {"name": "sum and const",
+             "value": {"kind": "sum", "terms": [
+                 {"kind": "counter", "key": "net.loadgen.rounds"},
+                 {"kind": "const", "value": 5}]},
+             "min": 15, "max": 15},
+        ])
+        report = evaluate_slos(document, view)
+        assert [r.status for r in report.results] == ["pass", "pass"]
+        assert report.results[0].value == pytest.approx(5.0)
+
+    def test_zero_denominator_ratio_is_missing(self):
+        view, _ = _views()
+        document = _rules([
+            {"name": "divide by zero",
+             "value": {"kind": "ratio",
+                       "num": {"kind": "counter", "key": "net.loadgen.rounds"},
+                       "den": {"kind": "const", "value": 0}},
+             "min": 0},
+        ])
+        assert evaluate_slos(document, view).results[0].status == "missing-fail"
+
+
+class TestDocumentValidation:
+    def test_valid_document(self):
+        document = _rules([
+            {"name": "ok",
+             "value": {"kind": "counter", "key": "crypto.hmac"}, "max": 10},
+        ])
+        assert validate_slo_document(document) == []
+
+    @pytest.mark.parametrize(
+        "document, needle",
+        [
+            ([], "JSON object"),
+            ({"schema_version": 2, "rules": [{}]}, "schema_version"),
+            ({"schema_version": 1, "rules": []}, "non-empty list"),
+            (_rules([{"value": {"kind": "counter", "key": "x"}, "max": 1}]),
+             "name"),
+            (_rules([{"name": "n",
+                      "value": {"kind": "counter", "key": "x"}}]),
+             "'max' and/or 'min'"),
+            (_rules([{"name": "n", "value": {"kind": "bogus"}, "max": 1}]),
+             "kind"),
+            (_rules([{"name": "n",
+                      "value": {"kind": "timer", "key": "x", "stat": "p99"},
+                      "max": 1}]),
+             "timer stat"),
+            (_rules([{"name": "n", "value": {"kind": "const", "value": True},
+                      "max": 1}]),
+             "numeric"),
+            (_rules([{"name": "n", "value": {"kind": "counter", "key": "x"},
+                      "max": "big"}]),
+             "number"),
+        ],
+    )
+    def test_invalid_documents(self, document, needle):
+        errors = validate_slo_document(document)
+        assert any(needle in e for e in errors), errors
+
+    def test_load_slo_file_rejects_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1, "rules": []}))
+        with pytest.raises(ValueError):
+            load_slo_file(path)
+
+    def test_load_slo_file_roundtrip(self, tmp_path):
+        document = _rules([
+            {"name": "ok",
+             "value": {"kind": "counter", "key": "crypto.hmac"}, "max": 10},
+        ])
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(document))
+        assert load_slo_file(path) == document
