@@ -198,6 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--metrics-host", default="127.0.0.1",
                        help="bind address of the scrape endpoint")
+    serve.add_argument(
+        "--epochs", type=int, default=None, metavar="N",
+        help="run as a long-lived epoch service for N epochs (fixed "
+        "membership of --users SUs; entropy labels follow the service "
+        "scheme, so pair clients with `loadgen --connect --entropy service`)",
+    )
+    serve.add_argument(
+        "--epoch-interval", type=float, default=0.0, metavar="SEC",
+        help="pace epoch starts on a fixed schedule (0 = as fast as "
+        "the SUs answer; only with --epochs)",
+    )
+    serve.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="persist per-epoch results and metrics under DIR "
+        "(see `repro epochs show/validate`; only with --epochs)",
+    )
+    serve.add_argument(
+        "--uvloop", action="store_true",
+        help="use uvloop if installed (falls back to asyncio with a warning)",
+    )
     add_metrics_flag(serve)
 
     loadgen = sub.add_parser(
@@ -227,7 +247,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep every raw latency sample for exact percentiles (memory "
         "grows with rounds; default: bounded histogram only)",
     )
+    loadgen.add_argument(
+        "--entropy", choices=("loadgen", "service"), default="loadgen",
+        help="per-round entropy scheme: 'loadgen' pairs with `repro serve`, "
+        "'service' with `repro serve --epochs` (ignored with --soak, which "
+        "is always 'service')",
+    )
+    loadgen.add_argument(
+        "--soak", action="store_true",
+        help="soak mode: self-host an epoch service and drive --rounds "
+        "epochs with Poisson SU churn between them (--users is the "
+        "population; --initial-members SUs are seated at epoch 0)",
+    )
+    loadgen.add_argument(
+        "--initial-members", type=int, default=None, metavar="N",
+        help="SUs seated at epoch 0 in soak mode (default: 2/3 of --users)",
+    )
+    loadgen.add_argument(
+        "--join-rate", type=float, default=0.0, metavar="L",
+        help="soak mode: Poisson mean SU joins per epoch boundary",
+    )
+    loadgen.add_argument(
+        "--leave-rate", type=float, default=0.0, metavar="L",
+        help="soak mode: Poisson mean SU leaves per epoch boundary",
+    )
+    loadgen.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="soak mode: epochs excluded from the steady-state percentiles",
+    )
+    loadgen.add_argument(
+        "--interval", type=float, default=0.0, metavar="SEC",
+        help="soak mode: pace epoch starts on a fixed schedule",
+    )
+    loadgen.add_argument(
+        "--retire-after", type=int, default=None, metavar="K",
+        help="soak mode: retire an SU after K consecutive straggled epochs",
+    )
+    loadgen.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="soak mode: persist per-epoch history under DIR "
+        "(see `repro epochs show/validate`)",
+    )
+    loadgen.add_argument(
+        "--uvloop", action="store_true",
+        help="use uvloop if installed (falls back to asyncio with a warning)",
+    )
     add_metrics_flag(loadgen)
+
+    epochs = sub.add_parser(
+        "epochs",
+        help="inspect a persisted epoch-service run directory",
+    )
+    epochs_sub = epochs.add_subparsers(dest="epochs_command", required=True)
+    epochs_show = epochs_sub.add_parser(
+        "show", help="summarize a run's manifest and per-epoch results"
+    )
+    epochs_show.add_argument("run_dir", help="run directory with manifest.json")
+    epochs_validate = epochs_sub.add_parser(
+        "validate",
+        help="verify a run's history is complete and untampered "
+        "(manifest shape, file digests, artifact schemas)",
+    )
+    epochs_validate.add_argument("run_dir", help="run directory with manifest.json")
 
     scale = sub.add_parser(
         "scale",
@@ -1116,6 +1197,8 @@ def _cmd_serve(args) -> int:
             print(f"metrics on http://{server.metrics_address}/metrics",
                   flush=True)
         try:
+            if args.epochs is not None:
+                return await _serve_epochs(args, server)
             await server.wait_for_clients(args.users, timeout=args.join_timeout)
             for round_index in range(args.rounds):
                 report = await server.run_round(
@@ -1142,14 +1225,86 @@ def _cmd_serve(args) -> int:
         )
         return 0
 
+    from repro.service.eventloop import run as run_loop
+
     with collect:
-        return asyncio.run(_serve())
+        return run_loop(_serve(), use_uvloop=args.uvloop)
+
+
+async def _serve_epochs(args, server) -> int:
+    """``repro serve --epochs``: the fixed-membership epoch loop.
+
+    Clients hold their connections across epochs (no churn, so the ring is
+    never rotated); a remote fleet pairs with
+    ``repro loadgen --connect HOST:PORT --entropy service``.
+    """
+    from repro.net import RoundAborted
+    from repro.net.loadgen import protocol_seed
+    from repro.service import (
+        EpochConfig,
+        EpochScheduler,
+        EpochStore,
+        MembershipManager,
+    )
+
+    membership = MembershipManager(
+        args.users,
+        initial_members=range(args.users),
+        master_seed=protocol_seed(args.seed),
+        base_ring=server.keyring,
+    )
+    store = None
+    if args.run_dir is not None:
+        store = EpochStore(
+            args.run_dir,
+            config={
+                "users": args.users,
+                "channels": args.channels,
+                "epochs": args.epochs,
+                "seed": args.seed,
+            },
+        )
+    scheduler = EpochScheduler(
+        server,
+        membership,
+        EpochConfig(
+            epochs=args.epochs,
+            seed=args.seed,
+            interval_s=args.epoch_interval,
+            roster_timeout=args.join_timeout,
+        ),
+        store=store,
+    )
+    try:
+        records = await scheduler.run()
+    except (RoundAborted, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for record in records:
+        outcome = record.report.result.outcome
+        print(
+            f"epoch {record.epoch}: {len(outcome.wins)} winners, "
+            f"{len(record.report.participants)} participants, "
+            f"{record.report.latency_s * 1e3:.1f} ms",
+            flush=True,
+        )
+    print(
+        f"served {len(records)} epochs, "
+        f"{server.wire.total_bytes} wire bytes",
+        flush=True,
+    )
+    if store is not None:
+        print(f"epoch history in {store.root}", flush=True)
+    return 0
 
 
 def _cmd_loadgen(args) -> int:
     import asyncio
 
     from repro.net.loadgen import EquivalenceFailure, LoadgenConfig, run_loadgen
+
+    if args.soak:
+        return _cmd_loadgen_soak(args)
 
     config = LoadgenConfig(
         n_users=args.users,
@@ -1167,6 +1322,7 @@ def _cmd_loadgen(args) -> int:
         ttp_period=args.ttp_period,
         ttp_capacity=args.ttp_capacity,
         raw_latencies=args.raw_latencies,
+        entropy_scheme=args.entropy,
     )
     try:
         report = asyncio.run(run_loadgen(config))
@@ -1175,6 +1331,100 @@ def _cmd_loadgen(args) -> int:
         return 1
     report.record_metrics()
     print(report.format())
+    return 0
+
+
+def _cmd_loadgen_soak(args) -> int:
+    """``repro loadgen --soak``: the self-hosted epoch-service soak."""
+    from repro.net.loadgen import EquivalenceFailure
+    from repro.service import SoakConfig, run_soak
+    from repro.service.eventloop import run as run_loop
+
+    if args.connect is not None:
+        print("error: --soak self-hosts its server; drop --connect",
+              file=sys.stderr)
+        return 2
+    try:
+        config = SoakConfig(
+            population=args.users,
+            initial_members=args.initial_members,
+            epochs=args.rounds,
+            n_channels=args.channels,
+            seed=args.seed,
+            area=args.area,
+            grid_n=args.grid,
+            join_rate=args.join_rate,
+            leave_rate=args.leave_rate,
+            transport=args.transport,
+            host=args.host,
+            port=args.port,
+            interval_s=args.interval,
+            warmup_epochs=args.warmup,
+            check_equivalence=args.check_equivalence,
+            run_dir=args.run_dir,
+            retire_after=args.retire_after,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_loop(run_soak(config), use_uvloop=args.uvloop)
+    except EquivalenceFailure as exc:
+        print(f"equivalence FAILED: {exc}", file=sys.stderr)
+        return 1
+    report.loadgen.record_metrics(steady_warmup=config.warmup_epochs)
+    print(report.format(warmup=config.warmup_epochs))
+    return 0
+
+
+def _cmd_epochs(args) -> int:
+    from repro.service import load_manifest, validate_run
+
+    if args.epochs_command == "validate":
+        errors = validate_run(args.run_dir)
+        if errors:
+            print(f"run {args.run_dir} is INVALID:")
+            for error in errors:
+                print(f"  - {error}")
+            return 1
+        print(f"run {args.run_dir} OK")
+        return 0
+
+    # show
+    try:
+        manifest = load_manifest(args.run_dir)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = manifest.get("summary", {})
+    print(f"epoch run {args.run_dir}")
+    print(f"  kind        {manifest['kind']} "
+          f"(schema v{manifest['schema_version']})")
+    print(f"  created     {manifest.get('created_at', '?')}")
+    if manifest.get("git_sha"):
+        print(f"  git         {manifest['git_sha']}")
+    for key in sorted(manifest.get("config", {})):
+        print(f"  config      {key} = {manifest['config'][key]}")
+    print(f"  epochs      {len(manifest['epochs'])}")
+    for entry in manifest["epochs"]:
+        s = entry.get("summary", {})
+        marks = []
+        if s.get("stragglers"):
+            marks.append(f"{s['stragglers']} stragglers")
+        if s.get("equivalent"):
+            marks.append("equivalent")
+        suffix = f" ({', '.join(marks)})" if marks else ""
+        print(
+            f"    epoch {entry['index']}: "
+            f"v{s.get('version', '?')} {s.get('members', '?')} SUs, "
+            f"{s.get('winners', '?')} winners, "
+            f"revenue {s.get('revenue', '?')}{suffix}"
+        )
+    for key in sorted(summary):
+        print(f"  summary     {key} = {summary[key]}")
+    if manifest.get("attachments"):
+        for name in sorted(manifest["attachments"]):
+            print(f"  attachment  {name}")
     return 0
 
 
@@ -1257,6 +1507,7 @@ _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "slo": _cmd_slo,
+    "epochs": _cmd_epochs,
 }
 
 

@@ -10,8 +10,11 @@ Correctness is structural: the cache key *contains the key material*, so a
 rotated key can never alias a stale entry — a new key ring simply misses.
 On top of that, :class:`repro.lppa.ttp.TrustedThirdParty` notes the key
 ring fingerprint on every key (re)distribution via :func:`note_key_epoch`,
-which drops all entries whenever the fingerprint changes; dead epochs are
-evicted eagerly instead of lingering until LRU pressure.
+which drops stale entries whenever the fingerprint changes; dead epochs
+are evicted eagerly instead of lingering until LRU pressure.  The TTP
+passes the new ring's live key set, so a *partial* rotation — the epoch
+service rotates only ``gc`` on membership change — drops only entries
+masked under retired keys and a stationary SU's digests stay warm.
 
 Observability: every lookup lands on ``crypto.mask_cache.hits`` or
 ``crypto.mask_cache.misses``; clears count ``crypto.mask_cache.invalidations``
@@ -33,7 +36,7 @@ from __future__ import annotations
 import contextlib
 import os
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro import obs
 
@@ -122,20 +125,49 @@ class MaskCache:
             obs.set_gauge("crypto.mask_cache.size", 0.0)
         return dropped
 
-    def note_key_epoch(self, fingerprint: bytes) -> bool:
-        """Record a key (re)distribution; clears the cache on a new epoch.
+    def drop_stale_keys(self, live_keys: Iterable[bytes]) -> int:
+        """Drop entries masked under keys outside ``live_keys``.
 
-        Returns ``True`` when the fingerprint changed (entries dropped).
-        Re-distributing the *same* keys — every round of a seeded
-        experiment re-runs :meth:`TrustedThirdParty.setup` with the same
-        seed — keeps the cache warm across rounds.
+        The selective counterpart of :meth:`clear` for *partial* key
+        rotations: a membership change rotates only the affected subkeys
+        (the epoch service rotates ``gc`` on join/leave), so a stationary
+        SU's masked digests — keyed by the unchanged ``g0``/``gb_*``
+        material — survive unrelated churn.  Counts one
+        ``crypto.mask_cache.invalidations`` event when anything dropped.
+        """
+        live = frozenset(live_keys)
+        stale = [key for key in self._entries if key[0] not in live]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            obs.count("crypto.mask_cache.invalidations")
+            obs.set_gauge("crypto.mask_cache.size", float(len(self._entries)))
+        return len(stale)
+
+    def note_key_epoch(
+        self, fingerprint: bytes, live_keys: Optional[Iterable[bytes]] = None
+    ) -> bool:
+        """Record a key (re)distribution; invalidates on a new epoch.
+
+        Returns ``True`` when the fingerprint changed (stale entries
+        dropped).  Re-distributing the *same* keys — every round of a
+        seeded experiment re-runs :meth:`TrustedThirdParty.setup` with the
+        same seed — keeps the cache warm across rounds.
+
+        With ``live_keys`` (the new ring's complete key material) a new
+        epoch drops only entries masked under keys *not* in that set —
+        partial rotations keep every still-valid entry warm.  Without it,
+        the conservative full :meth:`clear` applies.
         """
         if fingerprint == self._epoch:
             return False
         changed = self._epoch is not None
         self._epoch = fingerprint
         if changed:
-            self.clear()
+            if live_keys is not None:
+                self.drop_stale_keys(live_keys)
+            else:
+                self.clear()
         return changed
 
     def stats(self) -> Dict[str, int]:
@@ -187,6 +219,8 @@ def cache_disabled() -> Iterator[None]:
         set_cache_enabled(previous)
 
 
-def note_key_epoch(fingerprint: bytes) -> bool:
+def note_key_epoch(
+    fingerprint: bytes, live_keys: Optional[Iterable[bytes]] = None
+) -> bool:
     """Module-level convenience for :meth:`MaskCache.note_key_epoch`."""
-    return _cache.note_key_epoch(fingerprint)
+    return _cache.note_key_epoch(fingerprint, live_keys)

@@ -19,10 +19,11 @@ it deterministically from a seed so experiments are reproducible.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.crypto.backend import hmac_digest, hmac_digest_batch
 
@@ -83,6 +84,29 @@ class KeyRing:
             "cr": self.cr,
             "key_bytes": _KEY_BYTES,
         }
+
+    def live_keys(self) -> Tuple[bytes, ...]:
+        """Every key byte-string in the ring, for selective cache eviction.
+
+        Handed to :func:`repro.crypto.cache.note_key_epoch` so a partial
+        rotation (the epoch service replaces only ``gc`` on membership
+        change) drops only masked-digest entries of *retired* keys.
+        """
+        return (self.g0, self.gb, self.gc, *self.gb_channels)
+
+    def rotate_gc(self, master: bytes, label: str) -> "KeyRing":
+        """A new ring with ``gc`` re-derived for a fresh key epoch.
+
+        The epoch service calls this on every membership change: the
+        departed SU keeps its knowledge of the old ring, so the TTP key
+        sealing future true-bid ciphertexts must rotate, while the masking
+        keys (``g0``/``gb_*``) stay — masked digests are one-way, so a
+        former member learns nothing new from them, and keeping them
+        preserves every stationary SU's warm mask cache.  ``gc`` is
+        size-neutral (Speck key, fixed ciphertext framing), so rotation
+        never changes results or wire accounting.
+        """
+        return dataclasses.replace(self, gc=derive_key(master, label))
 
     def fingerprint(self) -> bytes:
         """Digest identifying this key epoch for cache invalidation.

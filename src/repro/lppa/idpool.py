@@ -7,15 +7,27 @@ hands the attacker high-confidence BCM input).  The paper's remedy is to
 each auction".  :class:`IdPool` implements exactly that: a fresh random
 bijection between true user indices and wire pseudonyms per round, known to
 the users (each knows its own pseudonym) but opaque to the auctioneer.
+
+:class:`EpochIdPool` is the *dynamic* counterpart the long-lived epoch
+service (:mod:`repro.service`) needs: SUs acquire a pseudonym on join and
+release it on leave, and — critically — an id released by a mid-run
+departure is **quarantined until the next epoch window** rather than
+returned to the free pool.  Reissuing a just-released id within the same
+epoch window is a real collision: a late frame (or a lingering
+constraint in the auctioneer's view) attributed to the departed SU would
+silently bind to the newcomer holding the same id, conflating two
+distinct users for both accounting and the BCM adversary.  Reuse across
+epoch windows is fine — that is exactly the paper's "different ID pools
+in each auction" mixing.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Set, Tuple
 
-__all__ = ["IdPool"]
+__all__ = ["IdPool", "EpochIdPool", "IdPoolExhausted"]
 
 
 @dataclass(frozen=True)
@@ -48,3 +60,79 @@ class IdPool:
     def reverse_map(self) -> Dict[int, int]:
         """wire id -> true user index (held by users/TTP, not the auctioneer)."""
         return {wire: user for user, wire in enumerate(self.pseudonyms)}
+
+
+class IdPoolExhausted(RuntimeError):
+    """No free pseudonym is available (live + quarantined ids fill the space)."""
+
+
+class EpochIdPool:
+    """Dynamic pseudonym allocator with epoch-window release quarantine.
+
+    ``acquire()`` draws a pseudonym not currently held by anyone;
+    ``release(id)`` parks it in quarantine; ``advance_epoch()`` — called at
+    each epoch boundary — returns the previous window's quarantined ids to
+    the free pool.  The invariant under test in
+    ``tests/lppa/test_idpool.py``: an id released in epoch window ``e`` is
+    never handed out again before ``advance_epoch()`` moves the service to
+    window ``e + 1``.
+
+    Draws are deterministic in the supplied ``rng`` (the service seeds it
+    from the run seed), so epoch runs are replayable end to end.
+    """
+
+    def __init__(
+        self, rng: random.Random, *, id_space: int = 1 << 20
+    ) -> None:
+        if id_space < 1:
+            raise ValueError("id space must be positive")
+        self._rng = rng
+        self._id_space = id_space
+        self._in_use: Set[int] = set()
+        self._quarantine: Set[int] = set()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch window index (starts at 0)."""
+        return self._epoch
+
+    @property
+    def in_use(self) -> frozenset:
+        return frozenset(self._in_use)
+
+    @property
+    def quarantined(self) -> frozenset:
+        """Ids released this window, unavailable until the next one."""
+        return frozenset(self._quarantine)
+
+    def acquire(self) -> int:
+        """Draw a pseudonym that is neither live nor quarantined."""
+        unavailable = len(self._in_use) + len(self._quarantine)
+        if unavailable >= self._id_space:
+            raise IdPoolExhausted(
+                f"{len(self._in_use)} live + {len(self._quarantine)} "
+                f"quarantined ids exhaust the space of {self._id_space}"
+            )
+        while True:
+            candidate = self._rng.randrange(self._id_space)
+            if candidate not in self._in_use and candidate not in self._quarantine:
+                self._in_use.add(candidate)
+                return candidate
+
+    def release(self, pseudonym: int) -> None:
+        """Retire a live pseudonym; it stays quarantined this epoch window."""
+        if pseudonym not in self._in_use:
+            raise ValueError(f"pseudonym {pseudonym} is not live")
+        self._in_use.remove(pseudonym)
+        self._quarantine.add(pseudonym)
+
+    def advance_epoch(self) -> int:
+        """Open the next epoch window; frees the quarantined ids.
+
+        Returns the number of ids returned to circulation.
+        """
+        freed = len(self._quarantine)
+        self._quarantine.clear()
+        self._epoch += 1
+        return freed

@@ -74,9 +74,11 @@ class TrustedThirdParty:
         self._keyring = keyring
         self._scale = scale
         # Key (re)distribution starts a new epoch: masked-digest caches of
-        # any previous key ring are dropped eagerly (same-ring re-setup,
-        # as seeded experiments do every round, keeps the cache warm).
-        note_key_epoch(keyring.fingerprint())
+        # retired keys are dropped eagerly (same-ring re-setup, as seeded
+        # experiments do every round, keeps the cache warm; a partial
+        # rotation — membership churn replacing only gc — keeps every
+        # entry still masked under a live key).
+        note_key_epoch(keyring.fingerprint(), keyring.live_keys())
 
     @classmethod
     def setup(

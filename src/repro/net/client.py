@@ -149,6 +149,15 @@ class SUClient:
         return self._su_id
 
     @property
+    def keyring(self) -> KeyRing:
+        return self._keyring
+
+    def rekey(self, keyring: KeyRing) -> None:
+        """Adopt a redistributed key ring (out-of-band, as the paper's TTP
+        does on join/leave).  Takes effect from the next round's masking."""
+        self._keyring = keyring
+
+    @property
     def announcement(self) -> Optional[Dict[str, Any]]:
         """The WELCOME document, once connected."""
         return self._announcement

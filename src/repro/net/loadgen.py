@@ -93,12 +93,23 @@ class LoadgenConfig:
     #: default so multi-hour runs stay bounded: the histogram alone costs
     #: a fixed ~100 buckets no matter how many rounds complete.
     raw_latencies: bool = False
+    #: Keep one latency histogram *per round/epoch* besides the aggregate,
+    #: so warm-up rounds cannot skew a steady-state tail percentile.  Costs
+    #: O(rounds) bounded histograms; disable for unbounded multi-hour runs.
+    per_epoch_hists: bool = True
+    #: Which per-round entropy labels the run derives: ``"loadgen"``
+    #: (:func:`round_entropy`, the `repro serve` pairing) or ``"service"``
+    #: (:func:`repro.service.scheduler.service_entropy`, for driving or
+    #: checking against a ``repro serve --epochs`` epoch loop).
+    entropy_scheme: str = "loadgen"
 
     def __post_init__(self) -> None:
         if self.transport not in ("memory", "tcp"):
             raise ValueError(f"unknown transport {self.transport!r}")
         if self.rounds < 1:
             raise ValueError("need at least one round")
+        if self.entropy_scheme not in ("loadgen", "service"):
+            raise ValueError(f"unknown entropy scheme {self.entropy_scheme!r}")
 
 
 @dataclass
@@ -110,18 +121,53 @@ class LoadgenReport:
     rounds_completed: int
     elapsed_s: float
     latency_hist: Histogram = field(default_factory=Histogram)
+    #: Per-round/epoch histograms (key: round or epoch index).  The
+    #: aggregate ``latency_hist`` always folds everything; these exist so
+    #: steady-state percentiles can exclude warm-up epochs.
+    epoch_hists: Dict[int, Histogram] = field(default_factory=dict)
     raw_latencies_s: Optional[List[float]] = None
     wire_bytes: int = 0
     round_summaries: List[Dict[str, Any]] = field(default_factory=list)
     stragglers: int = 0
     equivalence_checked: int = 0
 
-    def record_latency(self, seconds: float) -> None:
+    def record_latency(self, seconds: float, *, epoch: Optional[int] = None) -> None:
         """Fold one round latency into the bounded histogram (and, when
-        the ``raw_latencies`` escape hatch is on, the exact sample list)."""
+        the ``raw_latencies`` escape hatch is on, the exact sample list).
+
+        With ``epoch`` given, the sample additionally lands in that
+        epoch's own histogram — the aggregate keeps folding everything, so
+        existing consumers see no change, while steady-state consumers can
+        slice warm-up epochs away (:meth:`steady_histogram`).
+        """
         self.latency_hist.observe(seconds)
+        if epoch is not None:
+            hist = self.epoch_hists.get(epoch)
+            if hist is None:
+                hist = self.epoch_hists[epoch] = Histogram()
+            hist.observe(seconds)
         if self.raw_latencies_s is not None:
             self.raw_latencies_s.append(seconds)
+
+    def steady_histogram(self, warmup: int = 1) -> Histogram:
+        """Latencies of epochs ``>= warmup`` merged into one histogram.
+
+        Without per-epoch data (``per_epoch_hists=False``, or a report
+        predating them) this degrades to a copy of the aggregate — the
+        permissive reading, matching the old folded-together behaviour.
+        """
+        if not self.epoch_hists:
+            return self.latency_hist.copy()
+        steady = Histogram()
+        for epoch, hist in self.epoch_hists.items():
+            if epoch >= warmup:
+                steady.merge(hist)
+        return steady
+
+    def epoch_quantile(self, epoch: int, q: float) -> float:
+        """One epoch's latency quantile (0.0 when the epoch has no data)."""
+        hist = self.epoch_hists.get(epoch)
+        return hist.quantile(q) if hist is not None else 0.0
 
     @property
     def rounds_per_sec(self) -> float:
@@ -144,12 +190,18 @@ class LoadgenReport:
     def p99_latency_s(self) -> float:
         return self._quantile(0.99)
 
-    def record_metrics(self) -> None:
+    def record_metrics(self, *, steady_warmup: Optional[int] = None) -> None:
         """Fold the SLO summary into the active obs registry, if any.
 
         Gives ``repro loadgen --metrics`` artifact keys for the latency
         tail (``net.loadgen.latency_p50/p95/p99``), throughput and wire
         volume, so ``repro metrics diff`` can flag tail regressions.
+
+        ``steady_warmup`` (the soak driver passes its warm-up epoch count)
+        additionally emits the steady-state histogram and percentiles
+        (``net.loadgen.steady_latency*``) with the first ``steady_warmup``
+        epochs excluded, so SLO gates on the tail are not diluted by cold
+        caches and connection ramp.
         """
         if obs.get_active() is None:
             return
@@ -161,8 +213,21 @@ class LoadgenReport:
         obs.count("net.loadgen.rounds", self.rounds_completed)
         obs.count("net.loadgen.wire_bytes", self.wire_bytes)
         obs.count("net.loadgen.stragglers", self.stragglers)
+        if steady_warmup is not None:
+            steady = self.steady_histogram(steady_warmup)
+            if steady.count:
+                obs.merge_histogram("net.loadgen.steady_latency", steady)
+                obs.record_seconds(
+                    "net.loadgen.steady_latency_p50", steady.quantile(0.50)
+                )
+                obs.record_seconds(
+                    "net.loadgen.steady_latency_p95", steady.quantile(0.95)
+                )
+                obs.record_seconds(
+                    "net.loadgen.steady_latency_p99", steady.quantile(0.99)
+                )
 
-    def format(self) -> str:
+    def format(self, *, steady_warmup: Optional[int] = None) -> str:
         """The human-readable report the ``repro loadgen`` CLI prints."""
         lines = [
             f"loadgen: {self.n_users} SUs x {self.rounds_completed} rounds "
@@ -175,6 +240,16 @@ class LoadgenReport:
             f"  wire         {self.wire_bytes} bytes",
             f"  stragglers   {self.stragglers}",
         ]
+        if steady_warmup is not None and self.epoch_hists:
+            steady = self.steady_histogram(steady_warmup)
+            if steady.count:
+                lines.insert(
+                    3,
+                    f"  steady       p50 {steady.quantile(0.50) * 1e3:.2f} ms, "
+                    f"p95 {steady.quantile(0.95) * 1e3:.2f} ms, "
+                    f"p99 {steady.quantile(0.99) * 1e3:.2f} ms "
+                    f"(epochs >= {steady_warmup})",
+                )
         if self.equivalence_checked:
             lines.append(
                 f"  equivalence  OK ({self.equivalence_checked} rounds "
@@ -208,6 +283,19 @@ def round_entropy(seed: int, round_index: int) -> str:
     return f"net-loadgen:{seed}:{round_index}"
 
 
+def _entropy(config: LoadgenConfig, round_index: int) -> str:
+    """This run's entropy label for one round, per the configured scheme.
+
+    The ``"service"`` branch must stay byte-identical to
+    :func:`repro.service.scheduler.service_entropy` (asserted by the
+    service test suite); it is inlined here because :mod:`repro.service`
+    imports this module.
+    """
+    if config.entropy_scheme == "service":
+        return f"service:{config.seed}:{round_index}"
+    return round_entropy(config.seed, round_index)
+
+
 def build_population(
     config: LoadgenConfig,
 ) -> Tuple[GridSpec, List[SecondaryUser]]:
@@ -239,7 +327,7 @@ def _session_result(
         bmax=config.bmax,
         seed=protocol_seed(config.seed),
         policy=_policy(config),
-        entropy=round_entropy(config.seed, round_index),
+        entropy=_entropy(config, round_index),
     )
 
 
@@ -362,7 +450,7 @@ async def _run_self_hosted(
         reports: List[NetRoundReport] = []
         for round_index in range(config.rounds):
             reports.append(
-                await server.run_round(round_entropy(config.seed, round_index))
+                await server.run_round(_entropy(config, round_index))
             )
         elapsed = monotonic() - t0
         await asyncio.gather(*client_tasks)
@@ -381,7 +469,10 @@ async def _run_self_hosted(
         stragglers=sum(len(r.stragglers) for r in reports),
     )
     for r in reports:
-        report.record_latency(r.latency_s)
+        report.record_latency(
+            r.latency_s,
+            epoch=r.round_index if config.per_epoch_hists else None,
+        )
     for r in reports:
         report.round_summaries.append(
             {
@@ -431,7 +522,10 @@ async def _run_connect(
     )
     for rounds in rounds_per_client:
         for record in rounds:
-            report.record_latency(record.latency_s)
+            report.record_latency(
+                record.latency_s,
+                epoch=record.round_index if config.per_epoch_hists else None,
+            )
             by_round.setdefault(record.round_index, record.result)
     report.rounds_completed = len(by_round)
     for round_index in sorted(by_round):

@@ -240,6 +240,7 @@ class AuctioneerServer:
         self._owns_ttp_service = ttp_service is None
         self._clients: Dict[int, _ClientState] = {}
         self._client_arrived = asyncio.Event()
+        self._roster_changed = asyncio.Event()
         self._phase = RoundPhase.IDLE
         self._round = -1
         self._expected: Set[int] = set()
@@ -283,6 +284,11 @@ class AuctioneerServer:
     @property
     def n_connected(self) -> int:
         return len(self._clients)
+
+    @property
+    def roster(self) -> Tuple[int, ...]:
+        """Currently connected SU ids, sorted (the next round's roster)."""
+        return tuple(sorted(self._clients))
 
     @property
     def session_key(self) -> str:
@@ -356,6 +362,42 @@ class AuctioneerServer:
 
         await asyncio.wait_for(_waiter(), timeout)
 
+    async def wait_for_roster(
+        self, expected: Sequence[int], *, timeout: float
+    ) -> None:
+        """Block until the connected set is *exactly* ``expected``.
+
+        The epoch scheduler's membership barrier: joins must have arrived
+        **and** leavers must have disconnected before the next round
+        snapshots its roster — a lingering departed SU would break the
+        dense-id equivalence contract.
+        """
+        want = set(expected)
+
+        async def _waiter() -> None:
+            while set(self._clients) != want:
+                self._roster_changed.clear()
+                await self._roster_changed.wait()
+
+        await asyncio.wait_for(_waiter(), timeout)
+
+    def redistribute_keys(self, keyring) -> None:
+        """Adopt a new key ring: fresh TTP, same scale, same transport.
+
+        The epoch service's key (re)distribution on membership change
+        (paper section IV: the TTP hands the ring to the bidders out of
+        band).  Constructing the :class:`TrustedThirdParty` registers the
+        new key epoch with the mask cache — selective invalidation keeps
+        stationary SUs' entries warm.  Must be called between rounds
+        (phase IDLE) with an empty charge backlog.
+        """
+        if self._phase is not RoundPhase.IDLE:
+            raise RuntimeError("cannot rekey mid-round")
+        ttp = TrustedThirdParty(keyring, self._scale)
+        self._keyring = keyring
+        self._ttp_service.rekey(ttp)
+        obs.count("service.rekeys")
+
     # -- connection handling ------------------------------------------------
 
     async def _handle_connection(self, conn: Connection) -> None:
@@ -381,6 +423,7 @@ class AuctioneerServer:
             state = _ClientState(su=su, conn=conn)
             self._clients[su] = state
             self._client_arrived.set()
+            self._roster_changed.set()
             obs.count("net.clients_joined")
             await self._send(state, FrameType.WELCOME, pack_json(self._announcement()))
             while True:
@@ -400,6 +443,7 @@ class AuctioneerServer:
         finally:
             if state is not None and self._clients.get(state.su) is state:
                 del self._clients[state.su]
+                self._roster_changed.set()
                 self._discard_pending(state.su)
                 self._maybe_phase_done()
             conn.close()

@@ -86,6 +86,20 @@ class TtpService:
     def ttp(self) -> TrustedThirdParty:
         return self._ttp
 
+    def rekey(self, ttp: TrustedThirdParty) -> None:
+        """Swap in a re-keyed TTP (epoch-service key redistribution).
+
+        Only legal with an empty backlog: queued charge material was
+        sealed under the previous ``gc`` and would decrypt to garbage
+        under the new one.  The epoch scheduler rekeys between rounds,
+        after the previous round's charges resolved.
+        """
+        if self._queue:
+            raise RuntimeError(
+                f"cannot rekey with {len(self._queue)} queued charge requests"
+            )
+        self._ttp = ttp
+
     def set_correlation(self, session: Optional[str]) -> None:
         """Stamp subsequent ``ttp_window`` trace events with ``session``.
 

@@ -268,7 +268,10 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` (last write wins) under the current scope."""
         self._check_name(name)
-        key = self._scoped(name)
+        self.set_gauge_raw(self._scoped(name), value)
+
+    def set_gauge_raw(self, key: str, value: float) -> None:
+        """Set the gauge at an exact key, bypassing phase scoping."""
         gauge = self._gauges.get(key)
         if gauge is None:
             self._gauges[key] = Gauge(value)

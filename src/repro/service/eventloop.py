@@ -1,0 +1,60 @@
+"""Event-loop selection for the long-lived service (optional uvloop).
+
+The epoch service and the soak driver are pure asyncio; on CPython's
+default loop they are correct and fast enough for CI.  For sustained-load
+soaks with thousands of concurrent SU connections, `uvloop
+<https://github.com/MagicStack/uvloop>`_ (libuv-backed) typically cuts
+per-frame scheduling overhead substantially — but it is an *optional*
+dependency that this repository never requires: every entry point takes a
+``use_uvloop`` flag and falls back to stock asyncio, with a one-line
+warning, when the import fails.
+
+Nothing about results depends on the loop implementation — the protocol's
+determinism contract is entropy-label based, not scheduling based — so
+the flag is purely a throughput knob.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Any, Coroutine, TypeVar
+
+__all__ = ["uvloop_available", "run"]
+
+_T = TypeVar("_T")
+
+
+def uvloop_available() -> bool:
+    """Whether the optional uvloop package can be imported."""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run(coro: Coroutine[Any, Any, _T], *, use_uvloop: bool = False) -> _T:
+    """``asyncio.run`` with an optional uvloop policy for this one call.
+
+    ``use_uvloop=True`` on a machine without uvloop degrades gracefully:
+    a warning on stderr, then the default loop.  The previous event-loop
+    policy is always restored so embedding callers are unaffected.
+    """
+    if not use_uvloop:
+        return asyncio.run(coro)
+    try:
+        import uvloop
+    except ImportError:
+        print(
+            "warning: uvloop requested but not installed; "
+            "falling back to asyncio's default event loop",
+            file=sys.stderr,
+        )
+        return asyncio.run(coro)
+    previous = asyncio.get_event_loop_policy()
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    try:
+        return asyncio.run(coro)
+    finally:
+        asyncio.set_event_loop_policy(previous)

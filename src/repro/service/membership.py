@@ -1,0 +1,241 @@
+"""SU membership across epochs: admission, retirement, keys, identities.
+
+The paper's auction is repeated — the PU leases spectrum round after round
+while SUs arrive and depart.  :class:`MembershipManager` owns everything
+that changes *between* rounds of the long-lived service:
+
+* **the member set** — logical SU indices into a fixed population roster;
+  joins and leaves are applied in batches at epoch boundaries
+  (:class:`MembershipDelta`), never mid-round;
+* **dense wire ids** — the masked-table layer numbers submissions
+  ``0..m-1``, and the networked round is bit-identical to the in-process
+  session exactly when wire ids are dense (the PR-4 remap-is-identity
+  argument).  The manager therefore re-derives the dense assignment
+  (members sorted by logical id) on every membership change, reusing the
+  server's dense-remap convention;
+* **pseudonyms** — each member holds a wire-unlinked pseudonym from an
+  :class:`~repro.lppa.idpool.EpochIdPool`; a mid-run departure quarantines
+  the pseudonym for the remainder of the epoch window so it can never be
+  reissued to a newcomer within the window (the id-collision fix), and the
+  pool's window advances at every epoch boundary;
+* **key epochs** — any membership change rotates the TTP sealing key
+  ``gc`` (:meth:`repro.crypto.keys.KeyRing.rotate_gc`): a departed SU
+  keeps its copy of the old ring, so ciphertexts sealed after its
+  departure must move to a key it never held.  The masking keys stay, so
+  ``KeyRing.fingerprint()`` changes on every join/leave while stationary
+  SUs' mask-cache entries survive (selective invalidation).  The rotation
+  is a pure function of ``(master seed, membership version)``, which is
+  how a ``--connect`` soak fleet derives the same ring the server holds
+  without any extra wire bytes.
+
+Determinism contract: every decision here is a pure function of the
+construction arguments plus the sequence of applied deltas — no clocks, no
+ambient randomness — so an epoch run is replayable end to end and each
+epoch's result can be differentially checked against a fresh single-round
+:func:`~repro.lppa.session.run_lppa_auction` over the same final
+membership.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from repro import obs
+from repro.crypto.keys import KeyRing
+from repro.lppa.idpool import EpochIdPool
+
+__all__ = [
+    "MembershipDelta",
+    "MembershipError",
+    "MembershipSnapshot",
+    "MembershipManager",
+    "rotate_ring",
+]
+
+
+def rotate_ring(base_ring: KeyRing, master: bytes, version: int) -> KeyRing:
+    """The service key ring at membership ``version``.
+
+    Version 0 is the TTP's bootstrap ring untouched; every later version
+    re-derives ``gc`` under a version-labelled HKDF expansion.  Pure in
+    ``(base_ring, master, version)`` so the server, a remote soak fleet
+    and the differential tests all agree on the ring without coordination.
+    """
+    if version < 0:
+        raise ValueError("membership version must be non-negative")
+    if version == 0:
+        return base_ring
+    return base_ring.rotate_gc(master, f"lppa/ttp/gc/m{version}")
+
+
+class MembershipError(ValueError):
+    """An inadmissible join or leave (unknown, duplicate, or out of range)."""
+
+
+@dataclass(frozen=True)
+class MembershipDelta:
+    """One epoch boundary's churn: who joins, who leaves (logical ids)."""
+
+    joins: Tuple[int, ...] = ()
+    leaves: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.joins)) != len(self.joins):
+            raise MembershipError("duplicate join")
+        if len(set(self.leaves)) != len(self.leaves):
+            raise MembershipError("duplicate leave")
+        if set(self.joins) & set(self.leaves):
+            raise MembershipError("an SU cannot join and leave in one delta")
+
+    def __bool__(self) -> bool:
+        return bool(self.joins or self.leaves)
+
+
+@dataclass(frozen=True)
+class MembershipSnapshot:
+    """The service's view of one epoch's final membership."""
+
+    version: int
+    members: Tuple[int, ...]          # logical ids, sorted
+    wire_ids: Dict[int, int] = field(default_factory=dict)  # logical -> dense
+    pseudonyms: Dict[int, int] = field(default_factory=dict)  # logical -> pool id
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def wire_roster(self) -> Tuple[int, ...]:
+        """The dense wire ids the server must see connected: ``0..m-1``."""
+        return tuple(range(len(self.members)))
+
+    def logical_for_wire(self, wire_id: int) -> int:
+        """Invert the dense assignment (wire ids are sorted logical order)."""
+        return self.members[wire_id]
+
+    def as_document(self) -> Dict[str, object]:
+        """JSON-safe membership record for the epoch store."""
+        return {
+            "version": self.version,
+            "members": list(self.members),
+            "pseudonyms": {str(k): v for k, v in sorted(self.pseudonyms.items())},
+        }
+
+
+class MembershipManager:
+    """Admits, retires and re-identifies SUs between epochs."""
+
+    def __init__(
+        self,
+        population: int,
+        *,
+        initial_members: Sequence[int],
+        master_seed: bytes,
+        base_ring: KeyRing,
+        pseudonym_space: int = 1 << 20,
+    ) -> None:
+        if population < 1:
+            raise ValueError("population must be positive")
+        members = sorted(initial_members)
+        if len(set(members)) != len(members):
+            raise MembershipError("duplicate initial member")
+        if members and not 0 <= members[0] <= members[-1] < population:
+            raise MembershipError("initial member outside the population")
+        if not members:
+            raise MembershipError("need at least one initial member")
+        self._population = population
+        self._members: FrozenSet[int] = frozenset(members)
+        self._master_seed = master_seed
+        self._base_ring = base_ring
+        self._version = 0
+        # Pseudonym draws are addressed by the master seed only, so a
+        # replayed run re-issues identical pseudonyms.
+        self._pool = EpochIdPool(
+            random.Random(b"service-pseudonyms:" + master_seed),
+            id_space=pseudonym_space,
+        )
+        self._pseudonyms: Dict[int, int] = {
+            logical: self._pool.acquire() for logical in members
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        return self._population
+
+    @property
+    def version(self) -> int:
+        """Bumped once per applied non-empty delta (never mid-epoch)."""
+        return self._version
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._members))
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def keyring(self) -> KeyRing:
+        """The ring of the current membership version (gc rotated)."""
+        return rotate_ring(self._base_ring, self._master_seed, self._version)
+
+    def snapshot(self) -> MembershipSnapshot:
+        """The current epoch's immutable view: version, members, dense
+        wire ids and pseudonyms."""
+        members = self.members
+        return MembershipSnapshot(
+            version=self._version,
+            members=members,
+            wire_ids={logical: i for i, logical in enumerate(members)},
+            pseudonyms={m: self._pseudonyms[m] for m in members},
+        )
+
+    # -- epoch-boundary transitions ------------------------------------------
+
+    def check(self, delta: MembershipDelta) -> None:
+        """Raise :class:`MembershipError` when ``delta`` is inadmissible."""
+        for logical in delta.joins:
+            if not 0 <= logical < self._population:
+                raise MembershipError(
+                    f"join {logical} outside the population of {self._population}"
+                )
+            if logical in self._members:
+                raise MembershipError(f"SU {logical} is already a member")
+        for logical in delta.leaves:
+            if logical not in self._members:
+                raise MembershipError(f"SU {logical} is not a member")
+        if set(delta.leaves) == self._members and not delta.joins:
+            raise MembershipError("delta would empty the membership")
+
+    def apply(self, delta: MembershipDelta) -> MembershipSnapshot:
+        """Apply one epoch boundary's churn; returns the new snapshot.
+
+        An empty delta is a no-op that *keeps the membership version* —
+        no key rotation, no cache invalidation — which is exactly what
+        lets a stationary service stay warm across quiet epochs.
+        """
+        self.check(delta)
+        if delta:
+            for logical in delta.leaves:
+                self._pool.release(self._pseudonyms.pop(logical))
+            self._members = (self._members - set(delta.leaves)) | set(delta.joins)
+            for logical in sorted(delta.joins):
+                self._pseudonyms[logical] = self._pool.acquire()
+            self._version += 1
+            obs.count("service.joins", len(delta.joins))
+            obs.count("service.leaves", len(delta.leaves))
+        obs.set_gauge("service.membership", float(len(self._members)))
+        return self.snapshot()
+
+    def advance_epoch_window(self) -> int:
+        """Roll the pseudonym quarantine window at the epoch boundary."""
+        return self._pool.advance_epoch()
+
+    def retire(self, logical_ids: Sequence[int]) -> MembershipDelta:
+        """A leave-only delta for SUs the scheduler is retiring (e.g.
+        repeat stragglers); composed by the caller into the next boundary's
+        churn so retirement follows the same path as voluntary departure."""
+        return MembershipDelta(leaves=tuple(sorted(set(logical_ids))))

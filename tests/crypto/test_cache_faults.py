@@ -93,6 +93,40 @@ def test_mutated_prefix_sets_miss_the_cache(cache):
     assert repeat == mask_specs([base])
 
 
+def test_membership_rekey_preserves_stationary_su_entries(cache):
+    """The epoch service's churn rekey (gc-only rotation) must not cost a
+    stationary SU its warm masked digests.
+
+    ``KeyRing.rotate_gc`` changes the fingerprint — the TTP registers a
+    new key epoch — but every masking key is still live, so the selective
+    invalidation drops nothing: zero ``invalidations``, and the SU's
+    location set still hits.
+    """
+    scale = BidScale(bmax=127, rd=4, cr=8)
+    ring = generate_keyring(b"service-seed", 4)
+    TrustedThirdParty(ring, scale)
+    mask_value(ring.g0, 42, 8)  # the stationary SU's warm entry
+    assert len(cache) == 1
+
+    rotated = ring.rotate_gc(b"service-seed", "lppa/ttp/gc/m1")
+    assert rotated.fingerprint() != ring.fingerprint()
+    assert rotated.g0 == ring.g0 and rotated.gb_channels == ring.gb_channels
+
+    with obs.collecting() as registry:
+        TrustedThirdParty(rotated, scale)  # join/leave key redistribution
+        mask_value(ring.g0, 42, 8)
+    assert "crypto.mask_cache.invalidations" not in registry.counters
+    assert registry.counters["crypto.mask_cache.hits"] == 1
+    assert "crypto.mask_cache.misses" not in registry.counters
+    assert len(cache) == 1
+
+    # A *full* rotation still drops the stale entry via the same hook.
+    with obs.collecting() as registry:
+        TrustedThirdParty(generate_keyring(b"other-seed", 4), scale)
+    assert registry.counters["crypto.mask_cache.invalidations"] == 1
+    assert len(cache) == 0
+
+
 def test_su_churn_over_net_runtime_stays_correct(cache):
     """Join/leave churn across networked rounds: fresh users mask fresh.
 

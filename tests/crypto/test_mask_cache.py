@@ -66,6 +66,37 @@ def test_epoch_transition_clears(cache):
     assert cache.epoch == b"epoch-B"
 
 
+def test_epoch_transition_with_live_keys_is_selective(cache):
+    cache.put(_key(1), (bytes(16),))
+    cache.put(_key(2), (bytes(16),))
+    cache.note_key_epoch(b"epoch-A", [b"k1", b"k2"])
+    # Partial rotation: k1 survives, k2 is retired.
+    with obs.collecting() as registry:
+        assert cache.note_key_epoch(b"epoch-B", [b"k1", b"k3"]) is True
+    assert cache.get(_key(1)) is not None
+    assert cache.get(_key(2)) is None
+    assert registry.counters["crypto.mask_cache.invalidations"] == 1
+
+
+def test_epoch_transition_with_all_keys_live_drops_nothing(cache):
+    cache.put(_key(1), (bytes(16),))
+    cache.note_key_epoch(b"epoch-A", [b"k1"])
+    with obs.collecting() as registry:
+        # New fingerprint but every cached key still live (e.g. only gc,
+        # which never masks, rotated): zero invalidation events.
+        assert cache.note_key_epoch(b"epoch-B", [b"k1"]) is True
+    assert len(cache) == 1
+    assert "crypto.mask_cache.invalidations" not in registry.counters
+
+
+def test_drop_stale_keys_counts_dropped_entries(cache):
+    for n in range(3):
+        cache.put(_key(n), (bytes(16),))
+    assert cache.drop_stale_keys([b"k0"]) == 2
+    assert len(cache) == 1
+    assert cache.drop_stale_keys([b"k0"]) == 0
+
+
 def test_cache_disabled_context_restores(cache):
     assert cache_enabled()
     with cache_disabled():

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.lppa.idpool import IdPool
+from repro.lppa.idpool import EpochIdPool, IdPool, IdPoolExhausted
 
 
 def test_fresh_pool_unique_ids():
@@ -35,3 +35,76 @@ def test_validation():
         IdPool.fresh(10, random.Random(0), id_space=5)
     with pytest.raises(ValueError):
         IdPool(pseudonyms=(1, 1))
+
+
+# -- EpochIdPool: the epoch service's dynamic allocator ----------------------
+
+
+def test_epoch_pool_acquire_is_distinct_and_deterministic():
+    ids = [EpochIdPool(random.Random(7)).acquire() for _ in range(2)]
+    assert ids[0] == ids[1]  # same rng seed -> same draw
+    pool = EpochIdPool(random.Random(7))
+    drawn = [pool.acquire() for _ in range(100)]
+    assert len(set(drawn)) == 100
+    assert pool.in_use == frozenset(drawn)
+
+
+def test_released_id_is_not_reissued_within_the_same_epoch_window():
+    """Regression for the mid-run departure collision: with a tiny id space
+    the freed id is the *only* candidate left, so an allocator that returns
+    released ids straight to the free pool would reissue it immediately —
+    conflating the departed SU with the newcomer."""
+    pool = EpochIdPool(random.Random(0), id_space=3)
+    a, b, c = pool.acquire(), pool.acquire(), pool.acquire()
+    pool.release(b)  # SU departs mid-run
+    assert pool.quarantined == frozenset({b})
+    # The only unheld id is the quarantined one: a same-window join must
+    # fail rather than resurrect the departed SU's pseudonym.
+    with pytest.raises(IdPoolExhausted):
+        pool.acquire()
+    assert pool.in_use == frozenset({a, c})
+
+
+def test_released_id_is_reusable_after_the_epoch_window_rolls():
+    pool = EpochIdPool(random.Random(1), id_space=2)
+    first = pool.acquire()
+    second = pool.acquire()
+    pool.release(first)
+    freed = pool.advance_epoch()
+    assert freed == 1
+    assert pool.epoch == 1
+    assert pool.quarantined == frozenset()
+    # Reuse across epoch windows is fine (the paper's id mixing).
+    assert pool.acquire() == first
+    assert pool.in_use == frozenset({first, second})
+
+
+def test_epoch_pool_release_validation():
+    pool = EpochIdPool(random.Random(2))
+    with pytest.raises(ValueError):
+        pool.release(123)  # never acquired
+    held = pool.acquire()
+    pool.release(held)
+    with pytest.raises(ValueError):
+        pool.release(held)  # double release
+    with pytest.raises(ValueError):
+        EpochIdPool(random.Random(0), id_space=0)
+
+
+def test_epoch_pool_many_epochs_of_churn_never_collide_within_a_window():
+    pool = EpochIdPool(random.Random(3), id_space=64)
+    rng = random.Random(99)
+    live = {}
+    for _ in range(20):  # epochs
+        released_this_window = set()
+        for _ in range(rng.randrange(1, 6)):  # churn events in the window
+            if live and rng.random() < 0.5:
+                key = rng.choice(sorted(live))
+                pool.release(live.pop(key))
+                released_this_window.add(key)
+            else:
+                pseudonym = pool.acquire()
+                assert pseudonym not in pool.quarantined
+                assert pseudonym not in released_this_window
+                live[pseudonym] = pseudonym
+        pool.advance_epoch()

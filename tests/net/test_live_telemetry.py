@@ -21,6 +21,7 @@ from repro.analysis.trace_audit import audit_comm_cost
 from repro.net.client import SUClient
 from repro.net.loadgen import (
     LoadgenConfig,
+    LoadgenReport,
     build_population,
     check_result_equivalence,
     protocol_seed,
@@ -228,3 +229,67 @@ def test_histogram_percentiles_track_exact_sort_within_one_bucket():
     ):
         exact = _percentile(ordered, q)
         assert exact / width <= estimate <= exact * width
+
+
+# --- per-epoch histograms and steady-state percentiles ------------------------
+
+
+def _epoch_report() -> LoadgenReport:
+    report = LoadgenReport(
+        address="test", n_users=2, rounds_completed=3, elapsed_s=1.0
+    )
+    # Epoch 0 is pathologically cold; epochs 1-2 are the steady state.
+    for sample in (5.0, 6.0):
+        report.record_latency(sample, epoch=0)
+    for epoch in (1, 2):
+        for sample in (0.010, 0.012):
+            report.record_latency(sample, epoch=epoch)
+    return report
+
+
+def test_epoch_histograms_slice_the_aggregate():
+    report = _epoch_report()
+    assert set(report.epoch_hists) == {0, 1, 2}
+    assert report.latency_hist.count == 6
+    assert sum(h.count for h in report.epoch_hists.values()) == 6
+    assert report.epoch_quantile(0, 0.5) > 1.0
+    assert report.epoch_quantile(1, 0.5) < 1.0
+    assert report.epoch_quantile(9, 0.5) == 0.0  # no such epoch
+
+
+def test_steady_histogram_excludes_warmup_epochs():
+    report = _epoch_report()
+    steady = report.steady_histogram(1)
+    assert steady.count == 4
+    # The cold epoch dominates the aggregate p99 but not the steady p99.
+    assert report.p99_latency_s > 1.0
+    assert steady.quantile(0.99) < 1.0
+    # Without per-epoch data the permissive fallback is the aggregate.
+    bare = LoadgenReport(
+        address="t", n_users=1, rounds_completed=1, elapsed_s=1.0
+    )
+    bare.record_latency(0.5)
+    assert bare.steady_histogram(1).count == bare.latency_hist.count
+
+
+def test_record_metrics_emits_steady_keys_only_when_asked():
+    report = _epoch_report()
+
+    plain = MetricsRegistry()
+    with obs.collecting(plain):
+        report.record_metrics()
+    assert "net.loadgen.latency" in plain.histograms
+    assert "net.loadgen.steady_latency" not in plain.histograms
+
+    steady = MetricsRegistry()
+    with obs.collecting(steady):
+        report.record_metrics(steady_warmup=1)
+    assert steady.histograms["net.loadgen.steady_latency"].count == 4
+    assert steady.timers["net.loadgen.steady_latency_p99"].seconds < 1.0
+
+
+def test_format_adds_a_steady_line():
+    report = _epoch_report()
+    assert "steady" not in report.format()
+    text = report.format(steady_warmup=1)
+    assert "steady" in text and "epochs >= 1" in text

@@ -1,0 +1,173 @@
+"""MembershipManager: admission, retirement, identities, key epochs."""
+
+import pytest
+
+from repro.crypto.keys import KeyRing, generate_keyring
+from repro.service.membership import (
+    MembershipDelta,
+    MembershipError,
+    MembershipManager,
+    rotate_ring,
+)
+
+MASTER = b"net:1"
+
+
+def _ring() -> KeyRing:
+    return generate_keyring(MASTER, 8)
+
+
+def _manager(population=8, members=range(5), ring=None) -> MembershipManager:
+    return MembershipManager(
+        population,
+        initial_members=members,
+        master_seed=MASTER,
+        base_ring=ring if ring is not None else _ring(),
+    )
+
+
+# -- deltas -------------------------------------------------------------------
+
+
+def test_delta_rejects_duplicates_and_overlap():
+    with pytest.raises(MembershipError):
+        MembershipDelta(joins=(1, 1))
+    with pytest.raises(MembershipError):
+        MembershipDelta(leaves=(2, 2))
+    with pytest.raises(MembershipError):
+        MembershipDelta(joins=(3,), leaves=(3,))
+
+
+def test_empty_delta_is_falsy():
+    assert not MembershipDelta()
+    assert MembershipDelta(joins=(1,))
+
+
+# -- admission ----------------------------------------------------------------
+
+
+def test_check_rejects_inadmissible_churn():
+    manager = _manager()
+    with pytest.raises(MembershipError):
+        manager.check(MembershipDelta(joins=(0,)))  # already a member
+    with pytest.raises(MembershipError):
+        manager.check(MembershipDelta(joins=(8,)))  # outside the population
+    with pytest.raises(MembershipError):
+        manager.check(MembershipDelta(leaves=(7,)))  # not a member
+    with pytest.raises(MembershipError):
+        manager.check(MembershipDelta(leaves=(0, 1, 2, 3, 4)))  # would empty
+
+
+def test_apply_updates_members_and_version():
+    manager = _manager()
+    snapshot = manager.apply(MembershipDelta(joins=(6,), leaves=(1,)))
+    assert snapshot.members == (0, 2, 3, 4, 6)
+    assert snapshot.version == 1
+    assert manager.version == 1
+
+
+def test_empty_delta_keeps_the_version():
+    manager = _manager()
+    before = manager.version
+    manager.apply(MembershipDelta())
+    assert manager.version == before
+
+
+# -- dense wire ids -----------------------------------------------------------
+
+
+def test_wire_ids_are_dense_sorted_logical_order():
+    manager = _manager()
+    manager.apply(MembershipDelta(joins=(7,), leaves=(2,)))
+    snapshot = manager.snapshot()
+    assert snapshot.members == (0, 1, 3, 4, 7)
+    assert snapshot.wire_ids == {0: 0, 1: 1, 3: 2, 4: 3, 7: 4}
+    assert snapshot.wire_roster() == (0, 1, 2, 3, 4)
+    assert [snapshot.logical_for_wire(w) for w in range(5)] == [0, 1, 3, 4, 7]
+
+
+# -- pseudonyms ---------------------------------------------------------------
+
+
+def test_leaver_pseudonym_not_reissued_within_the_epoch_window():
+    manager = _manager()
+    gone = manager.snapshot().pseudonyms[1]
+    manager.apply(MembershipDelta(leaves=(1,)))
+    # Rejoin within the same window: a *different* pseudonym.
+    snapshot = manager.apply(MembershipDelta(joins=(1,)))
+    assert snapshot.pseudonyms[1] != gone
+
+
+def test_pseudonyms_unique_across_members():
+    manager = _manager(population=12, members=range(10))
+    values = list(manager.snapshot().pseudonyms.values())
+    assert len(set(values)) == len(values)
+
+
+# -- key epochs ---------------------------------------------------------------
+
+
+def test_ring_version_zero_is_the_bootstrap_ring():
+    ring = _ring()
+    assert rotate_ring(ring, MASTER, 0) is ring
+
+
+def test_fingerprint_changes_per_version_but_mask_keys_survive():
+    ring = _ring()
+    seen = set()
+    for version in range(4):
+        rotated = rotate_ring(ring, MASTER, version)
+        seen.add(rotated.fingerprint())
+        # gc moves; every *other* live key (the SU masking material) is
+        # untouched, so stationary SUs' mask-cache entries survive churn
+        # via selective invalidation.
+        changed = [
+            old != new
+            for old, new in zip(ring.live_keys(), rotated.live_keys())
+        ]
+        assert sum(changed) == (0 if version == 0 else 1)
+        assert set(ring.live_keys()) - set(rotated.live_keys()) <= {ring.gc}
+        assert rotated.g0 == ring.g0
+    assert len(seen) == 4
+
+
+def test_manager_keyring_tracks_the_version():
+    ring = _ring()
+    manager = _manager(ring=ring)
+    assert manager.keyring() is ring
+    manager.apply(MembershipDelta(leaves=(4,)))
+    assert manager.keyring().fingerprint() != ring.fingerprint()
+    assert manager.keyring().fingerprint() == (
+        rotate_ring(ring, MASTER, 1).fingerprint()
+    )
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_replay_reissues_identical_pseudonyms_and_rings():
+    deltas = [
+        MembershipDelta(joins=(6,), leaves=(0,)),
+        MembershipDelta(),
+        MembershipDelta(joins=(0,), leaves=(3, 4)),
+    ]
+    ring = _ring()
+    runs = []
+    for _ in range(2):
+        manager = _manager(ring=ring)
+        snapshots = []
+        for delta in deltas:
+            snapshots.append(manager.apply(delta))
+            manager.advance_epoch_window()
+        runs.append(
+            [(s.members, s.pseudonyms, s.version) for s in snapshots]
+            + [manager.keyring().fingerprint()]
+        )
+    assert runs[0] == runs[1]
+
+
+def test_retire_builds_a_leave_only_delta():
+    manager = _manager()
+    delta = manager.retire([4, 2, 4])
+    assert delta.joins == ()
+    assert delta.leaves == (2, 4)

@@ -1,0 +1,134 @@
+"""Satellite: an SU that straggles epoch 0 rejoins and wins epoch 1.
+
+The equivalence contract under partial participation: an epoch with a
+straggler is *not* checked (survivor wire ids stay dense only via a
+non-identity remap), but the moment the straggler rejoins and the epoch
+regains full participation, bit-equality against the single-round
+in-process session must hold again — the straggle must leave no residue
+(mask caches, key epochs, pseudonym windows) that skews later epochs.
+"""
+
+import asyncio
+
+from repro.lppa.policies import KeepZeroPolicy
+from repro.lppa.session import run_lppa_auction
+from repro.net.frames import FrameType, pack_json, read_frame, write_frame
+from repro.net.loadgen import (
+    LoadgenConfig,
+    check_result_equivalence,
+    protocol_seed,
+)
+from repro.net.transport import MemoryTransport
+from repro.service.membership import MembershipManager
+from repro.service.scheduler import (
+    EpochConfig,
+    EpochScheduler,
+    service_entropy,
+)
+
+from tests.net.test_faults import _make_client, _make_server
+
+N_USERS = 5
+STRAGGLER = 2
+
+
+def test_straggler_epoch_skipped_then_rejoin_is_bit_identical():
+    config = LoadgenConfig(n_users=N_USERS, n_channels=6, seed=5)
+
+    async def scenario():
+        transport = MemoryTransport()
+        # Short location deadline: epoch 0 proceeds without the silent SU
+        # quickly instead of waiting out the default 10 s.
+        server, grid, users = _make_server(
+            config, transport, location_deadline=0.3
+        )
+        membership = MembershipManager(
+            N_USERS,
+            initial_members=range(N_USERS),
+            master_seed=protocol_seed(config.seed),
+            base_ring=server.keyring,
+        )
+        await server.start()
+
+        clients = [
+            _make_client(server, grid, users, su, transport)
+            for su in range(N_USERS)
+            if su != STRAGGLER
+        ]
+        rejoiner = _make_client(server, grid, users, STRAGGLER, transport)
+        raw_conn = None
+        rejoin_tasks = []
+
+        async def on_membership(epoch, snapshot, ring, delta):
+            nonlocal raw_conn
+            if epoch == 0:
+                # The straggler registers (HELLO/WELCOME) but never
+                # submits: a live connection that sleeps through the
+                # location deadline (the test_faults sleeper idiom).
+                raw_conn = await transport.connect()
+                await write_frame(
+                    raw_conn, FrameType.HELLO, pack_json({"su": STRAGGLER})
+                )
+                await read_frame(raw_conn, strict=True)  # WELCOME
+            elif epoch == 1:
+                # Boundary repair: drop the wedged connection, await its
+                # departure (a fresh HELLO must not race the teardown),
+                # then seat a real client on the same wire id.
+                raw_conn.close()
+                await server.wait_for_roster(
+                    [su for su in range(N_USERS) if su != STRAGGLER],
+                    timeout=5.0,
+                )
+                await rejoiner.connect()
+                rejoin_tasks.append(asyncio.ensure_future(rejoiner.run(1)))
+
+        def check(epoch, snapshot, report):
+            if report.stragglers:
+                return None
+            session = run_lppa_auction(
+                [users[logical] for logical in snapshot.members],
+                grid,
+                two_lambda=config.two_lambda,
+                bmax=config.bmax,
+                seed=protocol_seed(config.seed),
+                policy=KeepZeroPolicy(),
+                entropy=service_entropy(config.seed, epoch),
+            )
+            check_result_equivalence(report.result, session)
+            return True
+
+        scheduler = EpochScheduler(
+            server,
+            membership,
+            EpochConfig(epochs=2, seed=config.seed, roster_timeout=5.0),
+            on_membership=on_membership,
+            check_epoch=check,
+        )
+        fleet = [asyncio.ensure_future(c.run(2)) for c in clients]
+        try:
+            records = await scheduler.run()
+            await asyncio.gather(*fleet, *rejoin_tasks)
+        finally:
+            for client in (*clients, rejoiner):
+                client.close()
+            await server.stop()
+        return records, scheduler.summary()
+
+    records, summary = asyncio.run(scenario())
+
+    epoch0, epoch1 = records
+    # Epoch 0: the sleeper is reported as a straggler by *logical* id and
+    # the equivalence check is skipped, not failed.
+    assert epoch0.straggler_logicals == (STRAGGLER,)
+    assert epoch0.equivalent is None
+    assert epoch0.report.participants == tuple(
+        su for su in range(N_USERS) if su != STRAGGLER
+    )
+    # Epoch 1: full participation restored; `check` raised nothing, so the
+    # networked result is bit-identical to the in-process session.
+    assert epoch1.straggler_logicals == ()
+    assert epoch1.equivalent is True
+    assert STRAGGLER in epoch1.report.participants
+    assert summary["straggler_epochs"] == 1
+    assert summary["equivalence_checked"] == 1
+    assert summary["retired"] == []
