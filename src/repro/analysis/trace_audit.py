@@ -3,13 +3,18 @@
 :mod:`repro.obs.trace` records what the protocol *actually emitted*; this
 module replays those recordings against the claims:
 
-* :func:`audit_comm_cost` — Theorem 4 is exact for the advanced scheme
-  (per user-channel: a ``w + 1``-digest family plus a tail padded to
-  ``2w - 2`` digests), so the masked-bid bytes measured per message must
-  equal :func:`repro.analysis.comm_cost.predicted_bid_bits` *to the bit*.
-  The auditor also re-derives every message's framing from the codec
-  arithmetic, failing loudly on any divergence — if an encoder change
-  shifts a single byte, the audit, not just a unit test, catches it.
+* :func:`audit_comm_cost` — each round is checked against its privacy
+  scheme's exact size model (the round's ``protocol_setup`` meta names the
+  scheme; untagged rounds are PPBS).  For PPBS, Theorem 4 is exact for the
+  advanced scheme (per user-channel: a ``w + 1``-digest family plus a tail
+  padded to ``2w - 2`` digests), so the masked-bid bytes measured per
+  message must equal :func:`repro.analysis.comm_cost.predicted_bid_bits`
+  *to the bit*; for the Bloom scheme the model is the fixed per-channel OPE
+  ciphertext width.  The auditor also re-derives every message's framing
+  from the scheme's codec arithmetic
+  (:meth:`~repro.lppa.schemes.base.PrivacyScheme.expected_framing`),
+  failing loudly on any divergence — if an encoder change shifts a single
+  byte, the audit, not just a unit test, catches it.
 
 * :func:`audit_privacy` — "what could this auctioneer have learned from
   exactly these messages": the auditor filters the trace down to the
@@ -31,7 +36,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
-from repro.analysis.comm_cost import predicted_bid_bits
 from repro.attacks.against_lppa import lppa_bcm_attack
 from repro.geo.database import GeoLocationDatabase
 from repro.obs.trace import adversary_view
@@ -47,17 +51,6 @@ __all__ = [
 ]
 
 Record = Dict[str, Any]
-
-# Framing each message kind carries on top of its payload accounting
-# (see repro.lppa.messages / repro.lppa.codec): tag + four set headers for
-# a location; tag + channel count + per-channel two set headers and a
-# ciphertext length for bids; two set headers + ciphertext length for the
-# masked bid inside a charge request; none for the fixed-size decision.
-_LOCATION_FRAMING = 1 + 4 * 3
-_BID_FRAMING_BASE = 1 + 2
-_BID_FRAMING_PER_CHANNEL = 2 * 3 + 2
-_CHARGE_REQUEST_FRAMING = 2 * 3 + 2
-_CHARGE_DECISION_FRAMING = 0
 
 
 class TraceAuditError(AssertionError):
@@ -139,11 +132,20 @@ def audit_comm_cost(
             "(fastsim traces carry no wire messages; audit a session trace)"
         )
 
+    # Schemes own the framing arithmetic and the bid-material size model;
+    # the import is deferred so repro.analysis stays importable without
+    # dragging the protocol layer in at module-import time.
+    from repro.lppa.schemes.registry import get_scheme
+
     rounds: List[CommRoundAudit] = []
     checked = 0
     for round_idx in sorted(by_round):
         messages = by_round[round_idx]
         setup = setups.get(round_idx)
+        args = (setup.get("args") or {}) if setup is not None else {}
+        # Rounds recorded without a scheme-tagged setup are PPBS (the
+        # default scheme adds no tag, keeping pre-seam traces auditable).
+        scheme = get_scheme(str(args.get("scheme", "ppbs")))
         bid_msgs = [m for m in messages if m["kind"] == "bid_submission"]
         loc_msgs = [m for m in messages if m["kind"] == "location_submission"]
 
@@ -158,18 +160,10 @@ def audit_comm_cost(
                 )
                 continue
             kind = msg["kind"]
-            if kind == "location_submission":
-                expected = payload + _LOCATION_FRAMING
-            elif kind == "bid_submission":
-                expected = (
-                    payload
-                    + _BID_FRAMING_BASE
-                    + _BID_FRAMING_PER_CHANNEL * int(msg.get("n_channels") or 0)
-                )
-            elif kind == "charge_request":
-                expected = payload + _CHARGE_REQUEST_FRAMING
-            else:  # charge_decision
-                expected = payload + _CHARGE_DECISION_FRAMING
+            framing = scheme.expected_framing(kind, msg)
+            if framing is None:
+                continue  # the scheme makes no framing claim for this kind
+            expected = payload + framing
             if wire != expected:
                 errors.append(
                     f"round {round_idx}: {kind} su={msg.get('su')} wire_size "
@@ -184,49 +178,16 @@ def audit_comm_cost(
                 "protocol_setup meta — cannot form the Theorem 4 prediction"
             )
             continue
-        args = setup.get("args") or {}
-        width = int(args["width"])
-        n_channels = int(args["n_channels"])
-        digest_values = {int(m.get("digest_bytes") or 0) for m in bid_msgs}
-        if len(digest_values) != 1:
-            errors.append(
-                f"round {round_idx}: inconsistent digest_bytes across bid "
-                f"submissions: {sorted(digest_values)}"
-            )
+        fields, scheme_errors = scheme.audit_bid_round(round_idx, bid_msgs, args)
+        errors.extend(scheme_errors)
+        if fields is None:
             continue
-        digest_bytes = digest_values.pop()
-        measured_bits = sum(int(m.get("masked_set_bytes") or 0) for m in bid_msgs) * 8
-        predicted = predicted_bid_bits(len(bid_msgs), n_channels, width, digest_bytes)
-
-        # Per-message exactness first: every submission is deterministically
-        # padded to (3w - 1) digests per channel, so each must match alone.
-        per_user = predicted / len(bid_msgs)
-        for msg in bid_msgs:
-            got = int(msg.get("masked_set_bytes") or 0) * 8
-            if got != per_user:
-                errors.append(
-                    f"round {round_idx}: su={msg.get('su')} masked material "
-                    f"{got} bits != Theorem 4 per-user {per_user} bits"
-                )
-        if measured_bits != predicted:
-            errors.append(
-                f"round {round_idx}: measured masked bits {measured_bits} != "
-                f"Theorem 4 prediction {predicted} "
-                f"(N={len(bid_msgs)}, k={n_channels}, w={width}, "
-                f"digest_bytes={digest_bytes})"
-            )
-
         rounds.append(
             CommRoundAudit(
                 round=round_idx,
-                n_users=len(bid_msgs),
-                n_channels=n_channels,
-                width=width,
-                digest_bytes=digest_bytes,
-                predicted_bits=predicted,
-                measured_masked_bits=measured_bits,
                 location_bytes=sum(int(m.get("payload_bytes") or 0) for m in loc_msgs),
                 total_wire_bytes=sum(int(m.get("wire_size") or 0) for m in messages),
+                **fields,
             )
         )
 

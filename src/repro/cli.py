@@ -72,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the masked-prefix digest cache (also $REPRO_MASK_CACHE=0); "
         "results are identical either way, only the HMAC work repeats",
     )
+    parser.add_argument(
+        "--scheme",
+        default=None,
+        metavar="NAME",
+        help="privacy scheme for protocol runs (default: $REPRO_SCHEME or "
+        "ppbs); `repro compare` lists the registered names",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_workers_flag(command_parser) -> None:
@@ -293,6 +300,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="use uvloop if installed (falls back to asyncio with a warning)",
     )
     add_metrics_flag(loadgen)
+
+    compare = sub.add_parser(
+        "compare",
+        help="run every privacy scheme on identical seeds and write "
+        "BENCH_schemes.json (wire bytes, crypto ops, latency, BCM/BPM)",
+    )
+    compare.add_argument(
+        "--schemes", default="ppbs,bloom", metavar="A,B,...",
+        help="comma-separated scheme names to run (default: ppbs,bloom)",
+    )
+    compare.add_argument("--users", type=int, default=8)
+    compare.add_argument("--channels", type=int, default=6)
+    compare.add_argument("--rounds", type=int, default=2)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--area", type=int, default=4, choices=(1, 2, 3, 4))
+    compare.add_argument(
+        "--grid", type=int, default=20, metavar="N",
+        help="use an NxN cell lattice (cell size scales to keep 75 km)",
+    )
+    compare.add_argument(
+        "--out", default="BENCH_schemes.json", metavar="PATH",
+        help="artifact output path (a directory gets BENCH_schemes.json)",
+    )
+    compare.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare the deterministic columns against this committed "
+        "BENCH_schemes.json; exit 1 on any divergence",
+    )
+    compare.add_argument(
+        "--no-equivalence", action="store_true",
+        help="skip the per-round bit-identity check against the in-process "
+        "session (faster; the default checks every round)",
+    )
 
     epochs = sub.add_parser(
         "epochs",
@@ -1164,6 +1204,7 @@ def _cmd_serve(args) -> int:
         bid_deadline=args.bid_deadline,
         metrics_port=args.metrics_port,
         metrics_host=args.metrics_host,
+        scheme=_resolved_scheme(),
     )
 
     # A scrape endpoint with no registry collecting would serve an empty
@@ -1298,6 +1339,64 @@ async def _serve_epochs(args, server) -> int:
     return 0
 
 
+def _resolved_scheme() -> str:
+    """The active scheme name (set by ``--scheme`` / ``$REPRO_SCHEME``)."""
+    from repro.lppa.schemes.registry import resolve_scheme
+
+    return resolve_scheme(None).name
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.compare import (
+        CompareConfig,
+        format_compare_table,
+        run_compare,
+        write_compare_artifact,
+    )
+    from repro.net.loadgen import EquivalenceFailure
+
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    try:
+        config = CompareConfig(
+            schemes=schemes,
+            n_users=args.users,
+            n_channels=args.channels,
+            rounds=args.rounds,
+            seed=args.seed,
+            area=args.area,
+            grid_n=args.grid,
+            check_equivalence=not args.no_equivalence,
+        )
+        measurements = run_compare(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except EquivalenceFailure as exc:
+        print(f"equivalence FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(format_compare_table(measurements))
+    try:
+        written, baseline_errors = write_compare_artifact(
+            args.out, measurements, config, baseline_path=args.baseline
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"artifact written to {written} (validated)")
+    if args.baseline is not None:
+        if baseline_errors:
+            print(
+                f"baseline check FAILED against {args.baseline} "
+                f"({len(baseline_errors)} divergences):",
+                file=sys.stderr,
+            )
+            for error in baseline_errors:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        print(f"baseline check OK against {args.baseline}")
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
 
@@ -1323,6 +1422,7 @@ def _cmd_loadgen(args) -> int:
         ttp_capacity=args.ttp_capacity,
         raw_latencies=args.raw_latencies,
         entropy_scheme=args.entropy,
+        scheme=_resolved_scheme(),
     )
     try:
         report = asyncio.run(run_loadgen(config))
@@ -1503,6 +1603,7 @@ _COMMANDS: Dict[str, Callable[[Any], int]] = {
     "demo": _cmd_demo,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "compare": _cmd_compare,
     "scale": _cmd_scale,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
@@ -1522,6 +1623,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.crypto.cache import set_cache_enabled
 
         set_cache_enabled(False)
+    if args.scheme is not None:
+        from repro.lppa.schemes.registry import set_active_scheme
+
+        try:
+            set_active_scheme(args.scheme)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     handler = _COMMANDS[args.command]
     if args.command in _METRICS_COMMANDS and getattr(args, "trace", None):
         handler = functools.partial(_run_with_trace, handler)

@@ -16,8 +16,7 @@ identical masked values, which is what the differential-equivalence tests
 This module is deliberately leaf-level: it imports only
 :mod:`repro.utils.rng`, so the round core, the wrappers and the network
 client can all depend on it without cycles.  (It originally lived in
-:mod:`repro.lppa.fastsim`, which still re-exports :func:`derive_round_rngs`
-with a :class:`DeprecationWarning`.)
+:mod:`repro.lppa.fastsim`; that deprecated re-export has been removed.)
 """
 
 from __future__ import annotations

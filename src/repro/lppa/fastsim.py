@@ -19,16 +19,14 @@ protocol latency, TTP verification) uses the full path in
 (:mod:`repro.lppa.round`) with the plain (integer) value backend; the
 :class:`~repro.lppa.round.tables.IntegerMaskedTable` and
 :class:`~repro.lppa.round.results.FastLppaResult` it historically defined
-are re-exported from their new homes, and ``derive_round_rngs`` — now in
-:mod:`repro.lppa.entropy` — is re-exported with a
-:class:`DeprecationWarning`.
+are re-exported from their new homes.  (``derive_round_rngs`` lives in
+:mod:`repro.lppa.entropy`; the deprecated re-export from here is gone.)
 """
 
 from __future__ import annotations
 
 import random
-import warnings
-from typing import Any, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.obs import trace
 from repro.auction.bidders import SecondaryUser
@@ -50,24 +48,7 @@ __all__ = [
     "IntegerMaskedTable",
     "FastLppaResult",
     "run_fast_lppa",
-    "derive_round_rngs",
 ]
-
-
-def __getattr__(name: str) -> Any:
-    # ``derive_round_rngs`` moved to repro.lppa.entropy so the round core,
-    # the wrappers and the network client can share it without cycles.
-    # Importing it from here keeps working but warns.
-    if name == "derive_round_rngs":
-        warnings.warn(
-            "repro.lppa.fastsim.derive_round_rngs moved to "
-            "repro.lppa.entropy.derive_round_rngs; this re-export will be "
-            "removed in a future release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _entropy.derive_round_rngs
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_fast_lppa(
@@ -84,6 +65,7 @@ def run_fast_lppa(
     revalidate: bool = False,
     pricing: str = "first",
     shards: Optional[int] = None,
+    scheme: Optional[str] = None,
 ) -> FastLppaResult:
     """One LPPA round at integer level: disguise/expand, allocate, charge.
 
@@ -114,7 +96,16 @@ def run_fast_lppa(
     prefilter and — with per-channel rankings — fans out over worker
     processes, bit-identically to the default path (see
     :mod:`repro.lppa.round.sharding`).
+
+    ``scheme`` resolves exactly as in :func:`repro.lppa.session.run_lppa_auction`
+    (argument, else active scheme, else ``$REPRO_SCHEME``, else ``ppbs``) and
+    is validated here; the *result* is scheme-independent by construction —
+    every registered scheme shares the integer value pipeline this simulator
+    executes, which is what the per-scheme differential suites pin.
     """
+    from repro.lppa.schemes.registry import resolve_scheme
+
+    resolve_scheme(scheme)  # validate the name; the value pipeline is shared
     if pricing not in ("first", "second"):
         raise ValueError('pricing must be "first" or "second"')
     if pricing == "second" and revalidate:

@@ -23,7 +23,7 @@ Two size accountings coexist deliberately:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.prefix.membership import MaskedSet
 
@@ -71,6 +71,15 @@ class LocationSubmission:
     def wire_size(self) -> int:
         """Exact codec output size: payload plus tag and four set headers."""
         return self.wire_bytes() + TAG_BYTES + 4 * SET_HEADER_BYTES
+
+    def trace_fields(self) -> Dict[str, int]:
+        """The per-message fields the flight recorder logs (scheme seam)."""
+        return {
+            "su": self.user_id,
+            "payload_bytes": self.wire_bytes(),
+            "wire_size": self.wire_size(),
+            "digest_bytes": self.x_family.digest_bytes,
+        }
 
 
 @dataclass(frozen=True)
@@ -137,3 +146,14 @@ class BidSubmission:
         return sum(
             mb.family.wire_bytes() + mb.tail.wire_bytes() for mb in self.channel_bids
         )
+
+    def trace_fields(self) -> Dict[str, int]:
+        """The per-message fields the flight recorder logs (scheme seam)."""
+        return {
+            "su": self.user_id,
+            "payload_bytes": self.wire_bytes(),
+            "wire_size": self.wire_size(),
+            "masked_set_bytes": self.masked_set_bytes(),
+            "n_channels": self.n_channels,
+            "digest_bytes": self.channel_bids[0].family.digest_bytes,
+        }

@@ -87,14 +87,10 @@ async def _run_location_submission(state: RoundState) -> None:
     await _maybe(state.driver.collect_locations(state))
     tr = state.tr
     if tr is not None and state.location_subs is not None:
+        # Field set and order are scheme-specific: every submission type
+        # supplies its own trace_fields() (the scheme seam).
         for sub in state.location_subs:
-            tr.message(
-                "location_submission",
-                su=sub.user_id,
-                payload_bytes=sub.wire_bytes(),
-                wire_size=sub.wire_size(),
-                digest_bytes=sub.x_family.digest_bytes,
-            )
+            tr.message("location_submission", **sub.trace_fields())
     state.backend.ingest_locations(state)
     obs.count(
         "lppa.location_submissions",
@@ -118,15 +114,7 @@ async def _run_bid_submission(state: RoundState) -> None:
     tr = state.tr
     if tr is not None and state.bid_subs is not None:
         for sub in state.bid_subs:
-            tr.message(
-                "bid_submission",
-                su=sub.user_id,
-                payload_bytes=sub.wire_bytes(),
-                wire_size=sub.wire_size(),
-                masked_set_bytes=sub.masked_set_bytes(),
-                n_channels=sub.n_channels,
-                digest_bytes=sub.channel_bids[0].family.digest_bytes,
-            )
+            tr.message("bid_submission", **sub.trace_fields())
     state.backend.ingest_bids(state)
     obs.count("lppa.bid_submissions", state.submission_count())
     if state.bid_bytes is not None:

@@ -27,7 +27,6 @@ from repro.auction.outcome import AuctionOutcome, WinRecord
 from repro.geo.grid import GridSpec
 from repro.lppa.auctioneer import Auctioneer
 from repro.lppa.bids_advanced import BidScale, SubmissionDisclosure
-from repro.lppa.messages import BidSubmission, LocationSubmission
 from repro.lppa.policies import ZeroDisguisePolicy
 from repro.lppa.ttp import TrustedThirdParty
 from repro.obs.trace import TraceRecorder
@@ -77,8 +76,11 @@ class RoundState:
 
     # -- flow state, written by the phase steps -----------------------------
     auctioneer: Optional[Auctioneer] = None
-    location_subs: Optional[List[LocationSubmission]] = None
-    bid_subs: Optional[List[BidSubmission]] = None
+    #: Scheme-specific submission objects (PPBS LocationSubmission /
+    #: BidSubmission, Bloom BloomLocationSubmission / OpeBidSubmission, ...);
+    #: all expose user_id, wire_bytes(), wire_size() and trace_fields().
+    location_subs: Optional[List[Any]] = None
+    bid_subs: Optional[List[Any]] = None
     disclosures: List[SubmissionDisclosure] = field(default_factory=list)
     conflict: Optional[ConflictGraph] = None
     table: Optional[Any] = None

@@ -28,13 +28,13 @@ from repro.geo.grid import GridSpec
 from repro.lppa.entropy import derive_round_rngs
 from repro.lppa.policies import KeepZeroPolicy, ZeroDisguisePolicy
 from repro.lppa.round import (
-    CRYPTO_BACKEND,
     IN_PROCESS_DRIVER,
     LppaResult,
     RoundState,
     execute_round,
 )
 from repro.lppa.round.sharding import resolve_shards
+from repro.lppa.schemes.registry import resolve_scheme
 from repro.utils.rng import Seed, fresh_rng
 
 __all__ = ["LppaResult", "run_lppa_auction"]
@@ -53,6 +53,7 @@ def run_lppa_auction(
     rng: Optional[random.Random] = None,
     entropy: Optional[Seed] = None,
     shards: Optional[int] = None,
+    scheme: Optional[str] = None,
 ) -> LppaResult:
     """One complete private auction round.
 
@@ -89,6 +90,11 @@ def run_lppa_auction(
         sharded executors of :mod:`repro.lppa.round.sharding` — serially
         in-process at 1, over that many worker processes at >= 2.  Results
         are bit-identical to the default path at any shard count.
+    scheme:
+        Privacy scheme name (argument, else the CLI-set active scheme, else
+        ``$REPRO_SCHEME``, else ``ppbs``).  ``ppbs`` runs the paper's
+        protocol bit-identically to the historical code path; ``bloom``
+        runs Bloom-filter locations + OPE bids end to end.
     """
     if not users:
         raise ValueError("need at least one user")
@@ -106,7 +112,7 @@ def run_lppa_auction(
         policy = KeepZeroPolicy()
 
     state = RoundState(
-        backend=CRYPTO_BACKEND,
+        backend=resolve_scheme(scheme).backend,
         driver=IN_PROCESS_DRIVER,
         n_users=len(users),
         n_channels=n_channels,

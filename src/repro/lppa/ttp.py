@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro import obs
 from repro.obs import trace
@@ -30,7 +30,7 @@ from repro.crypto.cache import note_key_epoch
 from repro.crypto.keys import KeyRing, generate_keyring
 from repro.lppa.bids_advanced import BidScale
 from repro.lppa.bids_basic import decrypt_bid_value
-from repro.lppa.messages import MaskedBid
+from repro.lppa.bids_ope import OpeBid, ope_encoder_for
 from repro.prefix.membership import mask_value
 
 __all__ = ["ChargeStatus", "ChargeDecision", "TrustedThirdParty"]
@@ -103,8 +103,13 @@ class TrustedThirdParty:
     def scale(self) -> BidScale:
         return self._scale
 
-    def process_charge(self, channel: int, masked_bid: MaskedBid) -> ChargeDecision:
-        """Decrypt, de-expand, classify and (for valid bids) verify one winner."""
+    def process_charge(self, channel: int, masked_bid: Any) -> ChargeDecision:
+        """Decrypt, de-expand, classify and (for valid bids) verify one winner.
+
+        ``masked_bid`` is either a PPBS :class:`~repro.lppa.messages.MaskedBid`
+        or a Bloom-scheme :class:`~repro.lppa.bids_ope.OpeBid`; both carry the
+        ``gc`` ciphertext and the wire-size accounting this method records.
+        """
         obs.count("ttp.charges")
         tr = trace.get_active()
         if tr is not None:
@@ -129,7 +134,9 @@ class TrustedThirdParty:
             )
         return decision
 
-    def _decide(self, channel: int, masked_bid: MaskedBid) -> ChargeDecision:
+    def _decide(self, channel: int, masked_bid: Any) -> ChargeDecision:
+        if isinstance(masked_bid, OpeBid):
+            return self._decide_ope(channel, masked_bid)
         expanded = decrypt_bid_value(self._keyring.gc, masked_bid.ciphertext)
         if expanded > self._scale.emax:
             return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)
@@ -150,8 +157,29 @@ class TrustedThirdParty:
             status=ChargeStatus.VALID, charge=offset_value - self._scale.rd
         )
 
+    def _decide_ope(self, channel: int, ope_bid: OpeBid) -> ChargeDecision:
+        """Bloom-scheme charging: same classification, OPE-based verification.
+
+        Consistency check: re-encrypt the decrypted expanded value under the
+        channel's OPE key and compare with the value the auctioneer ranked —
+        a mismatch means the bidder sealed one price to the auctioneer and
+        another to us.
+        """
+        expanded = decrypt_bid_value(self._keyring.gc, ope_bid.ciphertext)
+        if expanded > self._scale.emax:
+            return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)
+        offset_value = self._scale.contract(expanded)
+        if self._scale.is_zero_marker(offset_value):
+            return ChargeDecision(status=ChargeStatus.INVALID_ZERO, charge=0)
+        encoder = ope_encoder_for(self._keyring.channel_key(channel), self._scale)
+        if encoder.encrypt(expanded) != ope_bid.ope_value:
+            return ChargeDecision(status=ChargeStatus.CHEATING, charge=0)
+        return ChargeDecision(
+            status=ChargeStatus.VALID, charge=offset_value - self._scale.rd
+        )
+
     def process_batch(
-        self, requests: Sequence[Tuple[int, MaskedBid]]
+        self, requests: Sequence[Tuple[int, Any]]
     ) -> List[ChargeDecision]:
         """Batched charging: one TTP online period serves many winners."""
         obs.count("ttp.batches")

@@ -32,10 +32,10 @@ from repro.obs.trace import correlation_key
 from repro.auction.bidders import SecondaryUser
 from repro.crypto.keys import KeyRing
 from repro.geo.grid import GridSpec
-from repro.lppa.bids_advanced import BidScale, submit_bids_advanced
-from repro.lppa.codec import encode_bids, encode_location
-from repro.lppa.location import submit_location
+from repro.lppa.bids_advanced import BidScale
 from repro.lppa.policies import KeepZeroPolicy, ZeroDisguisePolicy
+from repro.lppa.schemes.base import PrivacyScheme
+from repro.lppa.schemes.registry import DEFAULT_SCHEME, get_scheme
 from repro.net.frames import (
     FRAME_HEADER_BYTES,
     FrameType,
@@ -140,6 +140,9 @@ class SUClient:
         self._conn: Optional[Connection] = None
         self._announcement: Optional[Dict[str, Any]] = None
         self._session_key: Optional[str] = None
+        # Resolved from the WELCOME announcement at connect time: the server
+        # names its scheme there (absence means the default, PPBS).
+        self._scheme: PrivacyScheme = get_scheme(DEFAULT_SCHEME)
         self.bytes_sent = 0
         self.bytes_received = 0
         self.connect_attempts = 0
@@ -161,6 +164,11 @@ class SUClient:
     def announcement(self) -> Optional[Dict[str, Any]]:
         """The WELCOME document, once connected."""
         return self._announcement
+
+    @property
+    def scheme(self) -> PrivacyScheme:
+        """The privacy scheme announced by the server (PPBS until connected)."""
+        return self._scheme
 
     @property
     def session_key(self) -> Optional[str]:
@@ -203,6 +211,9 @@ class SUClient:
                     )
                 self._conn = conn
                 self._announcement = unpack_json(payload)
+                self._scheme = get_scheme(
+                    str(self._announcement.get("scheme", DEFAULT_SCHEME))
+                )
                 # Same bytes, same hash: the server derived this key from
                 # the identical announcement document before sending it.
                 self._session_key = correlation_key(self._announcement)
@@ -250,23 +261,25 @@ class SUClient:
         # randomness is a function of (round entropy, this SU's id) only.
         rng = bidder_rng(entropy, self._su_id)
 
-        location = submit_location(
-            self._su_id, self._user.cell, self._keyring.g0,
+        location = self._scheme.make_location(
+            self._su_id, self._user.cell, self._keyring,
             self._grid, self._two_lambda,
         )
         t_sent = monotonic()
-        await self._write(conn, FrameType.LOCATION, encode_location(location))
+        await self._write(
+            conn, FrameType.LOCATION, self._scheme.encode_location(location)
+        )
 
         ftype, payload = await self._read(conn)
         obs.observe("net.client.frame_rtt", monotonic() - t_sent)
         if ftype is not FrameType.BID_REQUEST:
             self._unexpected(ftype, payload, expected="BID_REQUEST")
-        bids, _disclosure = submit_bids_advanced(
+        bids, _disclosure = self._scheme.make_bids(
             self._su_id, self._user.bids, self._keyring, self._scale, rng,
             policy=self._policy,
         )
         t_sent = monotonic()
-        await self._write(conn, FrameType.BIDS, encode_bids(bids))
+        await self._write(conn, FrameType.BIDS, self._scheme.encode_bids(bids))
 
         ftype, payload = await self._read(conn)
         obs.observe("net.client.frame_rtt", monotonic() - t_sent)

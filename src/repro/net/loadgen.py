@@ -79,6 +79,9 @@ class LoadgenConfig:
     two_lambda: int = 6
     bmax: int = 127
     replace: float = 0.0
+    #: Privacy scheme the self-hosted server announces; clients pick it up
+    #: from the WELCOME frame, so connect mode ignores this field.
+    scheme: str = "ppbs"
     transport: str = "memory"  # "memory" | "tcp"
     host: str = "127.0.0.1"
     port: int = 0
@@ -319,6 +322,7 @@ def _session_result(
     users: Sequence[SecondaryUser],
     grid: GridSpec,
     round_index: int,
+    scheme: Optional[str] = None,
 ) -> LppaResult:
     return run_lppa_auction(
         users,
@@ -328,6 +332,7 @@ def _session_result(
         seed=protocol_seed(config.seed),
         policy=_policy(config),
         entropy=_entropy(config, round_index),
+        scheme=config.scheme if scheme is None else scheme,
     )
 
 
@@ -424,6 +429,7 @@ async def _run_self_hosted(
         seed=protocol_seed(config.seed),
         location_deadline=config.location_deadline,
         bid_deadline=config.bid_deadline,
+        scheme=config.scheme,
     )
     ttp_service: Optional[TtpService] = None
     if config.ttp_period is not None:
@@ -539,7 +545,12 @@ async def _run_connect(
             }
         )
         if config.check_equivalence:
-            session = _session_result(config, users, grid, round_index)
+            # The reference session must run the scheme the server announced
+            # in its WELCOME frame, not whatever this process defaults to.
+            session = _session_result(
+                config, users, grid, round_index,
+                scheme=clients[0].scheme.name,
+            )
             _check_wire_summary(doc, session, round_index)
             report.equivalence_checked += 1
     return report

@@ -64,7 +64,7 @@ import contextlib
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.obs import trace
@@ -73,17 +73,16 @@ from repro.obs.live import MetricsHttpServer
 from repro.obs.trace import correlation_key
 from repro.geo.grid import GridSpec
 from repro.lppa.bids_advanced import BidScale
-from repro.lppa.codec import CodecError, decode_bids, decode_location
+from repro.lppa.codec import CodecError
 from repro.lppa.entropy import alloc_rng
-from repro.lppa.messages import BidSubmission, LocationSubmission
 from repro.lppa.round import (
-    CRYPTO_BACKEND,
     LppaResult,
     PhaseStep,
     RoundDriver,
     RoundState,
     execute_round_async,
 )
+from repro.lppa.schemes.registry import get_scheme
 from repro.lppa.ttp import TrustedThirdParty
 from repro.net.frames import (
     FRAME_HEADER_BYTES,
@@ -161,6 +160,9 @@ class ServerConfig:
     seed: bytes = b"lppa-session"
     rd: int = 4
     cr: int = 8
+    #: Privacy scheme name; non-default schemes tag the WELCOME announcement
+    #: so clients encode/decode with the matching codecs.
+    scheme: str = "ppbs"
     location_deadline: float = 5.0
     bid_deadline: float = 5.0
     join_deadline: float = 10.0
@@ -221,6 +223,7 @@ class AuctioneerServer:
     ) -> None:
         self._config = config
         self._transport = transport
+        self._scheme = get_scheme(config.scheme)
         ttp, keyring, scale = TrustedThirdParty.setup(
             config.seed,
             config.n_channels,
@@ -244,8 +247,8 @@ class AuctioneerServer:
         self._phase = RoundPhase.IDLE
         self._round = -1
         self._expected: Set[int] = set()
-        self._locations: Dict[int, LocationSubmission] = {}
-        self._bids: Dict[int, BidSubmission] = {}
+        self._locations: Dict[int, Any] = {}
+        self._bids: Dict[int, Any] = {}
         self._phase_done = asyncio.Event()
         self.wire = WireStats()
         # Both ends of every connection derive this from the WELCOME
@@ -268,6 +271,11 @@ class AuctioneerServer:
     @property
     def scale(self) -> BidScale:
         return self._scale
+
+    @property
+    def scheme(self):
+        """The privacy scheme this server runs (from ``config.scheme``)."""
+        return self._scheme
 
     @property
     def ttp_service(self) -> TtpService:
@@ -449,7 +457,13 @@ class AuctioneerServer:
             conn.close()
 
     def _announcement(self) -> Dict[str, object]:
-        """The public auction announcement (what WELCOME carries)."""
+        """The public auction announcement (what WELCOME carries).
+
+        The default scheme contributes no extra key, keeping the default
+        announcement — and the correlation key derived from it — identical
+        to the pre-scheme protocol; other schemes add ``"scheme"`` so the
+        client selects the matching codecs.
+        """
         cfg = self._config
         return {
             "n_users": cfg.n_users,
@@ -458,6 +472,7 @@ class AuctioneerServer:
             "two_lambda": cfg.two_lambda,
             "grid_rows": cfg.grid.rows,
             "grid_cols": cfg.grid.cols,
+            **self._scheme.announcement_fields(),
         }
 
     async def _read(self, conn: Connection) -> Tuple[FrameType, bytes]:
@@ -521,11 +536,12 @@ class AuctioneerServer:
             )
             return
         # Malformed payloads raise CodecError and are handled (error frame +
-        # connection close) by the connection handler.
+        # connection close) by the connection handler.  The scheme's strict
+        # decoders also reject another scheme's payloads (distinct tags).
         if kind == "location":
-            sub: object = decode_location(payload)
+            sub: object = self._scheme.decode_location(payload)
         else:
-            sub = decode_bids(payload)
+            sub = self._scheme.decode_bids(payload)
         if sub.user_id != state.su:  # type: ignore[attr-defined]
             await self._send_error(
                 state, ERR_WRONG_USER,
@@ -589,7 +605,7 @@ class AuctioneerServer:
         tr = trace.get_active()
         driver = _NetRoundDriver(self, round_index, entropy, roster)
         state = RoundState(
-            backend=CRYPTO_BACKEND,
+            backend=self._scheme.backend,
             driver=driver,
             n_users=len(roster),
             n_channels=cfg.n_channels,
@@ -633,7 +649,7 @@ class AuctioneerServer:
             latency_s=latency,
         )
 
-    def _dense_locations(self, sus: Sequence[int]) -> List[LocationSubmission]:
+    def _dense_locations(self, sus: Sequence[int]) -> List[Any]:
         return [
             dataclasses.replace(self._locations[su], user_id=i)
             for i, su in enumerate(sus)

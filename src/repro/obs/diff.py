@@ -20,8 +20,12 @@ and classifies every shared metric:
 * **gauges** — compared directly (``gauge``); occupancy and backlog
   levels are deterministic for a fixed workload.
 
-Keys present on only one side are reported as added/removed, never as
-regressions — new instrumentation must not fail CI retroactively.
+Keys present on only one side are reported as added/removed — each named
+with its kind (``counter:lppa.rounds``), never as regressions: new
+instrumentation must not fail CI retroactively.  The one-sided check is
+per kind, so a key that *moved* kinds (say a counter re-recorded as a
+gauge) shows up as removed from one list and added to the other instead of
+silently disappearing from the comparison.
 
 The CLI front-end is ``python -m repro metrics diff`` (warn-only in CI to
 start, per the rollout plan; drop ``--warn-only`` to make it gating).
@@ -119,14 +123,14 @@ class DiffReport:
         if self.improvements:
             lines.append("improvements:")
             lines.extend(f"  {d.describe()}" for d in self.improvements)
+        # Name every one-sided key: a truncated or empty list here is how
+        # a renamed metric slips past CI unnoticed.
         if self.added:
             lines.append(f"only in current ({len(self.added)}): "
-                         + ", ".join(sorted(self.added)[:8])
-                         + ("..." if len(self.added) > 8 else ""))
+                         + ", ".join(sorted(self.added)))
         if self.removed:
             lines.append(f"only in baseline ({len(self.removed)}): "
-                         + ", ".join(sorted(self.removed)[:8])
-                         + ("..." if len(self.removed) > 8 else ""))
+                         + ", ".join(sorted(self.removed)))
         if not self.regressions:
             lines.append("no regressions beyond the threshold")
         return "\n".join(lines)
@@ -217,10 +221,20 @@ def diff_artifacts(
             ),
         )
 
-    base_keys = base_counters.keys() | base_timers.keys() | base_hists.keys() | base_gauges.keys()
-    cur_keys = cur_counters.keys() | cur_timers.keys() | cur_hists.keys() | cur_gauges.keys()
-    report.added = sorted(cur_keys - base_keys)
-    report.removed = sorted(base_keys - cur_keys)
+    # One-sided keys, per kind: comparing the unions across kinds would let
+    # a key recorded as a counter in one artifact and a gauge in the other
+    # vanish from the report entirely (on both sides of the union, so
+    # neither added nor removed — yet never compared either).
+    for kind, base_keys, cur_keys in (
+        ("counter", base_counters.keys(), cur_counters.keys()),
+        ("timer", base_timers.keys(), cur_timers.keys()),
+        ("histogram", base_hists.keys(), cur_hists.keys()),
+        ("gauge", base_gauges.keys(), cur_gauges.keys()),
+    ):
+        report.added.extend(f"{kind}:{key}" for key in sorted(cur_keys - base_keys))
+        report.removed.extend(f"{kind}:{key}" for key in sorted(base_keys - cur_keys))
+    report.added.sort()
+    report.removed.sort()
     return report
 
 

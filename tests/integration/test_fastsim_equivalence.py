@@ -2,7 +2,7 @@
 
 ``run_fast_lppa`` skips HMAC masking and encryption but executes the same
 value pipeline.  Under the shared ``entropy`` seeding contract
-(:func:`repro.lppa.fastsim.derive_round_rngs`) both paths give user ``i``
+(:func:`repro.lppa.entropy.derive_round_rngs`) both paths give user ``i``
 its own labelled RNG stream whose *first* consumer is
 ``disguise_and_expand``, so they commit to identical masked values — and
 therefore must agree on everything downstream: conflict graph, per-channel
@@ -17,7 +17,8 @@ on it is suspect.
 import pytest
 
 from repro.auction.bidders import generate_users
-from repro.lppa.fastsim import derive_round_rngs, run_fast_lppa
+from repro.lppa.entropy import derive_round_rngs
+from repro.lppa.fastsim import run_fast_lppa
 from repro.lppa.policies import KeepZeroPolicy, UniformReplacePolicy
 from repro.lppa.session import run_lppa_auction
 from repro.utils.rng import spawn_rng

@@ -1,6 +1,4 @@
-"""The entropy module: one seeding contract, plus the deprecation shim."""
-
-import warnings
+"""The entropy module: one seeding contract."""
 
 import pytest
 
@@ -32,23 +30,10 @@ def test_alloc_stream_differs_from_bidder_streams():
     assert alloc_rng("round-1").random() != bidder_rng("round-1", 0).random()
 
 
-def test_old_fastsim_import_path_still_works_but_warns():
-    import repro.lppa.fastsim as fastsim
-
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        legacy = fastsim.derive_round_rngs
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert legacy is derive_round_rngs
-    # The legacy name keeps producing the exact streams (same function).
-    user_rngs, alloc = legacy("compat", 2)
-    expect_users, expect_alloc = derive_round_rngs("compat", 2)
-    assert [r.random() for r in user_rngs] == [r.random() for r in expect_users]
-    assert alloc.random() == expect_alloc.random()
-
-
-def test_fastsim_unknown_attribute_raises():
+def test_fastsim_no_longer_re_exports_derive_round_rngs():
+    """The deprecation shim is gone: the one home is repro.lppa.entropy."""
     import repro.lppa.fastsim as fastsim
 
     with pytest.raises(AttributeError):
-        fastsim.no_such_name
+        fastsim.derive_round_rngs
+    assert "derive_round_rngs" not in fastsim.__all__

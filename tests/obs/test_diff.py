@@ -58,8 +58,42 @@ def test_added_and_removed_keys_never_regress():
         _artifact("cur", extra="only.in.current"),
     )
     assert not report.has_regressions
-    assert report.added == ["only.in.current"]
-    assert report.removed == ["only.in.base"]
+    assert report.added == ["counter:only.in.current"]
+    assert report.removed == ["counter:only.in.base"]
+
+
+def test_one_sided_keys_are_all_named_in_the_output():
+    """No truncation: every added/removed key appears verbatim."""
+    registry_base = MetricsRegistry()
+    registry_cur = MetricsRegistry()
+    registry_base.count("shared", 1)
+    registry_cur.count("shared", 1)
+    for i in range(12):
+        registry_cur.count(f"new.key{i:02d}")
+    report = diff_artifacts(
+        build_artifact("base", registry_base), build_artifact("cur", registry_cur)
+    )
+    text = report.format()
+    for i in range(12):
+        assert f"new.key{i:02d}" in text
+    assert "only in current (12)" in text
+
+
+def test_key_that_changed_kind_is_named_not_silently_skipped():
+    """A counter re-recorded as a gauge is one-sided *per kind*: it must be
+    named in both lists, not vanish from the union comparison."""
+    registry_base = MetricsRegistry()
+    registry_base.count("occupancy", 3)
+    registry_cur = MetricsRegistry()
+    registry_cur.set_gauge("occupancy", 3.0)
+    report = diff_artifacts(
+        build_artifact("base", registry_base), build_artifact("cur", registry_cur)
+    )
+    assert not report.has_regressions
+    assert "gauge:occupancy" in report.added
+    assert "counter:occupancy" in report.removed
+    text = report.format()
+    assert "gauge:occupancy" in text and "counter:occupancy" in text
 
 
 def test_sub_noise_floor_timers_are_skipped():
